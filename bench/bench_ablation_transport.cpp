@@ -1,0 +1,114 @@
+// Ablation: transport path (DESIGN.md §4.5).
+//
+// Measures the real cost of moving a dataset across the sim/viz
+// interface: serialization alone, the in-process channel (intercore's
+// hand-off), and the loopback-TCP socket path with the paper's
+// layout-file rendezvous (internode's wire format).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "data/compression.hpp"
+#include "data/serialize.hpp"
+#include "insitu/socket_transport.hpp"
+#include "insitu/transport.hpp"
+#include "sim/hacc_generator.hpp"
+
+namespace {
+
+using namespace eth;
+
+const PointSet& dataset(Index n) {
+  static std::map<Index, std::unique_ptr<PointSet>> cache;
+  auto& slot = cache[n];
+  if (!slot) {
+    sim::HaccParams params;
+    params.num_particles = n;
+    slot = sim::generate_hacc(params);
+  }
+  return *slot;
+}
+
+void BM_SerializeDataset(benchmark::State& state) {
+  const PointSet& ps = dataset(state.range(0));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto buf = serialize_dataset(ps);
+    bytes = buf.size();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_SerializeDataset)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_InprocChannelRoundTrip(benchmark::State& state) {
+  const PointSet& ps = dataset(state.range(0));
+  for (auto _ : state) {
+    auto [a, b] = insitu::make_inproc_channel();
+    a->send_dataset(ps);
+    const auto received = b->recv_dataset();
+    benchmark::DoNotOptimize(received->num_points());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * serialize_dataset(ps).size()));
+}
+BENCHMARK(BM_InprocChannelRoundTrip)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SocketRoundTrip(benchmark::State& state) {
+  const PointSet& ps = dataset(state.range(0));
+  const std::string layout =
+      (std::filesystem::temp_directory_path() / "eth_ablation_layout.txt").string();
+  std::filesystem::remove(layout);
+
+  std::unique_ptr<insitu::Transport> sim_end, viz_end;
+  std::thread listener([&] { sim_end = insitu::socket_listen(layout, 0, 20.0); });
+  viz_end = insitu::socket_connect(layout, 0, 20.0);
+  listener.join();
+
+  for (auto _ : state) {
+    sim_end->send_dataset(ps);
+    const auto received = viz_end->recv_dataset();
+    benchmark::DoNotOptimize(received->num_points());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * serialize_dataset(ps).size()));
+  std::filesystem::remove(layout);
+}
+BENCHMARK(BM_SocketRoundTrip)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+/// Lossy transport quantization: throughput plus the bytes-saved and
+/// reconstruction-error counters that frame the compression trade-off
+/// (DESIGN.md §6).
+void BM_QuantizedTransport(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const PointSet& ps = dataset(100000);
+  std::size_t compressed_size = 0;
+  for (auto _ : state) {
+    const auto compressed = compress_dataset(ps, bits);
+    compressed_size = compressed.size();
+    const auto restored = decompress_dataset(compressed);
+    benchmark::DoNotOptimize(restored->num_points());
+  }
+  const auto plain_size = serialize_dataset(ps).size();
+  state.counters["ratio"] = double(plain_size) / double(compressed_size);
+  // Mean positional reconstruction error, normalized by the box
+  // diagonal.
+  const auto restored = decompress_dataset(compress_dataset(ps, bits));
+  const auto& r = static_cast<const PointSet&>(*restored);
+  double err = 0;
+  for (Index i = 0; i < ps.num_points(); ++i)
+    err += double(length(r.position(i) - ps.position(i)));
+  state.counters["rel_err"] =
+      err / double(ps.num_points()) / double(ps.bounds().diagonal());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * plain_size));
+}
+BENCHMARK(BM_QuantizedTransport)->Arg(6)->Arg(10)->Arg(16)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

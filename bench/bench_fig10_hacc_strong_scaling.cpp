@@ -1,0 +1,64 @@
+// Figure 10: HACC strong scaling — time / power / energy on 200 vs 400
+// nodes for the full dataset, all three algorithms.
+//
+// Shape targets (Finding 5): performance improves only modestly from
+// 200 to 400 nodes (poor strong scaling), while "the average power
+// consumption when 200 nodes are used is nearly 50% lower than when
+// 400 nodes are used", so the 200-node runs save energy.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace eth;
+  using namespace eth::bench;
+
+  print_header("Figure 10", "Figure 10 (HACC strong scaling: 200 vs 400 nodes)",
+               "time / power / energy, full dataset, 3 algorithms");
+
+  const std::vector<insitu::VizAlgorithm> algorithms = {
+      insitu::VizAlgorithm::kRaycastSpheres,
+      insitu::VizAlgorithm::kGaussianSplat,
+      insitu::VizAlgorithm::kVtkPoints,
+  };
+
+  const Harness harness;
+  ResultTable table({"Algorithm", "Nodes", "Time (s)", "Power (kW)", "Energy (kJ)"});
+
+  bool power_halves = true, scaling_poor = true, energy_saved = true;
+  for (const auto algorithm : algorithms) {
+    RunResult runs[2];
+    const int node_counts[2] = {200, 400};
+    for (int i = 0; i < 2; ++i) {
+      ExperimentSpec spec = hacc_base_spec();
+      spec.viz.algorithm = algorithm;
+      spec.layout.nodes = node_counts[i];
+      spec.name = strprintf("fig10-%s-%d", to_string(algorithm), node_counts[i]);
+      runs[i] = harness.run(spec);
+      table.begin_row();
+      table.add_cell(std::string(to_string(algorithm)));
+      table.add_cell(Index(node_counts[i]));
+      table.add_cell(runs[i].exec_seconds, "%.3f");
+      table.add_cell(runs[i].average_power / 1e3, "%.2f");
+      table.add_cell(runs[i].energy / 1e3, "%.2f");
+    }
+    std::printf("  ran %s\n", to_string(algorithm));
+
+    const double speedup = runs[0].exec_seconds / runs[1].exec_seconds;
+    const double power_ratio = runs[0].average_power / runs[1].average_power;
+    if (power_ratio > 0.65) power_halves = false;
+    if (speedup > 1.85) scaling_poor = false; // ideal would be 2.0
+    if (runs[0].energy > runs[1].energy) energy_saved = false;
+    std::printf("    200->400 speedup %.2fx, power ratio %.2f\n", speedup,
+                power_ratio);
+  }
+
+  std::printf("\n%s\n", table.to_text().c_str());
+  save_table(table, "fig10_hacc_strong_scaling");
+
+  check_shape(scaling_poor,
+              "Finding 5: doubling nodes yields well under 2x speedup (poor strong "
+              "scaling)");
+  check_shape(power_halves, "Fig 10b: 200-node power is ~half of 400-node power");
+  check_shape(energy_saved, "Fig 10c: the 200-node runs consume less energy");
+  return 0;
+}

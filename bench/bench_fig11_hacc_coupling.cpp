@@ -1,0 +1,52 @@
+// Figure 11: coupling strategies for HACC — execution time and energy
+// for tight / intercore / internode coupling of the same workload.
+//
+// Shape target (Finding 6): "Proximity between the simulation and
+// visualization routines does not necessarily equate with optimality as
+// evidenced by the intercore coupling which outperforms the other
+// coupling strategies for the HACC application."
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace eth;
+  using namespace eth::bench;
+
+  print_header("Figure 11", "Figure 11 (coupling strategies, HACC)",
+               "time & energy for tight / intercore / internode, full dataset");
+
+  const Harness harness;
+  ResultTable table({"Coupling", "Time (s)", "Power (kW)", "Energy (kJ)"});
+  std::vector<SweepOutcome> outcomes;
+
+  for (const auto coupling : {cluster::Coupling::kTight, cluster::Coupling::kIntercore,
+                              cluster::Coupling::kInternode}) {
+    ExperimentSpec spec = hacc_base_spec();
+    spec.viz.algorithm = insitu::VizAlgorithm::kGaussianSplat;
+    spec.layout.coupling = coupling;
+    spec.timesteps = 4; // internode's pipelining needs a timestep loop
+    spec.name = strprintf("fig11-%s", cluster::to_string(coupling));
+    outcomes.push_back({cluster::to_string(coupling), harness.run(spec)});
+    std::printf("  ran %s\n", cluster::to_string(coupling));
+
+    const RunResult& run = outcomes.back().result;
+    table.begin_row();
+    table.add_cell(outcomes.back().label);
+    table.add_cell(run.exec_seconds, "%.3f");
+    table.add_cell(run.average_power / 1e3, "%.2f");
+    table.add_cell(run.energy / 1e3, "%.2f");
+  }
+
+  std::printf("\n%s\n", table.to_text().c_str());
+  save_table(table, "fig11_hacc_coupling");
+
+  const RunResult& tight = outcomes[0].result;
+  const RunResult& intercore = outcomes[1].result;
+  const RunResult& internode = outcomes[2].result;
+  check_shape(intercore.exec_seconds <= tight.exec_seconds &&
+                  intercore.exec_seconds <= internode.exec_seconds,
+              "Finding 6: intercore is the fastest coupling for HACC");
+  check_shape(intercore.energy <= tight.energy && intercore.energy <= internode.energy,
+              "Finding 6: intercore also wins on energy");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 12: xRAGE — performance, power and energy for VTK's
+// geometry-based isosurface pipeline vs raycasting on the large grid.
+//
+// Paper: "vtk takes 28% more time than raycasting ... While VTK's
+// implementation consumes lesser power than raycasting, it is offset by
+// a significant increase in execution time resulting in higher energy
+// consumption for VTK."
+// Shape targets: time(vtk) > time(raycast); power(vtk) <=
+// power(raycast); energy(vtk) > energy(raycast).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace eth;
+  using namespace eth::bench;
+
+  print_header("Figure 12", "Figure 12 (xRAGE: vtk isosurface vs raycasting)",
+               "large grid (230x140x120 at 1/8 per axis), 216 modelled nodes");
+
+  const Harness harness;
+  ResultTable table({"Pipeline", "Time (s)", "Power (kW)", "Energy (kJ)"});
+  std::vector<SweepOutcome> outcomes;
+
+  for (const auto algorithm :
+       {insitu::VizAlgorithm::kVtkGeometry, insitu::VizAlgorithm::kRaycastVolume}) {
+    ExperimentSpec spec = xrage_base_spec();
+    spec.viz.algorithm = algorithm;
+    spec.name = strprintf("fig12-%s", to_string(algorithm));
+    outcomes.push_back({to_string(algorithm), harness.run(spec)});
+    std::printf("  ran %s\n", to_string(algorithm));
+    const RunResult& run = outcomes.back().result;
+    table.begin_row();
+    table.add_cell(outcomes.back().label);
+    table.add_cell(run.exec_seconds, "%.3f");
+    table.add_cell(run.average_power / 1e3, "%.2f");
+    table.add_cell(run.energy / 1e3, "%.2f");
+  }
+
+  std::printf("\n%s\n", table.to_text().c_str());
+  save_table(table, "fig12_xrage_algorithms");
+
+  const RunResult& vtk = outcomes[0].result;
+  const RunResult& ray = outcomes[1].result;
+  std::printf("vtk/raycast time ratio: %.2f (paper: 1.28)\n",
+              vtk.exec_seconds / ray.exec_seconds);
+  check_shape(vtk.exec_seconds > ray.exec_seconds,
+              "Fig 12a: vtk takes longer than raycasting on the large grid");
+  check_shape(vtk.average_power <= ray.average_power * 1.02,
+              "Fig 12b: vtk draws no more power than raycasting");
+  check_shape(vtk.energy > ray.energy,
+              "Fig 12c: vtk consumes more energy than raycasting");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 13: xRAGE — execution time vs problem size for the two
+// pipelines across the paper's three grids (27x cell-count span).
+//
+// Paper: "a 27-fold increase in problem size resulted in VTK taking 5.8
+// times longer to execute, whereas for raycasting it was only a
+// 1.35-fold increase. In fact, VTK executed faster for the smallest
+// problem size, but the trend reversed when the data size was
+// increased."
+// Shape targets: VTK's growth factor far exceeds raycasting's, and the
+// winner flips between the smallest and largest problems.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace eth;
+  using namespace eth::bench;
+
+  print_header("Figure 13", "Figure 13 (xRAGE: time vs problem size)",
+               "small / medium / large grids x {vtk, raycast}, 216 nodes");
+
+  const std::vector<std::pair<const char*, sim::XrageParams>> sizes = {
+      {"small", xrage_small()},
+      {"medium", xrage_medium()},
+      {"large", xrage_large()},
+  };
+
+  const Harness harness;
+  ResultTable table({"Problem", "vtk (s)", "raycast (s)", "vtk/raycast"});
+  std::vector<double> vtk_times, ray_times;
+
+  for (const auto& [label, params] : sizes) {
+    double t[2];
+    int i = 0;
+    for (const auto algorithm :
+         {insitu::VizAlgorithm::kVtkGeometry, insitu::VizAlgorithm::kRaycastVolume}) {
+      ExperimentSpec spec = xrage_base_spec(params);
+      spec.viz.algorithm = algorithm;
+      spec.name = strprintf("fig13-%s-%s", to_string(algorithm), label);
+      t[i++] = harness.run(spec).exec_seconds;
+    }
+    vtk_times.push_back(t[0]);
+    ray_times.push_back(t[1]);
+    table.begin_row();
+    table.add_cell(std::string(label));
+    table.add_cell(t[0], "%.3f");
+    table.add_cell(t[1], "%.3f");
+    table.add_cell(t[0] / t[1], "%.2f");
+    std::printf("  ran %s\n", label);
+  }
+
+  std::printf("\n%s\n", table.to_text().c_str());
+  save_table(table, "fig13_xrage_datasize_scaling");
+
+  const double vtk_growth = vtk_times.back() / vtk_times.front();
+  const double ray_growth = ray_times.back() / ray_times.front();
+  std::printf("small->large growth: vtk %.2fx (paper 5.8x), raycast %.2fx "
+              "(paper 1.35x)\n",
+              vtk_growth, ray_growth);
+  check_shape(vtk_growth > 2.0 * ray_growth,
+              "vtk's time grows much faster with problem size than raycasting's");
+  check_shape(ray_growth < 3.0,
+              "raycasting grows sub-linearly (27x data -> <3x time)");
+  check_shape(vtk_times.back() > ray_times.back(),
+              "raycasting wins on the largest problem");
+  return 0;
+}

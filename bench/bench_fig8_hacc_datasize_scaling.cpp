@@ -1,0 +1,69 @@
+// Figure 8: "Scalability of the algorithms with data size" —
+// normalized execution time vs particle count (0.25/0.5/0.75/1 B) at a
+// fixed 400 nodes.
+//
+// Shape targets (Finding 3): Gaussian splat and VTK points grow
+// ~linearly with data size (they run in O(n)); raycasting grows
+// sub-linearly (per-frame cost follows rays, only the setup phase
+// follows particles), so the curves diverge and predict a crossover at
+// scale.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace eth;
+  using namespace eth::bench;
+
+  print_header("Figure 8", "Figure 8 (execution time vs data size, fixed nodes)",
+               "4 particle counts x 3 algorithms, normalized to each "
+               "algorithm's smallest dataset");
+
+  const std::vector<std::pair<const char*, Index>> sizes = {
+      {"0.25B", kHacc250}, {"0.5B", kHacc500}, {"0.75B", kHacc750}, {"1B", kHaccFull}};
+  const std::vector<insitu::VizAlgorithm> algorithms = {
+      insitu::VizAlgorithm::kRaycastSpheres,
+      insitu::VizAlgorithm::kGaussianSplat,
+      insitu::VizAlgorithm::kVtkPoints,
+  };
+
+  const Harness harness;
+  ResultTable table({"Dataset", "raycast (norm)", "splat (norm)", "points (norm)",
+                     "raycast (s)", "splat (s)", "points (s)"});
+
+  std::map<insitu::VizAlgorithm, std::vector<double>> times;
+  for (const auto& [label, particles] : sizes) {
+    for (const auto algorithm : algorithms) {
+      ExperimentSpec spec = hacc_base_spec(particles);
+      spec.viz.algorithm = algorithm;
+      spec.name = strprintf("fig8-%s-%s", to_string(algorithm), label);
+      times[algorithm].push_back(harness.run(spec).exec_seconds);
+    }
+    std::printf("  ran %s\n", label);
+  }
+
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    table.begin_row();
+    table.add_cell(std::string(sizes[s].first));
+    for (const auto algorithm : algorithms)
+      table.add_cell(times[algorithm][s] / times[algorithm][0], "%.2f");
+    for (const auto algorithm : algorithms)
+      table.add_cell(times[algorithm][s], "%.3f");
+  }
+  std::printf("\n%s\n", table.to_text().c_str());
+  save_table(table, "fig8_hacc_datasize_scaling");
+
+  // 4x data: how much did each algorithm's time grow?
+  const double growth_ray = times[insitu::VizAlgorithm::kRaycastSpheres].back() /
+                            times[insitu::VizAlgorithm::kRaycastSpheres].front();
+  const double growth_splat = times[insitu::VizAlgorithm::kGaussianSplat].back() /
+                              times[insitu::VizAlgorithm::kGaussianSplat].front();
+  const double growth_points = times[insitu::VizAlgorithm::kVtkPoints].back() /
+                               times[insitu::VizAlgorithm::kVtkPoints].front();
+  std::printf("4x data growth factors: raycast %.2f, splat %.2f, points %.2f\n",
+              growth_ray, growth_splat, growth_points);
+  check_shape(growth_splat > 2.5 && growth_points > 2.5,
+              "Finding 3a: geometry methods grow ~linearly with data size");
+  check_shape(growth_ray < 0.7 * growth_splat,
+              "Finding 3b: raycasting grows sub-linearly (ray-bound, not data-bound)");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table I: "Visualization Algorithm Results for HACC" — execution time
+// and average power for raycasting, Gaussian splat and VTK points on
+// the large (1 B -> 1 M) dataset at 400 modelled nodes.
+//
+// Paper values:  raycast 464.4 s / 55.7 kW, splat 171.9 s / 55.3 kW,
+//                points 268.7 s / 55.2 kW.
+// Shape targets: Finding 1 (splat < points < raycast in time) and
+//                Finding 2 (power ~constant across algorithms).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace eth;
+  using namespace eth::bench;
+
+  print_header("Table I", "Table I (HACC visualization algorithms)",
+               "time & power for raycast / Gaussian splat / VTK points, "
+               "8M particles (1/125 scale), 400 modelled nodes");
+
+  const std::vector<insitu::VizAlgorithm> algorithms = {
+      insitu::VizAlgorithm::kRaycastSpheres,
+      insitu::VizAlgorithm::kGaussianSplat,
+      insitu::VizAlgorithm::kVtkPoints,
+  };
+
+  const Harness harness;
+  std::vector<SweepOutcome> outcomes;
+  for (const auto algorithm : algorithms) {
+    ExperimentSpec spec = hacc_base_spec();
+    spec.viz.algorithm = algorithm;
+    spec.name = std::string("table1-") + to_string(algorithm);
+    outcomes.push_back({to_string(algorithm), harness.run(spec)});
+    std::printf("  ran %-16s (host cpu %.2f s)\n", to_string(algorithm),
+                outcomes.back().result.measured_cpu_seconds);
+  }
+
+  ResultTable table({"Algorithm", "Time (s)", "Power (kW)"});
+  for (const auto& o : outcomes) {
+    table.begin_row();
+    table.add_cell(o.label);
+    table.add_cell(o.result.exec_seconds, "%.3f");
+    table.add_cell(o.result.average_power / 1e3, "%.2f");
+  }
+  std::printf("\n%s\n", table.to_text().c_str());
+  save_table(table, "table1_hacc_algorithms");
+
+  const RunResult& raycast = outcomes[0].result;
+  const RunResult& splat = outcomes[1].result;
+  const RunResult& points = outcomes[2].result;
+  check_shape(splat.exec_seconds < points.exec_seconds,
+              "Finding 1a: Gaussian splat faster than VTK points");
+  check_shape(points.exec_seconds < raycast.exec_seconds,
+              "Finding 1b: VTK points faster than raycasting");
+  const double pmax = std::max({raycast.average_power, splat.average_power,
+                                points.average_power});
+  const double pmin = std::min({raycast.average_power, splat.average_power,
+                                points.average_power});
+  check_shape((pmax - pmin) / pmax < 0.10,
+              "Finding 2: power within 10% across algorithms");
+  return 0;
+}

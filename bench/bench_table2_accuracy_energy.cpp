@@ -1,0 +1,70 @@
+// Table II: "Trade-off between accuracy and energy for HACC" — RMSE
+// against the unsampled image and energy saved, for sampling ratios
+// 0.75 / 0.50 / 0.25 under each of the three rendering algorithms.
+//
+// Paper values (raycasting): RMSE 0.17 / 0.28 / 0.42,
+//                            energy saved 17.4 / 28.1 / 41.5 %.
+// Shape targets: within each algorithm, RMSE grows and energy saved
+// grows as the sampling ratio falls.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace eth;
+  using namespace eth::bench;
+
+  print_header("Table II", "Table II (accuracy vs energy trade-off)",
+               "RMSE vs unsampled reference and energy saved, sampling "
+               "{0.75, 0.50, 0.25} x 3 algorithms");
+
+  const std::vector<insitu::VizAlgorithm> algorithms = {
+      insitu::VizAlgorithm::kRaycastSpheres,
+      insitu::VizAlgorithm::kGaussianSplat,
+      insitu::VizAlgorithm::kVtkPoints,
+  };
+  const std::vector<double> ratios = {0.75, 0.50, 0.25};
+
+  const Harness harness;
+  ResultTable table({"Algorithm", "Sampling Ratio", "RMSE", "Energy Saved"});
+  bool rmse_monotone = true, savings_monotone = true;
+
+  for (const auto algorithm : algorithms) {
+    ExperimentSpec base = hacc_base_spec();
+    base.viz.algorithm = algorithm;
+    base.name = std::string("table2-") + to_string(algorithm);
+
+    // Quality baseline: full-data render at sampling 1.0.
+    const ImageBuffer reference = Harness::render_reference(base);
+    const RunResult full_run = harness.run(base);
+
+    double last_rmse = -1, last_saved = -1;
+    for (const double ratio : ratios) {
+      ExperimentSpec spec = base;
+      spec.viz.sampling_ratio = ratio;
+      const RunResult run = harness.run(spec);
+      const ImageBuffer sampled_image = Harness::render_reference(spec);
+      const double rmse = image_rmse(sampled_image, reference);
+      const double saved = 1.0 - run.energy / full_run.energy;
+
+      table.begin_row();
+      table.add_cell(std::string(to_string(algorithm)));
+      table.add_cell(ratio, "%.2f");
+      table.add_cell(rmse, "%.3f");
+      table.add_cell(strprintf("%.1f%%", saved * 100.0));
+
+      if (rmse < last_rmse - 1e-6) rmse_monotone = false;
+      if (saved < last_saved - 0.02) savings_monotone = false;
+      last_rmse = rmse;
+      last_saved = saved;
+    }
+    std::printf("  ran %s\n", to_string(algorithm));
+  }
+
+  std::printf("\n%s\n", table.to_text().c_str());
+  save_table(table, "table2_accuracy_energy");
+
+  check_shape(rmse_monotone, "RMSE grows as sampling ratio falls (every algorithm)");
+  check_shape(savings_monotone,
+              "energy saved grows as sampling ratio falls (every algorithm)");
+  return 0;
+}

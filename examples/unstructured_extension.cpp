@@ -1,0 +1,72 @@
+// Unstructured-grid extension demo — the paper's §VII scenario played
+// out: "one would have to extend ETH for other domains such as
+// unstructured grid. To conduct studies on other domains, as a
+// pre-processing step, one would need to run the simulation to collect
+// data sets and partition the data thus collected."
+//
+// This example (1) tessellates an asteroid timestep into a tetrahedral
+// mesh standing in for a native unstructured dump, (2) writes it to
+// disk in ETH's dataset format, (3) reads it back through the
+// SimulationProxy, and (4) runs the geometry pipeline — isosurface
+// extraction directly on tetrahedra, rasterized to an image.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/string_util.hpp"
+#include "data/tet_mesh.hpp"
+#include "data/triangle_mesh.hpp"
+#include "pipeline/isosurface.hpp"
+#include "render/raster/rasterizer.hpp"
+#include "sim/dump.hpp"
+#include "sim/xrage_generator.hpp"
+
+int main() {
+  using namespace eth;
+
+  const std::string dir = "unstructured_demo";
+  std::filesystem::create_directories(dir);
+
+  // 1. "Run the simulation" and convert to the domain's native layout.
+  sim::XrageParams params;
+  params.dims = {40, 28, 24};
+  params.timestep = 6;
+  const auto grid = sim::generate_xrage(params);
+  const TetMesh tets = TetMesh::from_structured(*grid);
+  std::printf("tessellated %lldx%lldx%lld grid -> %lld tetrahedra (%s)\n",
+              static_cast<long long>(params.dims.x),
+              static_cast<long long>(params.dims.y),
+              static_cast<long long>(params.dims.z),
+              static_cast<long long>(tets.num_tets()),
+              format_bytes(tets.byte_size()).c_str());
+
+  // 2./3. The dump/proxy cycle, unchanged for the new domain.
+  const sim::DumpWriter writer(dir, "unstructured");
+  writer.write(tets, 0, 0);
+  const sim::SimulationProxy proxy(dir, "unstructured");
+  const auto loaded = proxy.load(0, 0);
+  std::printf("proxy read back a %s\n", to_string(loaded->kind()));
+
+  // 4. The same pipeline objects, now fed unstructured data.
+  auto shared = std::shared_ptr<const DataSet>(loaded->clone().release());
+  IsosurfaceExtractor extractor("temperature", 0.5f);
+  extractor.set_input(shared);
+  const auto surface = extractor.update();
+  const auto& mesh = static_cast<const TriangleMesh&>(*surface);
+  std::printf("isosurface at 0.5: %lld triangles from %lld tets\n",
+              static_cast<long long>(mesh.num_triangles()),
+              static_cast<long long>(extractor.counters().elements_processed));
+
+  const Camera camera = Camera::framing(loaded->bounds(), {-0.5f, -0.4f, -0.75f});
+  ImageBuffer image(256, 256);
+  image.clear();
+  RasterRenderer raster;
+  MeshRenderOptions options;
+  options.uniform_color = {0.9f, 0.5f, 0.2f, 1.0f};
+  cluster::PerfCounters counters;
+  raster.render_mesh(mesh, camera, image, options, counters);
+  const std::string artifact = dir + "/unstructured_iso.ppm";
+  image.write_ppm(artifact);
+  std::printf("rendered %s\n", artifact.c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "cluster/counters.hpp"
+
+#include <algorithm>
+
+#include "common/string_util.hpp"
+
+namespace eth::cluster {
+
+void PerfCounters::merge(const PerfCounters& other) {
+  elements_processed += other.elements_processed;
+  primitives_emitted += other.primitives_emitted;
+  rays_cast += other.rays_cast;
+  ray_steps += other.ray_steps;
+  bvh_nodes_visited += other.bvh_nodes_visited;
+  flop_estimate += other.flop_estimate;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  bytes_communicated += other.bytes_communicated;
+  max_parallel_items = std::max(max_parallel_items, other.max_parallel_items);
+  // PhaseTimer totals merge by adding each known phase; iterate the
+  // small fixed vocabulary.
+  for (const char* phase : {"generate", "read", "sample", "extract", "build",
+                            "render", "composite", "transfer", "write"}) {
+    const double s = other.phases.get(phase);
+    if (s > 0) phases.add(phase, s);
+  }
+}
+
+std::string PerfCounters::summary() const {
+  std::string out;
+  out += strprintf("elements_processed: %lld\n", static_cast<long long>(elements_processed));
+  out += strprintf("primitives_emitted: %lld\n", static_cast<long long>(primitives_emitted));
+  out += strprintf("rays_cast: %lld\n", static_cast<long long>(rays_cast));
+  out += strprintf("ray_steps: %lld\n", static_cast<long long>(ray_steps));
+  out += strprintf("bvh_nodes_visited: %lld\n", static_cast<long long>(bvh_nodes_visited));
+  out += strprintf("flop_estimate: %.3g\n", flop_estimate);
+  out += strprintf("bytes_read: %s\n", format_bytes(bytes_read).c_str());
+  out += strprintf("bytes_written: %s\n", format_bytes(bytes_written).c_str());
+  out += strprintf("bytes_communicated: %s\n", format_bytes(bytes_communicated).c_str());
+  out += strprintf("max_parallel_items: %lld\n", static_cast<long long>(max_parallel_items));
+  out += strprintf("cpu_seconds_total: %.4f\n", phases.total());
+  return out;
+}
+
+} // namespace eth::cluster

@@ -1,0 +1,47 @@
+#pragma once
+// PerfCounters: the TACC-stats stand-in.
+//
+// The paper collects hardware performance counters through TACC stats
+// to explain results (e.g. "raycasting performs significantly more
+// computations ... from an additional setup phase"). Our kernels report
+// equivalent software counters: arithmetic-operation estimates, elements
+// touched, bytes moved, and per-phase CPU seconds, aggregated per rank
+// and mergeable across ranks.
+
+#include <string>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace eth::cluster {
+
+struct PerfCounters {
+  // Work counters (kernel-reported estimates).
+  Index elements_processed = 0; ///< particles / cells / pixels iterated
+  Index primitives_emitted = 0; ///< triangles or impostors generated
+  Index rays_cast = 0;
+  Index ray_steps = 0;          ///< raymarch iterations
+  Index bvh_nodes_visited = 0;
+  double flop_estimate = 0;     ///< floating-point operation estimate
+
+  // Data-movement counters.
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+  Bytes bytes_communicated = 0;
+
+  // Time, by phase (CPU seconds from ThreadCpuTimer).
+  PhaseTimer phases;
+
+  /// A rough "available parallelism" signal for the power model: the
+  /// largest data-parallel loop extent this rank executed. The machine
+  /// model turns this into node utilization (Finding 4: small sampled
+  /// problems cannot keep all parallel resources busy).
+  Index max_parallel_items = 0;
+
+  void merge(const PerfCounters& other);
+
+  /// Multi-line human-readable dump ("counter: value" per line).
+  std::string summary() const;
+};
+
+} // namespace eth::cluster

@@ -1,0 +1,63 @@
+#include "cluster/interconnect.hpp"
+
+#include "common/error.hpp"
+
+namespace eth::cluster {
+
+int InterconnectModel::hops(int node_a, int node_b) const {
+  require(node_a >= 0 && node_b >= 0, "InterconnectModel: negative node id");
+  if (node_a == node_b) return 0;
+  const int leaf_a = node_a / spec_.nodes_per_leaf_switch;
+  const int leaf_b = node_b / spec_.nodes_per_leaf_switch;
+  return leaf_a == leaf_b ? 2 : 4;
+}
+
+Seconds InterconnectModel::transfer_time(Bytes bytes, int node_a, int node_b) const {
+  if (node_a == node_b) return shm_copy_time(bytes);
+  const int h = hops(node_a, node_b);
+  return spec_.link_latency + h * spec_.per_hop_latency +
+         double(bytes) / spec_.link_bandwidth_bytes_per_s;
+}
+
+Seconds InterconnectModel::shm_copy_time(Bytes bytes) const {
+  return double(bytes) / spec_.memcpy_bandwidth_bytes_per_s;
+}
+
+Seconds InterconnectModel::incast_time(Bytes bytes_per_sender, int senders) const {
+  require(senders >= 0, "InterconnectModel: negative sender count");
+  if (senders == 0) return 0.0;
+  // All flows share the receiver's single link; latency paid once per
+  // sender stage is dominated by the serialized bandwidth term.
+  return spec_.link_latency + 4 * spec_.per_hop_latency +
+         double(bytes_per_sender) * double(senders) / spec_.link_bandwidth_bytes_per_s;
+}
+
+Seconds InterconnectModel::binary_swap_time(Bytes image_bytes, int nodes) const {
+  require(nodes >= 1, "InterconnectModel: need at least one node");
+  if (nodes == 1) return 0.0;
+  int stages = 0;
+  while ((1 << stages) < nodes) ++stages;
+  // Stage k exchanges image/2^(k+1) bytes concurrently across all
+  // pairs; the sum over stages approaches one full image per node.
+  double exchanged = 0;
+  for (int k = 0; k < stages; ++k)
+    exchanged += double(image_bytes) / double(2u << k);
+  const Seconds stage_latency =
+      stages * (spec_.link_latency + 4 * spec_.per_hop_latency);
+  // Final gather: the root pulls the distributed tiles (one image total
+  // over its single link).
+  const Seconds gather = double(image_bytes) / spec_.link_bandwidth_bytes_per_s +
+                         spec_.link_latency + 4 * spec_.per_hop_latency;
+  return stage_latency + exchanged / spec_.link_bandwidth_bytes_per_s + gather;
+}
+
+Seconds InterconnectModel::pairwise_exchange_time(Bytes bytes_per_pair, int pairs) const {
+  require(pairs >= 0, "InterconnectModel: negative pair count");
+  if (pairs == 0) return 0.0;
+  // Non-blocking fat tree: concurrent pairs do not contend; worst-case
+  // hop count (via spine) is assumed.
+  return spec_.link_latency + 4 * spec_.per_hop_latency +
+         double(bytes_per_pair) / spec_.link_bandwidth_bytes_per_s;
+}
+
+} // namespace eth::cluster

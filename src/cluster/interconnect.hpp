@@ -1,0 +1,48 @@
+#pragma once
+// InterconnectModel: transfer-time estimation over the modelled EDR
+// fat tree, plus the intra-node shared-memory path used by intercore
+// coupling. This is what the internode coupling strategy is charged
+// against when the simulation proxy ships datasets to the visualization
+// proxy on a different node set.
+
+#include "cluster/machine.hpp"
+
+namespace eth::cluster {
+
+class InterconnectModel {
+public:
+  explicit InterconnectModel(const MachineSpec& spec) : spec_(spec) {}
+
+  /// Fat-tree switch hops between two nodes: 0 (same node), 2 (same
+  /// leaf: up + down), or 4 (via spine).
+  int hops(int node_a, int node_b) const;
+
+  /// Time to move `bytes` from node_a to node_b (point-to-point,
+  /// uncontended): latency + hop penalty + serialization.
+  Seconds transfer_time(Bytes bytes, int node_a, int node_b) const;
+
+  /// Shared-memory hand-off of `bytes` inside one node (one memcpy).
+  Seconds shm_copy_time(Bytes bytes) const;
+
+  /// Time for `senders` nodes to each push `bytes_per_sender` into a
+  /// single receiving node (incast, e.g. direct-send compositing to a
+  /// display rank): the receiver link is the bottleneck.
+  Seconds incast_time(Bytes bytes_per_sender, int senders) const;
+
+  /// Aggregate exchange where `pairs` node pairs each move
+  /// `bytes_per_pair` concurrently on a non-blocking fat tree: pairs are
+  /// independent, so the slowest pair bounds the phase.
+  Seconds pairwise_exchange_time(Bytes bytes_per_pair, int pairs) const;
+
+  /// Communication time of binary-swap compositing of one `image_bytes`
+  /// image across `nodes` nodes (the IceT-style algorithm production
+  /// stacks use): log2(N) stages exchanging successively halved image
+  /// regions (~2x image bytes per node total), plus a final gather of
+  /// the distributed tiles to the root.
+  Seconds binary_swap_time(Bytes image_bytes, int nodes) const;
+
+private:
+  MachineSpec spec_;
+};
+
+} // namespace eth::cluster

@@ -1,0 +1,111 @@
+#include "cluster/job.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace eth::cluster {
+
+const char* to_string(Coupling c) {
+  switch (c) {
+    case Coupling::kTight: return "tight";
+    case Coupling::kIntercore: return "intercore";
+    case Coupling::kInternode: return "internode";
+  }
+  return "?";
+}
+
+Coupling coupling_from_string(std::string_view name) {
+  if (name == "tight") return Coupling::kTight;
+  if (name == "intercore") return Coupling::kIntercore;
+  if (name == "internode") return Coupling::kInternode;
+  fail("unknown coupling strategy '" + std::string(name) + "'");
+}
+
+int JobLayout::sim_nodes() const {
+  if (coupling != Coupling::kInternode) return nodes;
+  return nodes - viz_node_count();
+}
+
+int JobLayout::viz_node_count() const {
+  if (coupling != Coupling::kInternode) return nodes;
+  return viz_nodes > 0 ? viz_nodes : nodes / 2;
+}
+
+int JobLayout::viz_first_node() const {
+  return coupling == Coupling::kInternode ? sim_nodes() : 0;
+}
+
+void JobLayout::validate() const {
+  require(nodes > 0, "JobLayout: nodes must be positive");
+  require(ranks > 0, "JobLayout: ranks must be positive");
+  if (coupling == Coupling::kInternode) {
+    require(nodes >= 2, "JobLayout: internode coupling needs at least 2 nodes");
+    const int v = viz_node_count();
+    require(v > 0 && v < nodes,
+            "JobLayout: internode viz partition must leave nodes for the simulation");
+  } else {
+    require(viz_nodes == 0, "JobLayout: viz_nodes is only valid for internode coupling");
+  }
+}
+
+std::string JobLayout::to_text() const {
+  std::ostringstream os;
+  os << "# ETH job layout\n";
+  os << "coupling " << to_string(coupling) << '\n';
+  os << "nodes " << nodes << '\n';
+  os << "ranks " << ranks << '\n';
+  if (coupling == Coupling::kInternode) os << "viz_nodes " << viz_node_count() << '\n';
+  return os.str();
+}
+
+JobLayout JobLayout::from_text(const std::string& text) {
+  JobLayout layout;
+  bool saw_coupling = false, saw_nodes = false, saw_ranks = false;
+  for (const std::string& raw : split(text, '\n')) {
+    const std::string_view line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.find(' ');
+    require(space != std::string_view::npos, "job layout: malformed line '" +
+                                                 std::string(line) + "'");
+    const std::string_view key = line.substr(0, space);
+    const std::string_view value = trim(line.substr(space + 1));
+    if (key == "coupling") {
+      layout.coupling = coupling_from_string(value);
+      saw_coupling = true;
+    } else if (key == "nodes") {
+      layout.nodes = static_cast<int>(parse_index(value, "job layout nodes"));
+      saw_nodes = true;
+    } else if (key == "ranks") {
+      layout.ranks = static_cast<int>(parse_index(value, "job layout ranks"));
+      saw_ranks = true;
+    } else if (key == "viz_nodes") {
+      layout.viz_nodes = static_cast<int>(parse_index(value, "job layout viz_nodes"));
+    } else {
+      fail("job layout: unknown key '" + std::string(key) + "'");
+    }
+  }
+  require(saw_coupling && saw_nodes && saw_ranks,
+          "job layout: coupling, nodes and ranks are all required");
+  layout.validate();
+  return layout;
+}
+
+void JobLayout::save(const std::string& path) const {
+  std::ofstream f(path);
+  require(f.good(), "JobLayout::save: cannot open '" + path + "'");
+  f << to_text();
+  require(f.good(), "JobLayout::save: write failed for '" + path + "'");
+}
+
+JobLayout JobLayout::load(const std::string& path) {
+  std::ifstream f(path);
+  require(f.good(), "JobLayout::load: cannot open '" + path + "'");
+  std::ostringstream os;
+  os << f.rdbuf();
+  return from_text(os.str());
+}
+
+} // namespace eth::cluster

@@ -1,0 +1,44 @@
+#include "cluster/machine.hpp"
+
+#include "common/error.hpp"
+#include "common/vec.hpp"
+
+namespace eth::cluster {
+
+Watts MachineSpec::node_power(double utilization) const {
+  const double u = clamp(utilization, 0.0, 1.0);
+  return node_idle_watts + node_dynamic_watts() * u;
+}
+
+MachineSpec MachineSpec::hikari() { return MachineSpec{}; }
+
+MachineSpec MachineSpec::tiny() {
+  MachineSpec m;
+  m.name = "tiny-test";
+  m.total_nodes = 4;
+  m.cores_per_node = 2;
+  m.node_idle_watts = 10.0;
+  m.node_busy_watts = 20.0;
+  m.power_sample_period = 1.0;
+  return m;
+}
+
+void MachineSpec::validate() const {
+  require(total_nodes > 0, "MachineSpec: total_nodes must be positive");
+  require(cores_per_node > 0, "MachineSpec: cores_per_node must be positive");
+  require(core_ghz > 0, "MachineSpec: core_ghz must be positive");
+  require(node_idle_watts >= 0, "MachineSpec: negative idle power");
+  require(node_busy_watts >= node_idle_watts,
+          "MachineSpec: busy power below idle power");
+  require(power_sample_period > 0, "MachineSpec: power sample period must be positive");
+  require(link_bandwidth_bytes_per_s > 0, "MachineSpec: link bandwidth must be positive");
+  require(link_latency >= 0 && per_hop_latency >= 0, "MachineSpec: negative latency");
+  require(nodes_per_leaf_switch > 0, "MachineSpec: leaf switch radix must be positive");
+  require(memcpy_bandwidth_bytes_per_s > 0,
+          "MachineSpec: memcpy bandwidth must be positive");
+  require(host_core_speed_ratio > 0, "MachineSpec: core speed ratio must be positive");
+  require(node_serial_fraction >= 0 && node_serial_fraction < 1,
+          "MachineSpec: serial fraction must be in [0, 1)");
+}
+
+} // namespace eth::cluster

@@ -1,0 +1,26 @@
+#include "cluster/power.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace eth::cluster {
+
+double utilization_for_items(const MachineSpec& spec, Index parallel_items,
+                             Index saturation_items_per_core) {
+  require(saturation_items_per_core > 0,
+          "utilization_for_items: saturation threshold must be positive");
+  if (parallel_items <= 0) return 0.0;
+  const double saturation =
+      double(spec.cores_per_node) * double(saturation_items_per_core);
+  return std::min(1.0, double(parallel_items) / saturation);
+}
+
+Seconds node_compute_time(const MachineSpec& spec, double measured_cpu_seconds) {
+  require(measured_cpu_seconds >= 0, "node_compute_time: negative CPU time");
+  const double cpu = measured_cpu_seconds / spec.host_core_speed_ratio;
+  const double s = spec.node_serial_fraction;
+  return cpu * (s + (1.0 - s) / double(spec.cores_per_node));
+}
+
+} // namespace eth::cluster

@@ -1,0 +1,34 @@
+#pragma once
+// Node execution/power helpers: the bridge between kernels measured on
+// this container and the modelled machine.
+//
+// A rank kernel runs single-threaded here and reports CPU seconds plus
+// how much data-parallel work it had available. These functions turn
+// that into (a) the time a 24-core Hikari node would need and (b) the
+// utilization the node's power meter would see — the two quantities the
+// Timeline integrates.
+
+#include "cluster/machine.hpp"
+
+namespace eth::cluster {
+
+/// Utilization of one node running a data-parallel kernel with
+/// `parallel_items` independent work items, when each core needs
+/// `saturation_items_per_core` items to stay busy (Finding 4's
+/// mechanism: small sampled problems cannot fill the machine).
+double utilization_for_items(const MachineSpec& spec, Index parallel_items,
+                             Index saturation_items_per_core);
+
+/// Time for one node to execute a kernel measured at
+/// `measured_cpu_seconds` of single-thread host CPU time, threaded
+/// across the node's cores with the spec's Amdahl serial fraction.
+///
+/// Utilization deliberately does NOT stretch compute time: a node with
+/// fewer parallel items than cores also has proportionally less work,
+/// so its wall time still shrinks — what suffers is how many cores the
+/// POWER model sees busy (utilization_for_items feeds the Timeline's
+/// dynamic-power integration, reproducing Finding 4 without distorting
+/// load balance).
+Seconds node_compute_time(const MachineSpec& spec, double measured_cpu_seconds);
+
+} // namespace eth::cluster

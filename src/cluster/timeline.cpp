@@ -1,0 +1,129 @@
+#include "cluster/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/vec.hpp"
+
+namespace eth::cluster {
+
+Timeline::Timeline(const MachineSpec& spec, int allocated_nodes)
+    : spec_(spec), allocated_nodes_(allocated_nodes) {
+  spec_.validate();
+  require(allocated_nodes > 0 && allocated_nodes <= spec.total_nodes,
+          "Timeline: allocation exceeds the machine");
+}
+
+void Timeline::add_span(const BusySpan& span) {
+  require(span.end >= span.start, "Timeline: span ends before it starts");
+  require(span.first_node >= 0 && span.last_node <= allocated_nodes_ &&
+              span.first_node < span.last_node,
+          "Timeline: span node range outside the allocation");
+  require(span.utilization >= 0.0 && span.utilization <= 1.0,
+          "Timeline: utilization must be in [0, 1]");
+  if (span.duration() > 0) spans_.push_back(span);
+}
+
+void Timeline::add_full_span(Seconds start, Seconds end, double utilization) {
+  add_span(BusySpan{start, end, 0, allocated_nodes_, utilization});
+}
+
+Seconds Timeline::makespan() const {
+  Seconds m = 0;
+  for (const BusySpan& s : spans_) m = std::max(m, s.end);
+  return m;
+}
+
+double Timeline::busy_node_equivalent(Seconds t) const {
+  // Per-node utilization sum, capped at 1 per node. Node ranges in
+  // practice are few and contiguous; a per-span accumulation over range
+  // breakpoints keeps this exact without a per-node array.
+  //
+  // Collect active spans and the node-range breakpoints they induce.
+  std::vector<const BusySpan*> active;
+  std::vector<int> cuts{0, allocated_nodes_};
+  for (const BusySpan& s : spans_) {
+    if (t >= s.start && t < s.end) {
+      active.push_back(&s);
+      cuts.push_back(s.first_node);
+      cuts.push_back(s.last_node);
+    }
+  }
+  if (active.empty()) return 0.0;
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const int lo = cuts[i], hi = cuts[i + 1];
+    double u = 0.0;
+    for (const BusySpan* s : active)
+      if (s->first_node <= lo && s->last_node >= hi) u += s->utilization;
+    total += clamp(u, 0.0, 1.0) * double(hi - lo);
+  }
+  return total;
+}
+
+RunPowerReport Timeline::report() const {
+  RunPowerReport rep;
+  rep.makespan = makespan();
+  if (rep.makespan <= 0) {
+    rep.average_power = spec_.node_power(0.0) * allocated_nodes_;
+    return rep;
+  }
+
+  // Integrate busy-node-equivalents over time. The integrand is
+  // piecewise constant between span start/end breakpoints, so exact
+  // integration walks the breakpoints.
+  std::vector<Seconds> times{0.0, rep.makespan};
+  for (const BusySpan& s : spans_) {
+    times.push_back(s.start);
+    times.push_back(s.end);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  double busy_integral = 0.0; // node-seconds of utilization
+  for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+    const Seconds t0 = times[i], t1 = times[i + 1];
+    if (t1 <= t0 || t0 >= rep.makespan) continue;
+    const Seconds mid = (t0 + t1) / 2;
+    busy_integral += busy_node_equivalent(mid) * (t1 - t0);
+  }
+
+  const double idle_joules =
+      spec_.node_idle_watts * double(allocated_nodes_) * rep.makespan;
+  const double dyn_joules = spec_.node_dynamic_watts() * busy_integral;
+  rep.energy = idle_joules + dyn_joules;
+  rep.dynamic_energy = dyn_joules;
+  rep.average_power = rep.energy / rep.makespan;
+  rep.average_dynamic_power = dyn_joules / rep.makespan;
+
+  // Metered trace: window-averaged power every sample period, like the
+  // Apollo 8000 system manager ("records the average power every 5
+  // seconds").
+  const Seconds dt = spec_.power_sample_period;
+  const int nsamples = static_cast<int>(std::ceil(rep.makespan / dt));
+  rep.trace.reserve(static_cast<std::size_t>(nsamples));
+  for (int s = 0; s < nsamples; ++s) {
+    const Seconds w0 = s * dt;
+    const Seconds w1 = std::min(rep.makespan, (s + 1) * dt);
+    // Average busy-equivalent over the window via breakpoint walk.
+    double window_busy = 0.0;
+    for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+      const Seconds t0 = std::max(times[i], w0);
+      const Seconds t1 = std::min(times[i + 1], w1);
+      if (t1 <= t0) continue;
+      window_busy += busy_node_equivalent((t0 + t1) / 2) * (t1 - t0);
+    }
+    const Seconds window = w1 - w0;
+    const double avg_busy = window > 0 ? window_busy / window : 0.0;
+    const Watts p = spec_.node_idle_watts * allocated_nodes_ +
+                    spec_.node_dynamic_watts() * avg_busy;
+    rep.trace.push_back(PowerSample{w1, p});
+  }
+  return rep;
+}
+
+} // namespace eth::cluster

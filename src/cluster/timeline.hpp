@@ -1,0 +1,80 @@
+#pragma once
+// Timeline: the simulated execution record of one job.
+//
+// A run is composed of busy spans — "nodes [a, b) execute at utilization
+// u from t0 to t1". The timeline integrates them into exactly the
+// observables the paper's instrumented cluster produces:
+//   * execution time (makespan),
+//   * a power trace sampled every MachineSpec::power_sample_period
+//     seconds (the Apollo 8000 system manager's 5 s cadence),
+//   * average power and total energy for the allocation,
+//   * average DYNAMIC power (Figure 9b plots this).
+
+#include <vector>
+
+#include "cluster/machine.hpp"
+
+namespace eth::cluster {
+
+/// Half-open busy interval on a half-open node range.
+struct BusySpan {
+  Seconds start = 0;
+  Seconds end = 0;
+  int first_node = 0; ///< inclusive
+  int last_node = 0;  ///< exclusive
+  double utilization = 1.0;
+
+  Seconds duration() const { return end - start; }
+  int nodes() const { return last_node - first_node; }
+};
+
+/// One sample of the (simulated) facility power meter.
+struct PowerSample {
+  Seconds time;  ///< sample timestamp (end of averaging window)
+  Watts watts;   ///< average power over the preceding window
+};
+
+struct RunPowerReport {
+  Seconds makespan = 0;          ///< job execution time
+  Watts average_power = 0;       ///< allocation average over the run
+  Watts average_dynamic_power = 0;
+  Joules energy = 0;             ///< average_power * makespan
+  Joules dynamic_energy = 0;
+  std::vector<PowerSample> trace;
+};
+
+class Timeline {
+public:
+  /// `allocated_nodes` is the size of the job's allocation; idle power
+  /// of every allocated node is charged for the whole makespan (a batch
+  /// job owns its nodes whether or not they compute — this is what
+  /// makes Figure 10's "200 nodes uses half the power of 400" hold).
+  Timeline(const MachineSpec& spec, int allocated_nodes);
+
+  /// Record that nodes [first_node, last_node) run at `utilization`
+  /// during [start, end). Spans may overlap in time on different nodes;
+  /// overlapping spans on the SAME node add their utilizations (capped
+  /// at 1 when integrating).
+  void add_span(const BusySpan& span);
+
+  /// Convenience: all allocated nodes busy at `utilization`.
+  void add_full_span(Seconds start, Seconds end, double utilization);
+
+  int allocated_nodes() const { return allocated_nodes_; }
+  const std::vector<BusySpan>& spans() const { return spans_; }
+
+  Seconds makespan() const;
+
+  /// Instantaneous utilization-weighted busy node count at time t.
+  double busy_node_equivalent(Seconds t) const;
+
+  /// Integrate the model into the meter's view of the run.
+  RunPowerReport report() const;
+
+private:
+  MachineSpec spec_;
+  int allocated_nodes_;
+  std::vector<BusySpan> spans_;
+};
+
+} // namespace eth::cluster

@@ -1,0 +1,88 @@
+#pragma once
+// Axis-aligned bounding boxes. Used for dataset extents, spatial
+// partitioning of proxy data across ranks, and as the BVH node bound in
+// the raycasting back-end.
+
+#include <limits>
+
+#include "common/vec.hpp"
+
+namespace eth {
+
+struct AABB {
+  Vec3f lo{std::numeric_limits<Real>::max(), std::numeric_limits<Real>::max(),
+           std::numeric_limits<Real>::max()};
+  Vec3f hi{std::numeric_limits<Real>::lowest(), std::numeric_limits<Real>::lowest(),
+           std::numeric_limits<Real>::lowest()};
+
+  /// An empty box absorbs any point/box it is extended by.
+  static constexpr AABB empty() { return AABB{}; }
+
+  static constexpr AABB of(Vec3f lo, Vec3f hi) { return AABB{lo, hi}; }
+
+  constexpr bool is_empty() const { return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z; }
+
+  void extend(Vec3f p) {
+    lo = eth::min(lo, p);
+    hi = eth::max(hi, p);
+  }
+
+  void extend(const AABB& b) {
+    if (b.is_empty()) return;
+    lo = eth::min(lo, b.lo);
+    hi = eth::max(hi, b.hi);
+  }
+
+  constexpr Vec3f center() const { return (lo + hi) * Real(0.5); }
+  constexpr Vec3f extent() const { return hi - lo; }
+
+  Real surface_area() const {
+    if (is_empty()) return Real(0);
+    const Vec3f e = extent();
+    return Real(2) * (e.x * e.y + e.y * e.z + e.z * e.x);
+  }
+
+  Real diagonal() const { return is_empty() ? Real(0) : length(extent()); }
+
+  constexpr bool contains(Vec3f p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  constexpr bool overlaps(const AABB& b) const {
+    return lo.x <= b.hi.x && hi.x >= b.lo.x && lo.y <= b.hi.y && hi.y >= b.lo.y &&
+           lo.z <= b.hi.z && hi.z >= b.lo.z;
+  }
+
+  /// Grow symmetrically by `margin` on all sides.
+  AABB inflated(Real margin) const {
+    AABB r = *this;
+    const Vec3f d{margin, margin, margin};
+    r.lo = r.lo - d;
+    r.hi = r.hi + d;
+    return r;
+  }
+
+  /// Widest axis: 0 = x, 1 = y, 2 = z. Empty boxes report axis 0.
+  int longest_axis() const {
+    const Vec3f e = extent();
+    if (e.x >= e.y && e.x >= e.z) return 0;
+    return e.y >= e.z ? 1 : 2;
+  }
+
+  /// Slab test: does ray o + t*d hit the box within [tmin, tmax]?
+  /// inv_d must be 1/d componentwise (callers precompute it per-ray).
+  bool hit(Vec3f o, Vec3f inv_d, Real tmin, Real tmax) const {
+    for (int a = 0; a < 3; ++a) {
+      Real t0 = (lo[a] - o[a]) * inv_d[a];
+      Real t1 = (hi[a] - o[a]) * inv_d[a];
+      if (inv_d[a] < Real(0)) { const Real tmp = t0; t0 = t1; t1 = tmp; }
+      tmin = t0 > tmin ? t0 : tmin;
+      tmax = t1 < tmax ? t1 : tmax;
+      if (tmax < tmin) return false;
+    }
+    return true;
+  }
+};
+
+} // namespace eth

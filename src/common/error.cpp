@@ -1,0 +1,13 @@
+#include "common/error.hpp"
+
+namespace eth {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw Error(message);
+  }
+}
+
+void fail(const std::string& message) { throw Error(message); }
+
+} // namespace eth

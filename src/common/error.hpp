@@ -1,0 +1,28 @@
+#pragma once
+// Error handling for ETH.
+//
+// Policy (per C++ Core Guidelines E.2/E.14): throw eth::Error for
+// violated preconditions and unrecoverable runtime failures; library code
+// never calls std::abort or exit. `require` is the single checked entry
+// point so that call sites read as contracts.
+
+#include <stdexcept>
+#include <string>
+
+namespace eth {
+
+/// Exception type thrown for all ETH library errors.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throw eth::Error with `message` when `condition` is false.
+/// Usage: require(n >= 0, "particle count must be non-negative");
+void require(bool condition, const std::string& message);
+
+/// Unconditionally raise an eth::Error (for unreachable branches and
+/// unsupported enum values).
+[[noreturn]] void fail(const std::string& message);
+
+} // namespace eth

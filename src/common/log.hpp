@@ -1,0 +1,42 @@
+#pragma once
+// Minimal leveled logger.
+//
+// ETH is a measurement harness, so logging must never perturb the thing
+// being measured: the logger formats into a local buffer and writes with
+// one locked stream operation, and disabled levels cost one atomic load.
+
+#include <sstream>
+#include <string>
+
+namespace eth {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn, so
+/// library code is silent in benchmarks unless the caller opts in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Write one line (thread-safe) if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_message(level, os.str());
+}
+} // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) { detail::log_fmt(LogLevel::kDebug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { detail::log_fmt(LogLevel::kInfo, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { detail::log_fmt(LogLevel::kWarn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { detail::log_fmt(LogLevel::kError, args...); }
+
+} // namespace eth

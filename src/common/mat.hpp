@@ -1,0 +1,179 @@
+#pragma once
+// 4x4 matrix type and the view/projection transform builders the
+// rendering back-ends share. Row-major storage; vectors are treated as
+// columns (v' = M * v), matching the OpenGL-style pipeline the paper's
+// geometry back-end assumes.
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/vec.hpp"
+
+namespace eth {
+
+struct Mat4 {
+  // m[row][col]
+  std::array<std::array<Real, 4>, 4> m{};
+
+  static constexpr Mat4 identity() {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i) r.m[i][i] = Real(1);
+    return r;
+  }
+
+  static constexpr Mat4 zero() { return Mat4{}; }
+
+  friend Mat4 operator*(const Mat4& a, const Mat4& b) {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) {
+        Real s = 0;
+        for (int k = 0; k < 4; ++k) s += a.m[i][k] * b.m[k][j];
+        r.m[i][j] = s;
+      }
+    return r;
+  }
+
+  friend Vec4f operator*(const Mat4& a, Vec4f v) {
+    Vec4f r;
+    for (int i = 0; i < 4; ++i)
+      r[i] = a.m[i][0] * v.x + a.m[i][1] * v.y + a.m[i][2] * v.z + a.m[i][3] * v.w;
+    return r;
+  }
+
+  friend bool operator==(const Mat4& a, const Mat4& b) { return a.m == b.m; }
+};
+
+/// Transform a point (w = 1) and perform the perspective divide.
+inline Vec3f transform_point(const Mat4& m, Vec3f p) {
+  const Vec4f h = m * Vec4f{p.x, p.y, p.z, Real(1)};
+  if (h.w == Real(0)) return {h.x, h.y, h.z};
+  return {h.x / h.w, h.y / h.w, h.z / h.w};
+}
+
+/// Transform a direction (w = 0, no translation, no divide).
+inline Vec3f transform_vector(const Mat4& m, Vec3f v) {
+  const Vec4f h = m * Vec4f{v.x, v.y, v.z, Real(0)};
+  return {h.x, h.y, h.z};
+}
+
+inline Mat4 translate(Vec3f t) {
+  Mat4 r = Mat4::identity();
+  r.m[0][3] = t.x; r.m[1][3] = t.y; r.m[2][3] = t.z;
+  return r;
+}
+
+inline Mat4 scale(Vec3f s) {
+  Mat4 r = Mat4::identity();
+  r.m[0][0] = s.x; r.m[1][1] = s.y; r.m[2][2] = s.z;
+  return r;
+}
+
+/// Rotation about an arbitrary unit axis by `radians` (Rodrigues).
+Mat4 rotate(Vec3f axis, Real radians);
+
+/// Right-handed look-at view matrix (camera at eye, looking at center).
+Mat4 look_at(Vec3f eye, Vec3f center, Vec3f up);
+
+/// Right-handed perspective projection; fovy in radians, depth mapped to
+/// [-1, 1] NDC like classic glFrustum.
+Mat4 perspective(Real fovy, Real aspect, Real znear, Real zfar);
+
+/// Orthographic projection onto [-1,1]^3 NDC.
+Mat4 orthographic(Real left, Real right, Real bottom, Real top, Real znear, Real zfar);
+
+/// General 4x4 inverse (Gauss-Jordan). Throws eth::Error when singular.
+Mat4 inverse(const Mat4& m);
+
+Mat4 transpose(const Mat4& m);
+
+inline Mat4 rotate(Vec3f axis, Real radians) {
+  const Vec3f a = normalize(axis);
+  const Real c = std::cos(radians), s = std::sin(radians), t = Real(1) - c;
+  Mat4 r = Mat4::identity();
+  r.m[0][0] = t * a.x * a.x + c;
+  r.m[0][1] = t * a.x * a.y - s * a.z;
+  r.m[0][2] = t * a.x * a.z + s * a.y;
+  r.m[1][0] = t * a.x * a.y + s * a.z;
+  r.m[1][1] = t * a.y * a.y + c;
+  r.m[1][2] = t * a.y * a.z - s * a.x;
+  r.m[2][0] = t * a.x * a.z - s * a.y;
+  r.m[2][1] = t * a.y * a.z + s * a.x;
+  r.m[2][2] = t * a.z * a.z + c;
+  return r;
+}
+
+inline Mat4 look_at(Vec3f eye, Vec3f center, Vec3f up) {
+  const Vec3f f = normalize(center - eye);
+  const Vec3f s = normalize(cross(f, up));
+  const Vec3f u = cross(s, f);
+  Mat4 r = Mat4::identity();
+  r.m[0][0] = s.x; r.m[0][1] = s.y; r.m[0][2] = s.z; r.m[0][3] = -dot(s, eye);
+  r.m[1][0] = u.x; r.m[1][1] = u.y; r.m[1][2] = u.z; r.m[1][3] = -dot(u, eye);
+  r.m[2][0] = -f.x; r.m[2][1] = -f.y; r.m[2][2] = -f.z; r.m[2][3] = dot(f, eye);
+  return r;
+}
+
+inline Mat4 perspective(Real fovy, Real aspect, Real znear, Real zfar) {
+  require(fovy > Real(0) && aspect > Real(0) && znear > Real(0) && zfar > znear,
+          "perspective: invalid frustum parameters");
+  const Real f = Real(1) / std::tan(fovy / Real(2));
+  Mat4 r = Mat4::zero();
+  r.m[0][0] = f / aspect;
+  r.m[1][1] = f;
+  r.m[2][2] = (zfar + znear) / (znear - zfar);
+  r.m[2][3] = (Real(2) * zfar * znear) / (znear - zfar);
+  r.m[3][2] = Real(-1);
+  return r;
+}
+
+inline Mat4 orthographic(Real left, Real right, Real bottom, Real top, Real znear, Real zfar) {
+  require(right != left && top != bottom && zfar != znear,
+          "orthographic: degenerate box");
+  Mat4 r = Mat4::identity();
+  r.m[0][0] = Real(2) / (right - left);
+  r.m[1][1] = Real(2) / (top - bottom);
+  r.m[2][2] = Real(-2) / (zfar - znear);
+  r.m[0][3] = -(right + left) / (right - left);
+  r.m[1][3] = -(top + bottom) / (top - bottom);
+  r.m[2][3] = -(zfar + znear) / (zfar - znear);
+  return r;
+}
+
+inline Mat4 transpose(const Mat4& m) {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) r.m[i][j] = m.m[j][i];
+  return r;
+}
+
+inline Mat4 inverse(const Mat4& m) {
+  // Gauss-Jordan with partial pivoting on an augmented [m | I] system.
+  std::array<std::array<double, 8>, 4> a{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) a[i][j] = m.m[i][j];
+    a[i][4 + i] = 1.0;
+  }
+  for (int col = 0; col < 4; ++col) {
+    int pivot = col;
+    for (int r2 = col + 1; r2 < 4; ++r2)
+      if (std::abs(a[r2][col]) > std::abs(a[pivot][col])) pivot = r2;
+    if (std::abs(a[pivot][col]) < 1e-12) fail("Mat4 inverse: singular matrix");
+    std::swap(a[col], a[pivot]);
+    const double inv = 1.0 / a[col][col];
+    for (int j = 0; j < 8; ++j) a[col][j] *= inv;
+    for (int r2 = 0; r2 < 4; ++r2) {
+      if (r2 == col) continue;
+      const double f = a[r2][col];
+      if (f == 0.0) continue;
+      for (int j = 0; j < 8; ++j) a[r2][j] -= f * a[col][j];
+    }
+  }
+  Mat4 out;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) out.m[i][j] = Real(a[i][4 + j]);
+  return out;
+}
+
+} // namespace eth

@@ -1,0 +1,82 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace eth {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const { return n_ > 0 ? m2_ / double(n_) : 0.0; }
+
+double RunningStats::sample_variance() const {
+  return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const Index n = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * double(n_) * double(other.n_) / double(n);
+  mean_ += delta * double(other.n_) / double(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * double(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - double(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+double rms_difference(const std::vector<double>& a, const std::vector<double>& b) {
+  require(a.size() == b.size(), "rms_difference: size mismatch");
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / double(a.size()));
+}
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo) {
+  require(bins > 0, "Histogram: need at least one bin");
+  require(hi > lo, "Histogram: hi must exceed lo");
+  width_ = (hi - lo) / bins;
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<long>(std::floor((x - lo_) / width_));
+  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1L);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+} // namespace eth

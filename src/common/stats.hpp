@@ -1,0 +1,66 @@
+#pragma once
+// Streaming statistics and simple series utilities used by the metrics
+// layer (power traces, per-rank time distributions, RMSE aggregation).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace eth {
+
+/// Welford online mean/variance with min/max tracking.
+class RunningStats {
+public:
+  void add(double x);
+
+  Index count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;       ///< population variance
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * double(n_); }
+
+  /// Merge another accumulator (Chan's parallel combination).
+  void merge(const RunningStats& other);
+
+  void clear() { *this = RunningStats{}; }
+
+private:
+  Index n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a copy of `values` (linear interpolation between ranks).
+/// p in [0, 100]. Empty input returns 0.
+double percentile(std::vector<double> values, double p);
+
+/// Root-mean-square difference of two equal-length series.
+double rms_difference(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values
+/// outside the range clamp into the edge buckets.
+class Histogram {
+public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  Index count() const { return total_; }
+  Index bin_count(int i) const { return counts_.at(static_cast<std::size_t>(i)); }
+  int bins() const { return static_cast<int>(counts_.size()); }
+  double bin_lo(int i) const { return lo_ + width_ * i; }
+  double bin_hi(int i) const { return lo_ + width_ * (i + 1); }
+
+private:
+  double lo_;
+  double width_;
+  std::vector<Index> counts_;
+  Index total_ = 0;
+};
+
+} // namespace eth

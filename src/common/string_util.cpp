@@ -1,0 +1,101 @@
+#include "common/string_util.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cerrno>
+
+#include "common/error.hpp"
+
+namespace eth {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  const char* ws = " \t\r\n";
+  const auto b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  const auto e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n < 0) {
+    va_end(args_copy);
+    fail("strprintf: formatting error");
+  }
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string format_bytes(Bytes bytes) {
+  const char* units[] = {"B", "kB", "MB", "GB", "TB", "PB"};
+  double v = double(bytes);
+  int u = 0;
+  while (v >= 1000.0 && u < 5) {
+    v /= 1000.0;
+    ++u;
+  }
+  if (u == 0) return strprintf("%llu B", static_cast<unsigned long long>(bytes));
+  return strprintf("%.2f %s", v, units[u]);
+}
+
+std::string format_seconds(double seconds) {
+  if (seconds < 0) return "-" + format_seconds(-seconds);
+  if (seconds < 1e-3) return strprintf("%.1f us", seconds * 1e6);
+  if (seconds < 1.0) return strprintf("%.0f ms", seconds * 1e3);
+  if (seconds < 120.0) return strprintf("%.2f s", seconds);
+  if (seconds < 7200.0) return strprintf("%.0fm%02.0fs", std::floor(seconds / 60.0),
+                                         seconds - 60.0 * std::floor(seconds / 60.0));
+  return strprintf("%.0fh%02.0fm", std::floor(seconds / 3600.0),
+                   (seconds - 3600.0 * std::floor(seconds / 3600.0)) / 60.0);
+}
+
+double parse_double(std::string_view s, std::string_view context) {
+  const std::string buf(trim(s));
+  require(!buf.empty(), std::string(context) + ": empty numeric field");
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf.c_str(), &end);
+  require(errno == 0 && end == buf.c_str() + buf.size(),
+          std::string(context) + ": malformed number '" + buf + "'");
+  return v;
+}
+
+Index parse_index(std::string_view s, std::string_view context) {
+  const std::string buf(trim(s));
+  require(!buf.empty(), std::string(context) + ": empty integer field");
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  require(errno == 0 && end == buf.c_str() + buf.size(),
+          std::string(context) + ": malformed integer '" + buf + "'");
+  return static_cast<Index>(v);
+}
+
+} // namespace eth

@@ -1,0 +1,35 @@
+#pragma once
+// String helpers shared by the IO layer, the layout-file protocol and the
+// results-table writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace eth {
+
+/// Split on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style convenience returning std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1.50 GB", "213 MB", "4.2 kB" style humanized byte counts.
+std::string format_bytes(Bytes bytes);
+
+/// "2h03m", "4m12s", "1.23 s", "470 ms" style humanized durations.
+std::string format_seconds(double seconds);
+
+/// Parse helpers that throw eth::Error with context on malformed input.
+double parse_double(std::string_view s, std::string_view context);
+Index parse_index(std::string_view s, std::string_view context);
+
+} // namespace eth

@@ -1,0 +1,31 @@
+#pragma once
+// Fundamental scalar and index types used throughout ETH.
+//
+// ETH follows the VTK convention of a wide signed index type for element
+// counts so that billion-element datasets (the paper's HACC runs use up to
+// 1e9 particles) index without overflow even on 32-bit builds.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eth {
+
+/// Signed 64-bit index for points, cells, pixels, ranks and nodes.
+using Index = std::int64_t;
+
+/// Default floating-point type for data values and geometry.
+/// Single precision matches what large-scale vis systems (VTK, OSPRay)
+/// move through their pipelines; accumulate in double where it matters.
+using Real = float;
+
+/// Byte count (files, messages, memory footprints).
+using Bytes = std::uint64_t;
+
+/// Simulated wall-clock seconds inside the cluster model.
+using Seconds = double;
+
+/// Watts / Joules in the power and energy models.
+using Watts = double;
+using Joules = double;
+
+} // namespace eth

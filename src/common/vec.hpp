@@ -1,0 +1,145 @@
+#pragma once
+// Small fixed-size vector types for geometry and color arithmetic.
+//
+// These are deliberately plain aggregates (trivially copyable, no virtual
+// anything) so that std::vector<Vec3f> is a tightly packed SoA-friendly
+// buffer the renderers can iterate with good cache behaviour, and so the
+// compiler's auto-vectorizer can see through every operation (the paper's
+// stack uses ISPC for this; we rely on -O2 auto-vectorization instead).
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/types.hpp"
+
+namespace eth {
+
+template <typename T>
+struct Vec2 {
+  T x{}, y{};
+
+  constexpr T& operator[](int i) { return i == 0 ? x : y; }
+  constexpr const T& operator[](int i) const { return i == 0 ? x : y; }
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, T s) { return {a.x * s, a.y * s}; }
+  friend constexpr Vec2 operator*(T s, Vec2 a) { return a * s; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+};
+
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr T& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend constexpr Vec3 operator-(Vec3 a) { return {-a.x, -a.y, -a.z}; }
+  friend constexpr Vec3 operator*(Vec3 a, T s) { return {a.x * s, a.y * s, a.z * s}; }
+  friend constexpr Vec3 operator*(T s, Vec3 a) { return a * s; }
+  friend constexpr Vec3 operator*(Vec3 a, Vec3 b) { return {a.x * b.x, a.y * b.y, a.z * b.z}; }
+  friend constexpr Vec3 operator/(Vec3 a, T s) { return {a.x / s, a.y / s, a.z / s}; }
+  friend constexpr Vec3 operator/(Vec3 a, Vec3 b) { return {a.x / b.x, a.y / b.y, a.z / b.z}; }
+  friend constexpr bool operator==(Vec3 a, Vec3 b) { return a.x == b.x && a.y == b.y && a.z == b.z; }
+
+  Vec3& operator+=(Vec3 b) { x += b.x; y += b.y; z += b.z; return *this; }
+  Vec3& operator-=(Vec3 b) { x -= b.x; y -= b.y; z -= b.z; return *this; }
+  Vec3& operator*=(T s) { x *= s; y *= s; z *= s; return *this; }
+};
+
+template <typename T>
+struct Vec4 {
+  T x{}, y{}, z{}, w{};
+
+  constexpr T& operator[](int i) {
+    switch (i) { case 0: return x; case 1: return y; case 2: return z; default: return w; }
+  }
+  constexpr const T& operator[](int i) const {
+    switch (i) { case 0: return x; case 1: return y; case 2: return z; default: return w; }
+  }
+
+  friend constexpr Vec4 operator+(Vec4 a, Vec4 b) { return {a.x + b.x, a.y + b.y, a.z + b.z, a.w + b.w}; }
+  friend constexpr Vec4 operator-(Vec4 a, Vec4 b) { return {a.x - b.x, a.y - b.y, a.z - b.z, a.w - b.w}; }
+  friend constexpr Vec4 operator*(Vec4 a, T s) { return {a.x * s, a.y * s, a.z * s, a.w * s}; }
+  friend constexpr Vec4 operator*(T s, Vec4 a) { return a * s; }
+  friend constexpr bool operator==(Vec4 a, Vec4 b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z && a.w == b.w;
+  }
+};
+
+using Vec2f = Vec2<Real>;
+using Vec3f = Vec3<Real>;
+using Vec4f = Vec4<Real>;
+using Vec2d = Vec2<double>;
+using Vec3d = Vec3<double>;
+using Vec3i = Vec3<Index>;
+
+template <typename T>
+constexpr T dot(Vec2<T> a, Vec2<T> b) { return a.x * b.x + a.y * b.y; }
+
+template <typename T>
+constexpr T dot(Vec3<T> a, Vec3<T> b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+template <typename T>
+constexpr T dot(Vec4<T> a, Vec4<T> b) { return a.x * b.x + a.y * b.y + a.z * b.z + a.w * b.w; }
+
+template <typename T>
+constexpr Vec3<T> cross(Vec3<T> a, Vec3<T> b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+template <typename T>
+T length(Vec3<T> a) { return std::sqrt(dot(a, a)); }
+
+template <typename T>
+constexpr T length2(Vec3<T> a) { return dot(a, a); }
+
+template <typename T>
+T length(Vec2<T> a) { return std::sqrt(dot(a, a)); }
+
+/// Normalize; returns the zero vector unchanged (renderers treat a zero
+/// normal as "unshaded" rather than propagating NaN through an image).
+template <typename T>
+Vec3<T> normalize(Vec3<T> a) {
+  const T len = length(a);
+  return len > T(0) ? a / len : a;
+}
+
+template <typename T>
+constexpr Vec3<T> min(Vec3<T> a, Vec3<T> b) {
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+
+template <typename T>
+constexpr Vec3<T> max(Vec3<T> a, Vec3<T> b) {
+  return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+template <typename T>
+constexpr Vec3<T> lerp(Vec3<T> a, Vec3<T> b, T t) { return a + (b - a) * t; }
+
+template <typename T>
+constexpr T lerp(T a, T b, T t) { return a + (b - a) * t; }
+
+template <typename T>
+constexpr T clamp(T v, T lo, T hi) { return v < lo ? lo : (v > hi ? hi : v); }
+
+template <typename T>
+constexpr Vec3<T> clamp(Vec3<T> v, T lo, T hi) {
+  return {clamp(v.x, lo, hi), clamp(v.y, lo, hi), clamp(v.z, lo, hi)};
+}
+
+/// Reflect direction `d` about unit normal `n`.
+template <typename T>
+constexpr Vec3<T> reflect(Vec3<T> d, Vec3<T> n) { return d - n * (T(2) * dot(d, n)); }
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, Vec3<T> v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+} // namespace eth

@@ -1,0 +1,34 @@
+#include "core/experiment.hpp"
+
+#include "common/error.hpp"
+
+namespace eth {
+
+const char* to_string(Application app) {
+  return app == Application::kHacc ? "hacc" : "xrage";
+}
+
+void ExperimentSpec::validate() const {
+  require(!name.empty(), "ExperimentSpec: name must not be empty");
+  require(timesteps > 0, "ExperimentSpec: need at least one timestep");
+  layout.validate();
+  machine.validate();
+  require(layout.nodes <= machine.total_nodes,
+          "ExperimentSpec: layout requests more nodes than the machine has");
+  require(layout.ranks >= 1, "ExperimentSpec: need at least one measurement rank");
+  require(layout.ranks <= 64,
+          "ExperimentSpec: more than 64 measurement ranks is never useful");
+  require(viz.images_per_timestep > 0, "ExperimentSpec: images_per_timestep > 0");
+  require(data_scale >= 1.0 && pixel_scale >= 1.0,
+          "ExperimentSpec: scale factors must be >= 1 (paper scale / executed scale)");
+  const bool particle = insitu::is_particle_algorithm(viz.algorithm);
+  require(particle == (application == Application::kHacc),
+          "ExperimentSpec: algorithm does not match the application's data kind");
+  require(transport_quantization_bits == 0 ||
+              (transport_quantization_bits >= 1 && transport_quantization_bits <= 24),
+          "ExperimentSpec: quantization bits must be 0 (off) or in [1, 24]");
+  if (use_disk_proxy)
+    require(!proxy_dir.empty(), "ExperimentSpec: disk proxy needs proxy_dir");
+}
+
+} // namespace eth

@@ -1,0 +1,93 @@
+#pragma once
+// ExperimentSpec / RunResult: the ETH public API surface.
+//
+// An experiment is one point in the paper's design space: an
+// application workload (what data), a visualization configuration
+// (which algorithm, how many images, what sampling), a job layout
+// (which coupling, how many nodes) and a machine. Harness::run executes
+// it and reports the paper's four metrics — performance, power, energy,
+// scalability inputs — plus image artifacts for quality (RMSE) studies.
+
+#include <optional>
+#include <string>
+
+#include "cluster/job.hpp"
+#include "cluster/machine.hpp"
+#include "cluster/timeline.hpp"
+#include "data/image.hpp"
+#include "insitu/viz.hpp"
+#include "sim/hacc_generator.hpp"
+#include "sim/xrage_generator.hpp"
+
+namespace eth {
+
+enum class Application { kHacc, kXrage };
+
+const char* to_string(Application app);
+
+struct ExperimentSpec {
+  std::string name = "experiment";
+  Application application = Application::kHacc;
+
+  /// Workload parameters; the one matching `application` is used.
+  sim::HaccParams hacc;
+  sim::XrageParams xrage;
+
+  /// Timesteps processed by the in-situ loop.
+  Index timesteps = 1;
+
+  /// Reproduction scale factors: the ratio between the PAPER's workload
+  /// and the one actually executed here. The utilization model sees
+  /// item counts multiplied by these, so node-saturation effects
+  /// (Finding 4) appear at the paper's scale even though the kernels
+  /// run scaled-down data. data_scale applies to element-derived item
+  /// counts (particles/cells), pixel_scale to ray/pixel-derived ones.
+  /// 1.0 = model the workload at its executed size.
+  double data_scale = 1.0;
+  double pixel_scale = 1.0;
+
+  insitu::VizConfig viz;
+  cluster::JobLayout layout;
+  cluster::MachineSpec machine = cluster::MachineSpec::hikari();
+
+  /// Lossy transport compression: quantize the sim->viz payload to
+  /// this many bits per value before the coupling hand-off (0 = off).
+  /// Applies to intercore/internode coupling; the transported byte
+  /// count and the reconstruction loss both show up in the metrics.
+  int transport_quantization_bits = 0;
+
+  /// Route datasets through the on-disk dump/proxy cycle (Figure 3's
+  /// faithful path) instead of generating in memory. Slower; used by
+  /// integration tests and examples.
+  bool use_disk_proxy = false;
+  std::string proxy_dir = "/tmp/eth_proxy";
+
+  /// Optional: write the composited image of every (timestep, image)
+  /// as PPM files into this directory.
+  std::string artifact_dir;
+
+  /// Throws eth::Error on inconsistent configuration.
+  void validate() const;
+};
+
+struct RunResult {
+  // ----- the paper's metrics (modelled machine)
+  Seconds exec_seconds = 0;          ///< Performance (§V-C)
+  Watts average_power = 0;           ///< Power
+  Watts average_dynamic_power = 0;   ///< Fig 9b's quantity
+  Joules energy = 0;                 ///< Energy
+  Joules dynamic_energy = 0;
+  std::vector<cluster::PowerSample> power_trace; ///< the 5 s meter
+
+  // ----- provenance
+  double measured_cpu_seconds = 0;   ///< raw host-side kernel time
+  cluster::PerfCounters counters;    ///< aggregated over all ranks
+  Bytes bytes_transferred = 0;       ///< sim->viz payload (all ranks/steps)
+
+  // ----- artifacts
+  /// Final composited image (last timestep, last camera) for quality
+  /// metrics.
+  std::optional<ImageBuffer> final_image;
+};
+
+} // namespace eth

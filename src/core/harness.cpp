@@ -1,0 +1,375 @@
+#include "core/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "common/timer.hpp"
+#include "data/compression.hpp"
+#include "data/point_set.hpp"
+#include "data/structured_grid.hpp"
+#include "insitu/transport.hpp"
+#include "parallel/minimpi.hpp"
+#include "render/compositor.hpp"
+#include "sim/dump.hpp"
+
+namespace eth {
+
+namespace {
+
+/// Representative modelled-node index for measurement rank `r` of `M`
+/// when the workload is split into `P` shares: spread evenly.
+int share_index(int r, int M, int P) {
+  return static_cast<int>(static_cast<long>(r) * P / M);
+}
+
+Index dataset_elements(const DataSet& ds) {
+  if (ds.kind() == DataSetKind::kStructuredGrid)
+    return static_cast<const StructuredGrid&>(ds).num_cells();
+  return ds.num_points();
+}
+
+/// Parallel items of the render phase, per algorithm (drives modelled
+/// node utilization; see model.hpp).
+Index render_items(const insitu::VizConfig& viz, Index working_elements,
+                   Index primitives_per_image) {
+  switch (viz.algorithm) {
+    case insitu::VizAlgorithm::kRaycastSpheres:
+    case insitu::VizAlgorithm::kRaycastVolume:
+    case insitu::VizAlgorithm::kRaycastDvr:
+      return viz.image_width * viz.image_height;
+    case insitu::VizAlgorithm::kVtkGeometry:
+      return primitives_per_image;
+    case insitu::VizAlgorithm::kGaussianSplat:
+    case insitu::VizAlgorithm::kVtkPoints:
+      return working_elements;
+  }
+  return working_elements;
+}
+
+} // namespace
+
+AABB Harness::global_bounds(const ExperimentSpec& spec) {
+  if (spec.application == Application::kHacc) {
+    const Real s = spec.hacc.box_size;
+    return AABB::of({0, 0, 0}, {s, s, s});
+  }
+  const Real spacing = spec.xrage.domain_size / Real(spec.xrage.dims.x - 1);
+  return AABB::of({0, 0, 0}, {spacing * Real(spec.xrage.dims.x - 1),
+                              spacing * Real(spec.xrage.dims.y - 1),
+                              spacing * Real(spec.xrage.dims.z - 1)});
+}
+
+Camera Harness::global_camera(const ExperimentSpec& spec) {
+  return Camera::framing(global_bounds(spec), normalize(Vec3f{-0.55f, -0.4f, -0.73f}));
+}
+
+std::unique_ptr<DataSet> Harness::produce_share(const ExperimentSpec& spec, int share,
+                                                int parts, Index timestep) {
+  if (spec.application == Application::kHacc) {
+    sim::HaccParams params = spec.hacc;
+    params.timestep = timestep;
+    return sim::generate_hacc_rank(params, share, parts);
+  }
+  sim::XrageParams params = spec.xrage;
+  params.timestep = timestep;
+  if (parts == 1) return sim::generate_xrage(params);
+  const auto [lo, hi] = sim::grid_block_range(params.dims, share, parts);
+  return sim::generate_xrage_block(params, lo, hi);
+}
+
+ImageBuffer Harness::render_reference(const ExperimentSpec& spec) {
+  const std::unique_ptr<DataSet> data = produce_share(spec, 0, 1, 0);
+  insitu::VizConfig cfg = spec.viz;
+  cfg.images_per_timestep = 1;
+  insitu::VizRankOutput out = insitu::run_viz_rank(*data, cfg, global_camera(spec));
+  return std::move(out.images.front());
+}
+
+RunResult Harness::run(const ExperimentSpec& spec) const {
+  spec.validate();
+  const int M = spec.layout.ranks;
+  const int P_sim = spec.layout.sim_nodes();
+  const int P_viz = spec.layout.viz_node_count();
+  const bool internode = spec.layout.coupling == cluster::Coupling::kInternode;
+  const Camera base_camera = global_camera(spec);
+
+  if (!spec.artifact_dir.empty())
+    std::filesystem::create_directories(spec.artifact_dir);
+
+  // Figure 3's "preliminary run of the simulation": when the disk proxy
+  // is active, the instrumented-simulation dump happens up front and is
+  // NOT part of the measured in-situ loop; only the proxy's read is.
+  if (spec.use_disk_proxy) {
+    const sim::DumpWriter sim_writer(spec.proxy_dir, spec.name + "_sim");
+    const sim::DumpWriter viz_writer(spec.proxy_dir, spec.name + "_viz");
+    for (Index t = 0; t < spec.timesteps; ++t) {
+      if (spec.application == Application::kHacc) {
+        // Particle slabs are filtered views of one stream: generate the
+        // timestep once and slice it per measured rank.
+        const std::unique_ptr<DataSet> full = produce_share(spec, 0, 1, t);
+        const auto& points = static_cast<const PointSet&>(*full);
+        for (int r = 0; r < M; ++r) {
+          sim_writer.write(sim::extract_hacc_slab(points, spec.hacc.box_size,
+                                                  share_index(r, M, P_sim), P_sim),
+                           t, r);
+          if (internode && P_sim != P_viz)
+            viz_writer.write(sim::extract_hacc_slab(points, spec.hacc.box_size,
+                                                    share_index(r, M, P_viz), P_viz),
+                             t, r);
+        }
+      } else {
+        // Grid blocks evaluate analytically: direct per-share synthesis.
+        for (int r = 0; r < M; ++r) {
+          sim_writer.write(*produce_share(spec, share_index(r, M, P_sim), P_sim, t), t,
+                           r);
+          if (internode && P_sim != P_viz)
+            viz_writer.write(*produce_share(spec, share_index(r, M, P_viz), P_viz, t),
+                             t, r);
+        }
+      }
+    }
+  }
+
+  std::vector<core::RankReport> reports(static_cast<std::size_t>(M));
+  ImageBuffer final_image;
+  Bytes transferred_total = 0;
+  std::mutex harness_mutex;
+
+  mpi::run_world(M, [&](mpi::Comm& comm) {
+    const int r = comm.rank();
+    core::RankReport report;
+    Bytes rank_transferred = 0;
+
+    for (Index t = 0; t < spec.timesteps; ++t) {
+      // ---- 1. simulation proxy produces this modelled node's share:
+      // a disk read of the preliminary dump ("reads the simulation data
+      // into memory and presents it ... as if by the simulation
+      // itself"), or an in-memory synthesis when no proxy dir is used.
+      ThreadCpuTimer gen_timer;
+      std::unique_ptr<DataSet> sim_data;
+      if (spec.use_disk_proxy) {
+        const sim::SimulationProxy proxy(spec.proxy_dir, spec.name + "_sim");
+        sim_data = proxy.load(t, r);
+      } else {
+        sim_data = produce_share(spec, share_index(r, M, P_sim), P_sim, t);
+      }
+      auto& gen_phase = report.phases["generate"];
+      gen_phase.cpu_seconds += gen_timer.elapsed();
+      gen_phase.parallel_items = std::max(
+          gen_phase.parallel_items,
+          Index(double(dataset_elements(*sim_data)) * spec.data_scale));
+
+      // ---- 2. coupling hand-off.
+      std::unique_ptr<DataSet> viz_data;
+      if (spec.layout.coupling == cluster::Coupling::kTight) {
+        // Merged process: the visualization consumes the simulation's
+        // buffers directly.
+        viz_data = std::move(sim_data);
+      } else {
+        // Internode redistributes sim shares (1/P_sim each) into viz
+        // shares (1/P_viz each); the modelled exchange is charged by
+        // the interconnect model, and here the receiving side
+        // materializes its share directly.
+        if (internode && P_sim != P_viz) {
+          if (spec.use_disk_proxy) {
+            const sim::SimulationProxy proxy(spec.proxy_dir, spec.name + "_viz");
+            sim_data = proxy.load(t, r);
+          } else {
+            sim_data = produce_share(spec, share_index(r, M, P_viz), P_viz, t);
+          }
+        }
+        // Real serialize -> copy -> deserialize through the channel
+        // (optionally quantized: the paper's compression technique as
+        // an in-situ parameter); CPU cost lands in the "transfer"
+        // phase (informational) and the byte count feeds the
+        // interconnect model.
+        ThreadCpuTimer xfer_timer;
+        auto [sim_end, viz_end] = insitu::make_inproc_channel();
+        if (spec.transport_quantization_bits > 0) {
+          sim_end->send(compress_dataset(*sim_data, spec.transport_quantization_bits));
+          viz_data = decompress_dataset(viz_end->recv());
+        } else {
+          sim_end->send_dataset(*sim_data);
+          viz_data = viz_end->recv_dataset();
+        }
+        report.phases["transfer"].cpu_seconds += xfer_timer.elapsed();
+        rank_transferred += sim_end->bytes_sent();
+        report.dataset_bytes = std::max(report.dataset_bytes, Bytes(sim_end->bytes_sent()));
+        sim_data.reset();
+      }
+
+      // ---- 3. visualization proxy. All ranks must color on the same
+      // scale for partial images to composite, so the active scalar's
+      // range is allreduced across ranks first (unless the spec pinned
+      // one explicitly).
+      insitu::VizConfig rank_cfg = spec.viz;
+      rank_cfg.timestep = t; // drives the per-timestep plane/iso phase
+      if (!rank_cfg.has_explicit_scalar_range()) {
+        const std::string& field_name =
+            insitu::is_particle_algorithm(rank_cfg.algorithm)
+                ? rank_cfg.particle_scalar
+                : rank_cfg.volume_field;
+        if (!field_name.empty() && viz_data->point_fields().has(field_name)) {
+          const auto [lo, hi] = viz_data->point_fields().get(field_name).range();
+          rank_cfg.scalar_range_lo =
+              Real(comm.allreduce_scalar(lo, mpi::ReduceOp::kMin));
+          rank_cfg.scalar_range_hi =
+              Real(comm.allreduce_scalar(hi, mpi::ReduceOp::kMax));
+        }
+      }
+      insitu::VizRankOutput viz_out =
+          insitu::run_viz_rank(*viz_data, rank_cfg, base_camera);
+      for (const char* phase : {"sample", "extract", "build", "render"}) {
+        const double cpu = viz_out.counters.phases.get(phase);
+        if (cpu <= 0) continue;
+        auto& slot = report.phases[phase];
+        slot.cpu_seconds += cpu;
+      }
+      // Item counts enter the utilization model at PAPER scale.
+      const auto data_items = [&](Index items) {
+        return Index(double(items) * spec.data_scale);
+      };
+      report.phases["sample"].parallel_items = data_items(viz_out.input_elements);
+      report.phases["extract"].parallel_items = data_items(viz_out.working_elements);
+      report.phases["build"].parallel_items = data_items(viz_out.working_elements);
+      const Index prims_per_image =
+          viz_out.counters.primitives_emitted /
+          std::max<Index>(1, spec.viz.images_per_timestep);
+      const bool pixel_bound =
+          spec.viz.algorithm == insitu::VizAlgorithm::kRaycastSpheres ||
+          spec.viz.algorithm == insitu::VizAlgorithm::kRaycastVolume ||
+          spec.viz.algorithm == insitu::VizAlgorithm::kRaycastDvr;
+      const Index raw_render_items =
+          render_items(spec.viz, viz_out.working_elements, prims_per_image);
+      report.phases["render"].parallel_items =
+          pixel_bound ? Index(double(raw_render_items) * spec.pixel_scale)
+                      : data_items(raw_render_items);
+      report.counters.merge(viz_out.counters);
+
+      // ---- 4. composite each image at rank 0 over minimpi. Opaque
+      // pipelines merge by depth (order-independent); the DVR pipeline's
+      // premultiplied partials must blend in view order, so ranks first
+      // share their partition's eye distance.
+      const bool ordered_alpha =
+          spec.viz.algorithm == insitu::VizAlgorithm::kRaycastDvr;
+      std::vector<std::size_t> view_order_indices;
+      if (ordered_alpha) {
+        const double my_dist =
+            double(length(viz_data->bounds().center() - base_camera.eye()));
+        const auto dist_bytes = comm.gather(
+            std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(&my_dist), sizeof my_dist),
+            0);
+        if (r == 0) {
+          std::vector<double> dists(static_cast<std::size_t>(M));
+          for (int src = 0; src < M; ++src)
+            std::memcpy(&dists[static_cast<std::size_t>(src)],
+                        dist_bytes[static_cast<std::size_t>(src)].data(),
+                        sizeof(double));
+          view_order_indices.resize(static_cast<std::size_t>(M));
+          std::iota(view_order_indices.begin(), view_order_indices.end(),
+                    std::size_t(0));
+          std::sort(view_order_indices.begin(), view_order_indices.end(),
+                    [&](std::size_t a, std::size_t b) { return dists[a] < dists[b]; });
+        }
+      }
+
+      for (std::size_t img = 0; img < viz_out.images.size(); ++img) {
+        const std::vector<std::uint8_t> packed = pack_image(viz_out.images[img]);
+        report.image_bytes = std::max(report.image_bytes, Bytes(packed.size()));
+        const auto gathered = comm.gather(packed, 0);
+        report.counters.bytes_communicated += packed.size();
+        if (r != 0) continue;
+
+        ThreadCpuTimer comp_timer;
+        ImageBuffer merged;
+        if (ordered_alpha) {
+          std::vector<ImageBuffer> partials;
+          partials.reserve(static_cast<std::size_t>(M));
+          partials.push_back(std::move(viz_out.images[img]));
+          for (int src = 1; src < M; ++src)
+            partials.push_back(unpack_image(gathered[static_cast<std::size_t>(src)]));
+          merged = ImageBuffer(partials[0].width(), partials[0].height());
+          merged.clear({0, 0, 0, 0});
+          alpha_composite_premultiplied(partials, view_order_indices, merged,
+                                        report.counters);
+        } else {
+          merged = std::move(viz_out.images[img]);
+          for (int src = 1; src < M; ++src) {
+            const ImageBuffer partial =
+                unpack_image(gathered[static_cast<std::size_t>(src)]);
+            depth_composite_pair(merged, partial, report.counters);
+          }
+        }
+        auto& comp_phase = report.phases["composite"];
+        comp_phase.cpu_seconds += comp_timer.elapsed();
+        comp_phase.parallel_items =
+            Index(double(merged.num_pixels()) * spec.pixel_scale);
+
+        if (!spec.artifact_dir.empty()) {
+          ThreadCpuTimer write_timer;
+          merged.write_ppm(spec.artifact_dir + "/" + spec.name +
+                           strprintf("_t%03lld_i%03zu.ppm", static_cast<long long>(t),
+                                     img));
+          report.phases["write"].cpu_seconds += write_timer.elapsed();
+        }
+        if (t == spec.timesteps - 1 && img + 1 == viz_out.images.size()) {
+          std::lock_guard<std::mutex> lock(harness_mutex);
+          final_image = std::move(merged);
+        }
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(harness_mutex);
+      reports[static_cast<std::size_t>(r)] = std::move(report);
+      transferred_total += rank_transferred;
+    }
+  });
+
+  // ---- aggregate measurements and map onto the modelled machine.
+  RunResult result;
+  for (const core::RankReport& report : reports) {
+    result.counters.merge(report.counters);
+    for (const auto& [name, sample] : report.phases)
+      result.measured_cpu_seconds += sample.cpu_seconds;
+  }
+  // Scale per-rank transfer volume to the full modelled node count.
+  result.bytes_transferred =
+      transferred_total / static_cast<Bytes>(std::max(1, M)) *
+      static_cast<Bytes>(internode ? P_viz : spec.layout.nodes);
+
+  const core::NodePhaseTimes times =
+      core::reduce_reports(reports, spec.machine, options_);
+  if (std::getenv("ETH_MODEL_DEBUG") != nullptr) {
+    std::fprintf(stderr,
+                 "[eth model] %s: gen=%.4fs(u=%.2f) viz=%.4fs(u=%.2f) "
+                 "comp=%.4fs write=%.4fs data=%s image=%s\n",
+                 spec.name.c_str(), times.generate, times.generate_utilization,
+                 times.viz_compute, times.viz_utilization, times.root_composite,
+                 times.root_write, format_bytes(times.dataset_bytes).c_str(),
+                 format_bytes(times.image_bytes).c_str());
+  }
+  const cluster::Timeline timeline =
+      core::compose_timeline(times, spec.layout, spec.machine, options_,
+                             spec.timesteps, spec.viz.images_per_timestep,
+                             options_.direct_send_composite);
+  const cluster::RunPowerReport power = timeline.report();
+
+  result.exec_seconds = power.makespan;
+  result.average_power = power.average_power;
+  result.average_dynamic_power = power.average_dynamic_power;
+  result.energy = power.energy;
+  result.dynamic_energy = power.dynamic_energy;
+  result.power_trace = power.trace;
+  if (final_image.num_pixels() > 0) result.final_image = std::move(final_image);
+  return result;
+}
+
+} // namespace eth

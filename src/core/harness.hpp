@@ -1,0 +1,55 @@
+#pragma once
+// Harness: executes one ExperimentSpec end to end.
+//
+// Execution model (DESIGN.md §4.1): the spec's `layout.ranks`
+// measurement ranks run as minimpi threads. Each plays one
+// REPRESENTATIVE modelled node: it produces/loads exactly the data
+// share one node of the modelled allocation would hold (1/sim_nodes of
+// the workload for the simulation proxy, 1/viz_nodes for the
+// visualization proxy), moves it across the configured coupling with a
+// real serialize/copy, runs the real visualization kernels, and
+// composites partial images over minimpi. Measured per-phase CPU times
+// then drive the cluster model, which produces the paper's metrics at
+// full modelled scale.
+//
+// Representative shares are spread across the domain (share index
+// r * P / M), so spatial load imbalance — e.g. HACC halos clustering in
+// some slabs — is captured by the max-over-ranks reduction.
+
+#include "core/experiment.hpp"
+#include "core/model.hpp"
+
+namespace eth {
+
+class Harness {
+public:
+  explicit Harness(core::ModelOptions options = {}) : options_(options) {}
+
+  const core::ModelOptions& options() const { return options_; }
+
+  /// Run the experiment; throws eth::Error on misconfiguration.
+  RunResult run(const ExperimentSpec& spec) const;
+
+  /// The camera every rank derives its image sequence from: framed on
+  /// the workload's analytic global bounds, so it is identical across
+  /// ranks, couplings, sampling ratios and algorithms.
+  static Camera global_camera(const ExperimentSpec& spec);
+
+  /// Analytic bounds of the full workload (no data generation needed).
+  static AABB global_bounds(const ExperimentSpec& spec);
+
+  /// Produce share `share` of `parts` of the workload at `timestep` —
+  /// the simulation proxy's per-node data.
+  static std::unique_ptr<DataSet> produce_share(const ExperimentSpec& spec, int share,
+                                                int parts, Index timestep);
+
+  /// Render the complete dataset on a single rank into one image (the
+  /// last camera of the first timestep) — the quality-metric reference
+  /// used by RMSE studies (Table II).
+  static ImageBuffer render_reference(const ExperimentSpec& spec);
+
+private:
+  core::ModelOptions options_;
+};
+
+} // namespace eth

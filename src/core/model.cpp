@@ -1,0 +1,194 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "cluster/power.hpp"
+
+namespace eth::core {
+
+namespace {
+
+/// Sum of cpu seconds over the viz-side phases of a report.
+constexpr const char* kVizPhases[] = {"sample", "extract", "build", "render"};
+
+PhaseSample get_phase(const RankReport& report, const std::string& name) {
+  const auto it = report.phases.find(name);
+  return it != report.phases.end() ? it->second : PhaseSample{};
+}
+
+} // namespace
+
+NodePhaseTimes reduce_reports(const std::vector<RankReport>& reports,
+                              const cluster::MachineSpec& machine,
+                              const ModelOptions& options) {
+  require(!reports.empty(), "reduce_reports: no rank reports");
+
+  NodePhaseTimes out;
+  double composite_cpu = 0;
+
+  // Utilizations are cpu-weighted means across ALL ranks and phases:
+  // every allocated node draws power, not just the critical-path one.
+  double gen_util_weighted = 0, gen_time_sum = 0;
+  double viz_util_weighted = 0, viz_time_sum = 0;
+
+  for (const RankReport& report : reports) {
+    // --- simulation side
+    const PhaseSample gen = get_phase(report, "generate");
+    const double u_gen = cluster::utilization_for_items(
+        machine, gen.parallel_items, options.saturation_items_per_core);
+    const Seconds t_gen = cluster::node_compute_time(machine, gen.cpu_seconds);
+    out.generate = std::max(out.generate, t_gen);
+    gen_util_weighted += u_gen * t_gen;
+    gen_time_sum += t_gen;
+
+    // --- visualization side
+    Seconds viz_node_time = 0;
+    for (const char* phase : kVizPhases) {
+      const PhaseSample s = get_phase(report, phase);
+      if (s.cpu_seconds <= 0) continue;
+      const double u = cluster::utilization_for_items(machine, s.parallel_items,
+                                                      options.saturation_items_per_core);
+      const Seconds t = cluster::node_compute_time(machine, s.cpu_seconds);
+      viz_node_time += t;
+      viz_util_weighted += u * t;
+      viz_time_sum += t;
+    }
+    out.viz_compute = std::max(out.viz_compute, viz_node_time);
+
+    const PhaseSample comp = get_phase(report, "composite");
+    composite_cpu = std::max(composite_cpu, comp.cpu_seconds);
+
+    out.dataset_bytes = std::max(out.dataset_bytes, report.dataset_bytes);
+    out.image_bytes = std::max(out.image_bytes, report.image_bytes);
+  }
+  out.generate_utilization = gen_time_sum > 0 ? gen_util_weighted / gen_time_sum : 1.0;
+  out.viz_utilization = viz_time_sum > 0 ? viz_util_weighted / viz_time_sum : 1.0;
+
+  // Binary-swap compositing: every node blends ~2 full images' worth of
+  // pixels regardless of node count. The rank measurement covers
+  // (ranks - 1) full-image merges; rescale to 2. With a single
+  // measurement rank there is nothing to scale from; fall back to a
+  // per-pixel cost estimate.
+  const int measured_merges = static_cast<int>(reports.size()) - 1;
+  const double modelled_merges = 2.0;
+  double composite_cpu_scaled;
+  if (measured_merges > 0 && composite_cpu > 0) {
+    composite_cpu_scaled = composite_cpu * modelled_merges / double(measured_merges);
+  } else {
+    // ~2 ns per pixel per merge (depth test + conditional copy).
+    const double pixels = double(out.image_bytes) / double(sizeof(float) * 5);
+    composite_cpu_scaled = pixels * modelled_merges * 2e-9;
+  }
+  out.root_composite = cluster::node_compute_time(machine, composite_cpu_scaled);
+  // The artifact on disk is the 3-bytes-per-pixel image, not the
+  // 20-bytes-per-pixel packed color+depth exchange format.
+  out.root_write =
+      double(out.image_bytes) * (3.0 / 20.0) / options.write_bandwidth_bytes_per_s;
+  return out;
+}
+
+cluster::Timeline compose_timeline(const NodePhaseTimes& times,
+                                   const cluster::JobLayout& layout,
+                                   const cluster::MachineSpec& machine,
+                                   const ModelOptions& options, Index timesteps,
+                                   Index images_per_timestep,
+                                   bool direct_send_composite) {
+  layout.validate();
+  require(timesteps > 0, "compose_timeline: need at least one timestep");
+  cluster::Timeline timeline(machine, layout.nodes);
+  const cluster::InterconnectModel net(machine);
+
+  // Per-timestep quantities (reports hold run totals).
+  const double steps = double(timesteps);
+  const Seconds gen = times.generate / steps;
+  Seconds viz = times.viz_compute / steps;
+  // root_composite is normalized to binary swap's ~2 merges per node;
+  // direct send makes the root alone perform all (viz_nodes - 1)
+  // merges.
+  Seconds comp = times.root_composite / steps;
+  if (direct_send_composite)
+    comp *= double(std::max(1, layout.viz_node_count() - 1)) / 2.0;
+  const Seconds write = times.root_write * double(images_per_timestep);
+  const int viz_nodes = layout.viz_node_count();
+  // Image-combination network time, every image of the timestep:
+  // binary swap for the optimized path, or a direct-send gather whose
+  // root link serializes over all senders.
+  const Seconds swap =
+      (direct_send_composite
+           ? net.incast_time(times.image_bytes, std::max(0, viz_nodes - 1))
+           : net.binary_swap_time(times.image_bytes, viz_nodes)) *
+      double(images_per_timestep);
+
+  switch (layout.coupling) {
+    case cluster::Coupling::kTight:
+      viz *= 1.0 + options.tight_interference;
+      [[fallthrough]];
+    case cluster::Coupling::kIntercore: {
+      const bool intercore = layout.coupling == cluster::Coupling::kIntercore;
+      const Seconds copy = intercore ? net.shm_copy_time(times.dataset_bytes) : 0.0;
+      Seconds t = 0;
+      for (Index step = 0; step < timesteps; ++step) {
+        timeline.add_full_span(t, t + gen, times.generate_utilization);
+        t += gen;
+        if (copy > 0) {
+          timeline.add_full_span(t, t + copy, options.copy_utilization);
+          t += copy;
+        }
+        timeline.add_full_span(t, t + viz, times.viz_utilization);
+        t += viz;
+        // Compositing: binary swap blends on every node concurrently;
+        // direct send blends on the root alone while the others wait.
+        // The exchange itself is network-bound (no busy span).
+        if (direct_send_composite)
+          timeline.add_span(cluster::BusySpan{t, t + comp, 0, 1, 1.0});
+        else
+          timeline.add_full_span(t, t + comp, 1.0);
+        t += comp + swap;
+        timeline.add_span(cluster::BusySpan{t, t + write, 0, 1, 1.0});
+        t += write;
+      }
+      break;
+    }
+    case cluster::Coupling::kInternode: {
+      // Space-shared, software-pipelined: the simulation partition
+      // produces timestep s while the visualization partition renders
+      // timestep s-1.
+      const int sim_nodes = layout.sim_nodes();
+      const int viz_first = layout.viz_first_node();
+      const Seconds xfer =
+          net.pairwise_exchange_time(times.dataset_bytes, std::min(sim_nodes, viz_nodes));
+      Seconds sim_free = 0;
+      Seconds viz_free = 0;
+      Seconds end = 0;
+      for (Index step = 0; step < timesteps; ++step) {
+        const Seconds sim_start = sim_free;
+        const Seconds sim_end = sim_start + gen;
+        timeline.add_span(cluster::BusySpan{sim_start, sim_end, 0, sim_nodes,
+                                            times.generate_utilization});
+        sim_free = sim_end; // double-buffered: next step can start
+
+        const Seconds data_ready = sim_end + xfer;
+        const Seconds viz_start = std::max(viz_free, data_ready);
+        const Seconds viz_end = viz_start + viz;
+        timeline.add_span(cluster::BusySpan{viz_start, viz_end, viz_first,
+                                            layout.nodes, times.viz_utilization});
+        // Composite inside the viz partition, then the partition's
+        // first node writes the artifact.
+        timeline.add_span(cluster::BusySpan{
+            viz_end, viz_end + comp, viz_first,
+            direct_send_composite ? viz_first + 1 : layout.nodes, 1.0});
+        const Seconds comp_end = viz_end + comp + swap + write;
+        timeline.add_span(cluster::BusySpan{comp_end - write, comp_end, viz_first,
+                                            viz_first + 1, 1.0});
+        viz_free = comp_end;
+        end = comp_end;
+      }
+      (void)end;
+      break;
+    }
+  }
+  return timeline;
+}
+
+} // namespace eth::core

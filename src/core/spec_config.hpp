@@ -1,0 +1,43 @@
+#pragma once
+// Experiment configuration files.
+//
+// The paper's §VII workflow generalized: "The job layout ... is
+// specified in a separate file ... For subsequent exploration of a
+// different layout, the user simply changes the job layout file." ETH
+// configs describe the WHOLE experiment, and any key may list several
+// values — the parser expands the Cartesian product into a labeled
+// sweep, ready for run_sweep().
+//
+// Format: one `key value [value...]` per line, '#' comments.
+//
+//   # hacc_sweep.eth.cfg
+//   application hacc
+//   particles 100000
+//   algorithm raycast-spheres gaussian-splat vtk-points
+//   coupling intercore
+//   nodes 100 400
+//   sampling 1.0 0.25
+//   images 4
+//
+// expands to 3 x 2 x 2 = 12 experiments.
+
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace eth {
+
+/// Parse a config into sweep points (base spec x Cartesian product of
+/// every multi-valued key). Throws eth::Error with the offending line
+/// on malformed input.
+std::vector<SweepPoint> parse_experiment_config(const std::string& text);
+
+/// Load and parse a config file.
+std::vector<SweepPoint> load_experiment_config(const std::string& path);
+
+/// The keys the parser understands, with value descriptions (for the
+/// explorer tool's --help).
+std::string experiment_config_reference();
+
+} // namespace eth

@@ -1,0 +1,32 @@
+#include "core/sweep.hpp"
+
+namespace eth {
+
+std::vector<SweepOutcome> run_sweep(
+    const Harness& harness, const std::vector<SweepPoint>& points,
+    const std::function<void(const SweepOutcome&)>& on_result) {
+  std::vector<SweepOutcome> outcomes;
+  outcomes.reserve(points.size());
+  for (const SweepPoint& point : points) {
+    SweepOutcome outcome{point.label, harness.run(point.spec)};
+    if (on_result) on_result(outcome);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+ResultTable metrics_table(const std::string& label_column,
+                          const std::vector<SweepOutcome>& outcomes) {
+  ResultTable table({label_column, "time_s", "power_kW", "dyn_power_kW", "energy_MJ"});
+  for (const SweepOutcome& o : outcomes) {
+    table.begin_row();
+    table.add_cell(o.label);
+    table.add_cell(o.result.exec_seconds, "%.2f");
+    table.add_cell(o.result.average_power / 1e3, "%.2f");
+    table.add_cell(o.result.average_dynamic_power / 1e3, "%.2f");
+    table.add_cell(o.result.energy / 1e6, "%.3f");
+  }
+  return table;
+}
+
+} // namespace eth

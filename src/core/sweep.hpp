@@ -1,0 +1,55 @@
+#pragma once
+// Parameter-space sweeps: the "rapid design-space exploration" loop.
+// Build a list of labeled experiment variants (vary one knob per
+// sweep), run them all, and collect the results for tabulation —
+// exactly the workflow of the paper's Figures 8-15.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/harness.hpp"
+#include "core/table.hpp"
+
+namespace eth {
+
+struct SweepPoint {
+  std::string label;
+  ExperimentSpec spec;
+};
+
+struct SweepOutcome {
+  std::string label;
+  RunResult result;
+};
+
+/// Run every point in order (deterministic). `on_result`, when set, is
+/// called after each point (progress reporting in long benches).
+std::vector<SweepOutcome> run_sweep(
+    const Harness& harness, const std::vector<SweepPoint>& points,
+    const std::function<void(const SweepOutcome&)>& on_result = {});
+
+/// Build a sweep by applying `mutate(value, spec)` to a base spec for
+/// each value in `values`; labels via `label(value)`.
+template <typename T>
+std::vector<SweepPoint> sweep_over(const ExperimentSpec& base,
+                                   const std::vector<T>& values,
+                                   const std::function<std::string(const T&)>& label,
+                                   const std::function<void(const T&, ExperimentSpec&)>& mutate) {
+  std::vector<SweepPoint> points;
+  points.reserve(values.size());
+  for (const T& value : values) {
+    SweepPoint point{label(value), base};
+    mutate(value, point.spec);
+    point.spec.name = base.name + "-" + point.label;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+/// Standard metrics table over sweep outcomes: label, time, power,
+/// dynamic power, energy.
+ResultTable metrics_table(const std::string& label_column,
+                          const std::vector<SweepOutcome>& outcomes);
+
+} // namespace eth

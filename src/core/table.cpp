@@ -1,0 +1,104 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace eth {
+
+ResultTable::ResultTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  require(!columns_.empty(), "ResultTable: need at least one column");
+}
+
+void ResultTable::begin_row() {
+  if (!rows_.empty())
+    require(rows_.back().size() == columns_.size(),
+            "ResultTable: previous row is incomplete");
+  rows_.emplace_back();
+}
+
+void ResultTable::add_cell(const std::string& value) {
+  require(!rows_.empty(), "ResultTable: begin_row first");
+  require(rows_.back().size() < columns_.size(), "ResultTable: row overflow");
+  rows_.back().push_back(value);
+}
+
+void ResultTable::add_cell(double value, const char* fmt) {
+  add_cell(strprintf(fmt, value));
+}
+
+void ResultTable::add_cell(Index value) {
+  add_cell(strprintf("%lld", static_cast<long long>(value)));
+}
+
+const std::string& ResultTable::cell(std::size_t row, std::size_t col) const {
+  require(row < rows_.size() && col < rows_[row].size(),
+          "ResultTable: cell out of range");
+  return rows_[row][col];
+}
+
+std::string ResultTable::to_text() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      out += "| ";
+      out += v;
+      out.append(widths[c] - v.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  emit_row(columns_);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out += "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string ResultTable::to_csv() const {
+  const auto quote = [](const std::string& v) {
+    if (v.find_first_of(",\"\n") == std::string::npos) return v;
+    std::string q = "\"";
+    for (const char ch : v) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out += ',';
+    out += quote(columns_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += quote(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void ResultTable::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  require(f.good(), "ResultTable::save_csv: cannot open '" + path + "'");
+  f << to_csv();
+  require(f.good(), "ResultTable::save_csv: write failed for '" + path + "'");
+}
+
+} // namespace eth

@@ -1,0 +1,39 @@
+#pragma once
+// ResultTable: the harness's tabular output — what the paper's tables
+// and figure series are printed as. Fixed columns, typed cells, aligned
+// text rendering for the terminal and CSV for plotting.
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace eth {
+
+class ResultTable {
+public:
+  explicit ResultTable(std::vector<std::string> columns);
+
+  /// Begin a new row; then append cells in column order.
+  void begin_row();
+  void add_cell(const std::string& value);
+  void add_cell(double value, const char* fmt = "%.3g");
+  void add_cell(Index value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return columns_.size(); }
+  const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Column-aligned, pipe-separated rendering.
+  std::string to_text() const;
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  void save_csv(const std::string& path) const;
+
+private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace eth

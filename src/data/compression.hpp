@@ -1,0 +1,45 @@
+#pragma once
+// Lossy dataset compression for the sim->viz transport.
+//
+// The paper's introduction lists compression among the techniques
+// developed for the data-movement wall (alongside in-situ methods and
+// sampling); ETH exposes it as another in-situ parameter: quantize the
+// payload's floating-point values to B bits over their range before the
+// coupling hand-off, trading reconstruction error for transport volume.
+//
+// Scheme: per float-array linear quantization. Positions and each field
+// store (min, max) and bit-packed fixed-point codes. Deterministic,
+// self-describing, byte-exact round trip of the QUANTIZED values.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace eth {
+
+/// Quantize `values` to `bits` (1..24) over [lo, hi], bit-packed.
+/// Appends to `out`; returns the number of bytes appended.
+std::size_t quantize_pack(std::span<const Real> values, int bits, Real lo, Real hi,
+                          std::vector<std::uint8_t>& out);
+
+/// Inverse of quantize_pack: reads ceil(count*bits/8) bytes from
+/// `in` at `offset`, reconstructing mid-rise dequantized values.
+/// Returns the new offset.
+std::size_t unpack_dequantize(std::span<const std::uint8_t> in, std::size_t offset,
+                              Index count, int bits, Real lo, Real hi,
+                              std::span<Real> values);
+
+/// Compress a whole dataset with `bits` per value. The result is a
+/// self-contained buffer for decompress_dataset.
+std::vector<std::uint8_t> compress_dataset(const DataSet& ds, int bits);
+
+/// Reconstruct the (lossy) dataset.
+std::unique_ptr<DataSet> decompress_dataset(std::span<const std::uint8_t> bytes);
+
+/// Worst-case absolute reconstruction error for values spanning
+/// [lo, hi] at `bits`: half a quantization step.
+Real quantization_error_bound(Real lo, Real hi, int bits);
+
+} // namespace eth

@@ -1,0 +1,70 @@
+#include "data/field.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace eth {
+
+const char* to_string(FieldAssociation assoc) {
+  return assoc == FieldAssociation::kPoint ? "point" : "cell";
+}
+
+Field::Field(std::string name, Index tuples, int components, FieldAssociation assoc)
+    : name_(std::move(name)), components_(components), association_(assoc) {
+  require(components > 0, "Field: components must be positive");
+  require(tuples >= 0, "Field: tuple count must be non-negative");
+  values_.assign(static_cast<std::size_t>(tuples * components), Real(0));
+}
+
+std::pair<Real, Real> Field::range(int component) const {
+  require(component >= 0 && component < components_, "Field::range: bad component");
+  if (tuples() == 0) return {Real(0), Real(0)};
+  Real lo = std::numeric_limits<Real>::max();
+  Real hi = std::numeric_limits<Real>::lowest();
+  const Index n = tuples();
+  for (Index t = 0; t < n; ++t) {
+    const Real v = get(t, component);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
+}
+
+Field& FieldCollection::add(Field f) {
+  require(!has(f.name()), "FieldCollection: duplicate field '" + f.name() + "'");
+  fields_.push_back(std::move(f));
+  return fields_.back();
+}
+
+bool FieldCollection::has(std::string_view name) const {
+  return std::any_of(fields_.begin(), fields_.end(),
+                     [&](const Field& f) { return f.name() == name; });
+}
+
+const Field& FieldCollection::get(std::string_view name) const {
+  for (const Field& f : fields_)
+    if (f.name() == name) return f;
+  fail("FieldCollection: no field named '" + std::string(name) + "'");
+}
+
+Field& FieldCollection::get(std::string_view name) {
+  for (Field& f : fields_)
+    if (f.name() == name) return f;
+  fail("FieldCollection: no field named '" + std::string(name) + "'");
+}
+
+void FieldCollection::remove(std::string_view name) {
+  const auto it = std::find_if(fields_.begin(), fields_.end(),
+                               [&](const Field& f) { return f.name() == name; });
+  require(it != fields_.end(),
+          "FieldCollection: cannot remove missing field '" + std::string(name) + "'");
+  fields_.erase(it);
+}
+
+Bytes FieldCollection::byte_size() const {
+  Bytes total = 0;
+  for (const Field& f : fields_) total += f.byte_size();
+  return total;
+}
+
+} // namespace eth

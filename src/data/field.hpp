@@ -1,0 +1,100 @@
+#pragma once
+// Field: a named, multi-component array of scalars attached to a dataset,
+// mirroring vtkDataArray. Fields are how simulation variables (density,
+// temperature, velocity, particle id) travel through the pipeline.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "common/vec.hpp"
+
+namespace eth {
+
+/// Where a field's tuples live relative to the dataset topology.
+enum class FieldAssociation { kPoint, kCell };
+
+const char* to_string(FieldAssociation assoc);
+
+class Field {
+public:
+  Field() = default;
+
+  /// Create a field of `tuples` tuples with `components` values each,
+  /// zero-initialized.
+  Field(std::string name, Index tuples, int components,
+        FieldAssociation assoc = FieldAssociation::kPoint);
+
+  const std::string& name() const { return name_; }
+  int components() const { return components_; }
+  Index tuples() const {
+    return components_ > 0 ? static_cast<Index>(values_.size()) / components_ : 0;
+  }
+  FieldAssociation association() const { return association_; }
+
+  /// Raw storage, tuple-interleaved: [t0c0, t0c1, ..., t1c0, ...].
+  std::span<const Real> values() const { return values_; }
+  std::span<Real> values() { return values_; }
+
+  Real get(Index tuple, int component = 0) const {
+    return values_[static_cast<std::size_t>(tuple * components_ + component)];
+  }
+  void set(Index tuple, int component, Real v) {
+    values_[static_cast<std::size_t>(tuple * components_ + component)] = v;
+  }
+  void set(Index tuple, Real v) { set(tuple, 0, v); }
+
+  Vec3f get_vec3(Index tuple) const {
+    require(components_ >= 3, "Field::get_vec3 on field with <3 components");
+    const auto base = static_cast<std::size_t>(tuple * components_);
+    return {values_[base], values_[base + 1], values_[base + 2]};
+  }
+  void set_vec3(Index tuple, Vec3f v) {
+    require(components_ >= 3, "Field::set_vec3 on field with <3 components");
+    const auto base = static_cast<std::size_t>(tuple * components_);
+    values_[base] = v.x;
+    values_[base + 1] = v.y;
+    values_[base + 2] = v.z;
+  }
+
+  void resize(Index tuples) {
+    values_.resize(static_cast<std::size_t>(tuples * components_));
+  }
+
+  /// Min/max over one component (0 if empty).
+  std::pair<Real, Real> range(int component = 0) const;
+
+  Bytes byte_size() const { return values_.size() * sizeof(Real); }
+
+private:
+  std::string name_;
+  int components_ = 1;
+  FieldAssociation association_ = FieldAssociation::kPoint;
+  std::vector<Real> values_;
+};
+
+/// A set of named fields; datasets embed one of these per association.
+class FieldCollection {
+public:
+  Field& add(Field f);
+  bool has(std::string_view name) const;
+  const Field& get(std::string_view name) const;
+  Field& get(std::string_view name);
+  void remove(std::string_view name);
+
+  std::size_t size() const { return fields_.size(); }
+  const Field& at(std::size_t i) const { return fields_.at(i); }
+  Field& at(std::size_t i) { return fields_.at(i); }
+
+  auto begin() const { return fields_.begin(); }
+  auto end() const { return fields_.end(); }
+
+  Bytes byte_size() const;
+
+private:
+  std::vector<Field> fields_;
+};
+
+} // namespace eth

@@ -1,0 +1,169 @@
+#include "data/image.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace eth {
+
+ImageBuffer::ImageBuffer(Index width, Index height) : width_(width), height_(height) {
+  require(width >= 0 && height >= 0, "ImageBuffer: negative dimensions");
+  color_.assign(static_cast<std::size_t>(width * height), Vec4f{0, 0, 0, 1});
+  depth_.assign(static_cast<std::size_t>(width * height),
+                std::numeric_limits<Real>::infinity());
+}
+
+void ImageBuffer::clear(Vec4f background) {
+  for (Vec4f& c : color_) c = background;
+  for (Real& d : depth_) d = std::numeric_limits<Real>::infinity();
+}
+
+bool ImageBuffer::depth_test_set(Index x, Index y, Vec4f c, Real d) {
+  const std::size_t p = pixel(x, y);
+  if (d >= depth_[p]) return false;
+  depth_[p] = d;
+  color_[p] = c;
+  return true;
+}
+
+void ImageBuffer::blend_over(Index x, Index y, Vec4f src) {
+  const std::size_t p = pixel(x, y);
+  const Vec4f dst = color_[p];
+  // Front-to-back compositing with premultiplied alpha: dst is what has
+  // accumulated in front; src arrives behind it.
+  const Real trans = Real(1) - dst.w;
+  color_[p] = Vec4f{dst.x + src.x * src.w * trans, dst.y + src.y * src.w * trans,
+                    dst.z + src.z * src.w * trans, dst.w + src.w * trans};
+}
+
+void ImageBuffer::write_ppm(const std::string& path) const {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                                    &std::fclose);
+  require(f != nullptr, "write_ppm: cannot open '" + path + "'");
+  std::fprintf(f.get(), "P6\n%lld %lld\n255\n", static_cast<long long>(width_),
+               static_cast<long long>(height_));
+  std::vector<unsigned char> row(static_cast<std::size_t>(width_) * 3);
+  for (Index y = 0; y < height_; ++y) {
+    for (Index x = 0; x < width_; ++x) {
+      const Vec4f c = color(x, y);
+      for (int ch = 0; ch < 3; ++ch) {
+        const Real v = clamp(c[ch], Real(0), Real(1));
+        const Real srgb = std::pow(v, Real(1.0 / 2.2));
+        row[static_cast<std::size_t>(x) * 3 + static_cast<std::size_t>(ch)] =
+            static_cast<unsigned char>(srgb * Real(255) + Real(0.5));
+      }
+    }
+    require(std::fwrite(row.data(), 1, row.size(), f.get()) == row.size(),
+            "write_ppm: short write to '" + path + "'");
+  }
+}
+
+namespace {
+void check_same_size(const ImageBuffer& a, const ImageBuffer& b, const char* what) {
+  require(a.width() == b.width() && a.height() == b.height(),
+          std::string(what) + ": image size mismatch");
+}
+} // namespace
+
+double image_rmse(const ImageBuffer& a, const ImageBuffer& b) {
+  check_same_size(a, b, "image_rmse");
+  if (a.num_pixels() == 0) return 0.0;
+  double acc = 0.0;
+  for (Index y = 0; y < a.height(); ++y)
+    for (Index x = 0; x < a.width(); ++x) {
+      const Vec4f ca = a.color(x, y);
+      const Vec4f cb = b.color(x, y);
+      for (int ch = 0; ch < 3; ++ch) {
+        const double d = double(clamp(ca[ch], Real(0), Real(1))) -
+                         double(clamp(cb[ch], Real(0), Real(1)));
+        acc += d * d;
+      }
+    }
+  return std::sqrt(acc / (3.0 * double(a.num_pixels())));
+}
+
+double image_mae(const ImageBuffer& a, const ImageBuffer& b) {
+  check_same_size(a, b, "image_mae");
+  if (a.num_pixels() == 0) return 0.0;
+  double acc = 0.0;
+  for (Index y = 0; y < a.height(); ++y)
+    for (Index x = 0; x < a.width(); ++x) {
+      const Vec4f ca = a.color(x, y);
+      const Vec4f cb = b.color(x, y);
+      for (int ch = 0; ch < 3; ++ch)
+        acc += std::abs(double(clamp(ca[ch], Real(0), Real(1))) -
+                        double(clamp(cb[ch], Real(0), Real(1))));
+    }
+  return acc / (3.0 * double(a.num_pixels()));
+}
+
+double image_ssim(const ImageBuffer& a, const ImageBuffer& b) {
+  check_same_size(a, b, "image_ssim");
+  if (a.num_pixels() == 0) return 1.0;
+
+  const auto luma = [](Vec4f c) {
+    return 0.2126 * double(clamp(c.x, Real(0), Real(1))) +
+           0.7152 * double(clamp(c.y, Real(0), Real(1))) +
+           0.0722 * double(clamp(c.z, Real(0), Real(1)));
+  };
+  constexpr double kC1 = 0.01 * 0.01; // (K1 * L)^2 with L = 1
+  constexpr double kC2 = 0.03 * 0.03;
+  constexpr Index kWindow = 8;
+
+  double ssim_sum = 0;
+  Index windows = 0;
+  for (Index wy = 0; wy < a.height(); wy += kWindow) {
+    for (Index wx = 0; wx < a.width(); wx += kWindow) {
+      const Index x1 = std::min(wx + kWindow, a.width());
+      const Index y1 = std::min(wy + kWindow, a.height());
+      const double n = double((x1 - wx) * (y1 - wy));
+      double mu_a = 0, mu_b = 0;
+      for (Index y = wy; y < y1; ++y)
+        for (Index x = wx; x < x1; ++x) {
+          mu_a += luma(a.color(x, y));
+          mu_b += luma(b.color(x, y));
+        }
+      mu_a /= n;
+      mu_b /= n;
+      double var_a = 0, var_b = 0, cov = 0;
+      for (Index y = wy; y < y1; ++y)
+        for (Index x = wx; x < x1; ++x) {
+          const double da = luma(a.color(x, y)) - mu_a;
+          const double db = luma(b.color(x, y)) - mu_b;
+          var_a += da * da;
+          var_b += db * db;
+          cov += da * db;
+        }
+      var_a /= n;
+      var_b /= n;
+      cov /= n;
+      ssim_sum += ((2 * mu_a * mu_b + kC1) * (2 * cov + kC2)) /
+                  ((mu_a * mu_a + mu_b * mu_b + kC1) * (var_a + var_b + kC2));
+      ++windows;
+    }
+  }
+  return ssim_sum / double(windows);
+}
+
+double image_diff_fraction(const ImageBuffer& a, const ImageBuffer& b, Real tolerance) {
+  check_same_size(a, b, "image_diff_fraction");
+  if (a.num_pixels() == 0) return 0.0;
+  Index differing = 0;
+  for (Index y = 0; y < a.height(); ++y)
+    for (Index x = 0; x < a.width(); ++x) {
+      const Vec4f ca = a.color(x, y);
+      const Vec4f cb = b.color(x, y);
+      for (int ch = 0; ch < 3; ++ch) {
+        if (std::abs(ca[ch] - cb[ch]) > tolerance) {
+          ++differing;
+          break;
+        }
+      }
+    }
+  return double(differing) / double(a.num_pixels());
+}
+
+} // namespace eth

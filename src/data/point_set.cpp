@@ -1,0 +1,38 @@
+#include "data/point_set.hpp"
+
+namespace eth {
+
+AABB PointSet::bounds() const {
+  AABB box;
+  for (const Vec3f& p : positions_) box.extend(p);
+  return box;
+}
+
+void PointSet::resize(Index n) {
+  require(n >= 0, "PointSet::resize: negative size");
+  positions_.resize(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < point_fields().size(); ++i) point_fields().at(i).resize(n);
+}
+
+PointSet PointSet::subset(std::span<const Index> keep) const {
+  PointSet out(static_cast<Index>(keep.size()));
+  for (std::size_t f = 0; f < point_fields().size(); ++f) {
+    const Field& src = point_fields().at(f);
+    out.point_fields().add(
+        Field(src.name(), out.num_points(), src.components(), src.association()));
+  }
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    const Index src_idx = keep[k];
+    require(src_idx >= 0 && src_idx < num_points(), "PointSet::subset: index out of range");
+    out.set_position(static_cast<Index>(k), position(src_idx));
+    for (std::size_t f = 0; f < point_fields().size(); ++f) {
+      const Field& src = point_fields().at(f);
+      Field& dst = out.point_fields().at(f);
+      for (int c = 0; c < src.components(); ++c)
+        dst.set(static_cast<Index>(k), c, src.get(src_idx, c));
+    }
+  }
+  return out;
+}
+
+} // namespace eth

@@ -1,0 +1,47 @@
+#pragma once
+// PointSet: unstructured particle data (the HACC dark-matter particles).
+// Stores positions as a packed Vec3f array; per-particle attributes (id,
+// velocity, mass, ...) live in the point-field collection.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace eth {
+
+class PointSet final : public DataSet {
+public:
+  PointSet() = default;
+  explicit PointSet(Index n) { positions_.resize(static_cast<std::size_t>(n)); }
+
+  DataSetKind kind() const override { return DataSetKind::kPointSet; }
+  Index num_points() const override { return static_cast<Index>(positions_.size()); }
+  AABB bounds() const override;
+  Bytes byte_size() const override {
+    return positions_.size() * sizeof(Vec3f) + field_bytes();
+  }
+  std::unique_ptr<DataSet> clone() const override {
+    return std::make_unique<PointSet>(*this);
+  }
+
+  std::span<const Vec3f> positions() const { return positions_; }
+  std::span<Vec3f> positions() { return positions_; }
+
+  Vec3f position(Index i) const { return positions_[static_cast<std::size_t>(i)]; }
+  void set_position(Index i, Vec3f p) { positions_[static_cast<std::size_t>(i)] = p; }
+
+  void resize(Index n);
+  void reserve(Index n) { positions_.reserve(static_cast<std::size_t>(n)); }
+  void push_back(Vec3f p) { positions_.push_back(p); }
+
+  /// Extract the subset of particles whose indices are listed in `keep`
+  /// (all point fields are carried along). Indices must be in range.
+  PointSet subset(std::span<const Index> keep) const;
+
+private:
+  std::vector<Vec3f> positions_;
+};
+
+} // namespace eth

@@ -1,0 +1,273 @@
+#include "data/serialize.hpp"
+
+#include <cstring>
+
+#include "data/tet_mesh.hpp"
+
+namespace eth {
+
+const char* to_string(DataSetKind kind) {
+  switch (kind) {
+    case DataSetKind::kPointSet: return "PointSet";
+    case DataSetKind::kStructuredGrid: return "StructuredGrid";
+    case DataSetKind::kTriangleMesh: return "TriangleMesh";
+    case DataSetKind::kTetMesh: return "TetMesh";
+  }
+  return "Unknown";
+}
+
+// ---------------------------------------------------------------- writer
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::put_f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u32(bits);
+}
+
+void ByteWriter::put_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(bits);
+}
+
+void ByteWriter::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  put_bytes(s.data(), s.size());
+}
+
+void ByteWriter::put_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+// ---------------------------------------------------------------- reader
+
+std::uint8_t ByteReader::get_u8() {
+  require(remaining() >= 1, "ByteReader: truncated input (u8)");
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::get_u32() {
+  require(remaining() >= 4, "ByteReader: truncated input (u32)");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  require(remaining() >= 8, "ByteReader: truncated input (u64)");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+float ByteReader::get_f32() {
+  const std::uint32_t bits = get_u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+double ByteReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string ByteReader::get_string() {
+  const std::uint32_t n = get_u32();
+  require(remaining() >= n, "ByteReader: truncated input (string)");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void ByteReader::get_bytes(void* out, std::size_t n) {
+  require(remaining() >= n, "ByteReader: truncated input (bytes)");
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+}
+
+// ---------------------------------------------------------------- fields
+
+void serialize_field(ByteWriter& w, const Field& f) {
+  w.put_string(f.name());
+  w.put_u32(static_cast<std::uint32_t>(f.components()));
+  w.put_u8(f.association() == FieldAssociation::kPoint ? 0 : 1);
+  w.put_i64(f.tuples());
+  static_assert(sizeof(Real) == sizeof(float), "wire format assumes 32-bit Real");
+  w.put_bytes(f.values().data(), f.values().size() * sizeof(Real));
+}
+
+Field deserialize_field(ByteReader& r) {
+  const std::string name = r.get_string();
+  const int components = static_cast<int>(r.get_u32());
+  const FieldAssociation assoc =
+      r.get_u8() == 0 ? FieldAssociation::kPoint : FieldAssociation::kCell;
+  const Index tuples = r.get_i64();
+  require(components > 0 && tuples >= 0, "deserialize_field: corrupt header");
+  Field f(name, tuples, components, assoc);
+  r.get_bytes(f.values().data(), f.values().size() * sizeof(Real));
+  return f;
+}
+
+void serialize_field_collection(ByteWriter& w, const FieldCollection& fc) {
+  w.put_u32(static_cast<std::uint32_t>(fc.size()));
+  for (const Field& f : fc) serialize_field(w, f);
+}
+
+void deserialize_field_collection(ByteReader& r, FieldCollection& fc) {
+  const std::uint32_t n = r.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) fc.add(deserialize_field(r));
+}
+
+// --------------------------------------------------------------- dataset
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x45544844; // "ETHD"
+
+void serialize_point_set(ByteWriter& w, const PointSet& ps) {
+  w.put_i64(ps.num_points());
+  w.put_bytes(ps.positions().data(), ps.positions().size() * sizeof(Vec3f));
+}
+
+std::unique_ptr<PointSet> deserialize_point_set(ByteReader& r) {
+  const Index n = r.get_i64();
+  require(n >= 0, "deserialize: negative point count");
+  auto ps = std::make_unique<PointSet>(n);
+  r.get_bytes(ps->positions().data(), static_cast<std::size_t>(n) * sizeof(Vec3f));
+  return ps;
+}
+
+void serialize_grid(ByteWriter& w, const StructuredGrid& g) {
+  for (int a = 0; a < 3; ++a) w.put_i64(g.dims()[a]);
+  for (int a = 0; a < 3; ++a) w.put_f32(g.origin()[a]);
+  for (int a = 0; a < 3; ++a) w.put_f32(g.spacing()[a]);
+}
+
+std::unique_ptr<StructuredGrid> deserialize_grid(ByteReader& r) {
+  Vec3i dims;
+  for (int a = 0; a < 3; ++a) dims[a] = r.get_i64();
+  Vec3f origin, spacing;
+  for (int a = 0; a < 3; ++a) origin[a] = r.get_f32();
+  for (int a = 0; a < 3; ++a) spacing[a] = r.get_f32();
+  return std::make_unique<StructuredGrid>(dims, origin, spacing);
+}
+
+void serialize_tet_mesh(ByteWriter& w, const TetMesh& m) {
+  w.put_i64(m.num_points());
+  w.put_i64(m.num_tets());
+  w.put_bytes(m.vertices().data(), m.vertices().size() * sizeof(Vec3f));
+  w.put_bytes(m.tets().data(), m.tets().size() * sizeof(Index));
+}
+
+std::unique_ptr<TetMesh> deserialize_tet_mesh(ByteReader& r) {
+  const Index nv = r.get_i64();
+  const Index nt = r.get_i64();
+  require(nv >= 0 && nt >= 0, "deserialize: negative tet mesh counts");
+  auto m = std::make_unique<TetMesh>();
+  std::vector<Vec3f> vertices(static_cast<std::size_t>(nv));
+  r.get_bytes(vertices.data(), vertices.size() * sizeof(Vec3f));
+  for (const Vec3f v : vertices) m->add_vertex(v);
+  std::vector<Index> tets(static_cast<std::size_t>(4 * nt));
+  r.get_bytes(tets.data(), tets.size() * sizeof(Index));
+  for (Index t = 0; t < nt; ++t)
+    m->add_tet(tets[static_cast<std::size_t>(4 * t)],
+               tets[static_cast<std::size_t>(4 * t + 1)],
+               tets[static_cast<std::size_t>(4 * t + 2)],
+               tets[static_cast<std::size_t>(4 * t + 3)]);
+  return m;
+}
+
+void serialize_mesh(ByteWriter& w, const TriangleMesh& m) {
+  w.put_i64(m.num_points());
+  w.put_u8(m.has_normals() ? 1 : 0);
+  w.put_i64(m.num_triangles());
+  w.put_bytes(m.vertices().data(), m.vertices().size() * sizeof(Vec3f));
+  if (m.has_normals())
+    w.put_bytes(m.normals().data(), m.normals().size() * sizeof(Vec3f));
+  w.put_bytes(m.indices().data(), m.indices().size() * sizeof(Index));
+}
+
+std::unique_ptr<TriangleMesh> deserialize_mesh(ByteReader& r) {
+  const Index nv = r.get_i64();
+  const bool has_normals = r.get_u8() != 0;
+  const Index nt = r.get_i64();
+  require(nv >= 0 && nt >= 0, "deserialize: negative mesh counts");
+  auto m = std::make_unique<TriangleMesh>();
+  std::vector<Vec3f> vertices(static_cast<std::size_t>(nv));
+  r.get_bytes(vertices.data(), vertices.size() * sizeof(Vec3f));
+  std::vector<Vec3f> normals;
+  if (has_normals) {
+    normals.resize(static_cast<std::size_t>(nv));
+    r.get_bytes(normals.data(), normals.size() * sizeof(Vec3f));
+  }
+  for (Index i = 0; i < nv; ++i) {
+    if (has_normals)
+      m->add_vertex(vertices[static_cast<std::size_t>(i)], normals[static_cast<std::size_t>(i)]);
+    else
+      m->add_vertex(vertices[static_cast<std::size_t>(i)]);
+  }
+  std::vector<Index> indices(static_cast<std::size_t>(3 * nt));
+  r.get_bytes(indices.data(), indices.size() * sizeof(Index));
+  for (Index t = 0; t < nt; ++t)
+    m->add_triangle(indices[static_cast<std::size_t>(3 * t)],
+                    indices[static_cast<std::size_t>(3 * t + 1)],
+                    indices[static_cast<std::size_t>(3 * t + 2)]);
+  return m;
+}
+
+} // namespace
+
+std::vector<std::uint8_t> serialize_dataset(const DataSet& ds) {
+  ByteWriter w;
+  w.put_u32(kMagic);
+  w.put_u8(static_cast<std::uint8_t>(ds.kind()));
+  switch (ds.kind()) {
+    case DataSetKind::kPointSet:
+      serialize_point_set(w, static_cast<const PointSet&>(ds));
+      break;
+    case DataSetKind::kStructuredGrid:
+      serialize_grid(w, static_cast<const StructuredGrid&>(ds));
+      break;
+    case DataSetKind::kTriangleMesh:
+      serialize_mesh(w, static_cast<const TriangleMesh&>(ds));
+      break;
+    case DataSetKind::kTetMesh:
+      serialize_tet_mesh(w, static_cast<const TetMesh&>(ds));
+      break;
+  }
+  serialize_field_collection(w, ds.point_fields());
+  serialize_field_collection(w, ds.cell_fields());
+  return w.take();
+}
+
+std::unique_ptr<DataSet> deserialize_dataset(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  require(r.get_u32() == kMagic, "deserialize_dataset: bad magic");
+  const auto kind = static_cast<DataSetKind>(r.get_u8());
+  std::unique_ptr<DataSet> ds;
+  switch (kind) {
+    case DataSetKind::kPointSet: ds = deserialize_point_set(r); break;
+    case DataSetKind::kStructuredGrid: ds = deserialize_grid(r); break;
+    case DataSetKind::kTriangleMesh: ds = deserialize_mesh(r); break;
+    case DataSetKind::kTetMesh: ds = deserialize_tet_mesh(r); break;
+    default: fail("deserialize_dataset: unknown dataset kind");
+  }
+  deserialize_field_collection(r, ds->point_fields());
+  deserialize_field_collection(r, ds->cell_fields());
+  require(r.at_end(), "deserialize_dataset: trailing bytes");
+  return ds;
+}
+
+} // namespace eth

@@ -1,0 +1,78 @@
+#pragma once
+// Flat byte-buffer serialization of datasets.
+//
+// This is the wire format the in-situ transports move between the
+// simulation proxy and the visualization proxy (in-process channel or
+// the socket layer), and the payload the cluster model charges against
+// the interconnect. Little-endian POD layout; no compression (the paper
+// treats compression as a separate technique outside ETH's pipelines).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/point_set.hpp"
+#include "data/structured_grid.hpp"
+#include "data/triangle_mesh.hpp"
+
+namespace eth {
+
+/// Append-only byte sink with typed put operations.
+class ByteWriter {
+public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_f32(float v);
+  void put_f64(double v);
+  void put_string(std::string_view s);
+  void put_bytes(const void* data, std::size_t n);
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked cursor over a byte span; throws eth::Error on
+/// truncated input (a malformed transport message must not crash a run).
+class ByteReader {
+public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  float get_f32();
+  double get_f64();
+  std::string get_string();
+  void get_bytes(void* out, std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Serialize any concrete DataSet (type tag included).
+std::vector<std::uint8_t> serialize_dataset(const DataSet& ds);
+
+/// Reconstruct the concrete dataset from serialize_dataset output.
+std::unique_ptr<DataSet> deserialize_dataset(std::span<const std::uint8_t> bytes);
+
+/// Field-level helpers shared with the VTK-style file IO.
+void serialize_field(ByteWriter& w, const Field& f);
+Field deserialize_field(ByteReader& r);
+void serialize_field_collection(ByteWriter& w, const FieldCollection& fc);
+void deserialize_field_collection(ByteReader& r, FieldCollection& fc);
+
+} // namespace eth

@@ -1,0 +1,190 @@
+#include "data/tet_mesh.hpp"
+
+#include <cmath>
+
+#include "data/structured_grid.hpp"
+
+namespace eth {
+
+namespace {
+
+// The same Kuhn decomposition the isosurface extractor uses for
+// structured cells (corner order matches StructuredGrid::cell_corners).
+constexpr int kKuhnTets[6][4] = {
+    {0, 1, 2, 6}, {0, 2, 3, 6}, {0, 3, 7, 6},
+    {0, 7, 4, 6}, {0, 4, 5, 6}, {0, 5, 1, 6},
+};
+
+/// Barycentric coordinates of p in tet (a, b, c, d); returns false for
+/// degenerate cells.
+bool barycentric(Vec3f p, Vec3f a, Vec3f b, Vec3f c, Vec3f d, Real out[4]) {
+  const Vec3f e1 = b - a, e2 = c - a, e3 = d - a, ep = p - a;
+  const Real det = dot(e1, cross(e2, e3));
+  if (std::abs(det) < Real(1e-12)) return false;
+  const Real inv = Real(1) / det;
+  out[1] = dot(ep, cross(e2, e3)) * inv;
+  out[2] = dot(e1, cross(ep, e3)) * inv;
+  out[3] = dot(e1, cross(e2, ep)) * inv;
+  out[0] = Real(1) - out[1] - out[2] - out[3];
+  return true;
+}
+
+} // namespace
+
+AABB TetMesh::bounds() const {
+  AABB box;
+  for (const Vec3f& v : vertices_) box.extend(v);
+  return box;
+}
+
+Index TetMesh::add_vertex(Vec3f p) {
+  locator_cells_.clear(); // invalidate the locator
+  vertices_.push_back(p);
+  return static_cast<Index>(vertices_.size()) - 1;
+}
+
+void TetMesh::add_tet(Index a, Index b, Index c, Index d) {
+  const Index n = num_points();
+  require(a >= 0 && a < n && b >= 0 && b < n && c >= 0 && c < n && d >= 0 && d < n,
+          "TetMesh::add_tet: vertex index out of range");
+  locator_cells_.clear();
+  tets_.push_back(a);
+  tets_.push_back(b);
+  tets_.push_back(c);
+  tets_.push_back(d);
+}
+
+void TetMesh::tet(Index t, Index& a, Index& b, Index& c, Index& d) const {
+  require(t >= 0 && t < num_tets(), "TetMesh::tet: index out of range");
+  const auto base = static_cast<std::size_t>(4 * t);
+  a = tets_[base];
+  b = tets_[base + 1];
+  c = tets_[base + 2];
+  d = tets_[base + 3];
+}
+
+Real TetMesh::tet_volume(Index t) const {
+  Index a, b, c, d;
+  tet(t, a, b, c, d);
+  const Vec3f va = vertices_[static_cast<std::size_t>(a)];
+  const Vec3f e1 = vertices_[static_cast<std::size_t>(b)] - va;
+  const Vec3f e2 = vertices_[static_cast<std::size_t>(c)] - va;
+  const Vec3f e3 = vertices_[static_cast<std::size_t>(d)] - va;
+  return dot(e1, cross(e2, e3)) / Real(6);
+}
+
+Real TetMesh::total_volume() const {
+  Real sum = 0;
+  for (Index t = 0; t < num_tets(); ++t) sum += std::abs(tet_volume(t));
+  return sum;
+}
+
+void TetMesh::build_locator() const {
+  locator_bounds_ = bounds();
+  if (locator_bounds_.is_empty() || num_tets() == 0) {
+    locator_dims_ = {1, 1, 1};
+    locator_cells_.assign(1, {});
+    return;
+  }
+  // ~2 tets per bucket on average.
+  const auto per_axis = std::max<Index>(
+      1, static_cast<Index>(std::cbrt(double(num_tets()) / 2.0)));
+  locator_dims_ = {per_axis, per_axis, per_axis};
+  locator_cells_.assign(static_cast<std::size_t>(per_axis * per_axis * per_axis), {});
+
+  const Vec3f inv_ext =
+      Vec3f{Real(per_axis), Real(per_axis), Real(per_axis)} /
+      eth::max(locator_bounds_.extent(), Vec3f{1e-12f, 1e-12f, 1e-12f});
+  const auto bucket_range = [&](Real lo, Real hi, Real origin, Real scale, Index dim,
+                                Index& b0, Index& b1) {
+    b0 = clamp<Index>(static_cast<Index>((lo - origin) * scale), 0, dim - 1);
+    b1 = clamp<Index>(static_cast<Index>((hi - origin) * scale), 0, dim - 1);
+  };
+  for (Index t = 0; t < num_tets(); ++t) {
+    Index a, b, c, d;
+    tet(t, a, b, c, d);
+    AABB box;
+    for (const Index v : {a, b, c, d}) box.extend(vertices_[static_cast<std::size_t>(v)]);
+    Index x0, x1, y0, y1, z0, z1;
+    bucket_range(box.lo.x, box.hi.x, locator_bounds_.lo.x, inv_ext.x, locator_dims_.x, x0, x1);
+    bucket_range(box.lo.y, box.hi.y, locator_bounds_.lo.y, inv_ext.y, locator_dims_.y, y0, y1);
+    bucket_range(box.lo.z, box.hi.z, locator_bounds_.lo.z, inv_ext.z, locator_dims_.z, z0, z1);
+    for (Index z = z0; z <= z1; ++z)
+      for (Index y = y0; y <= y1; ++y)
+        for (Index x = x0; x <= x1; ++x)
+          locator_cells_[static_cast<std::size_t>(
+                             x + locator_dims_.x * (y + locator_dims_.y * z))]
+              .push_back(t);
+  }
+}
+
+bool TetMesh::sample(const Field& field, Vec3f p, Real& value) const {
+  require(field.tuples() == num_points(), "TetMesh::sample: field size mismatch");
+  if (locator_cells_.empty()) build_locator();
+  if (!locator_bounds_.contains(p)) return false;
+
+  const Vec3f rel = (p - locator_bounds_.lo) /
+                    eth::max(locator_bounds_.extent(), Vec3f{1e-12f, 1e-12f, 1e-12f});
+  const auto bx = clamp<Index>(static_cast<Index>(rel.x * Real(locator_dims_.x)), 0,
+                               locator_dims_.x - 1);
+  const auto by = clamp<Index>(static_cast<Index>(rel.y * Real(locator_dims_.y)), 0,
+                               locator_dims_.y - 1);
+  const auto bz = clamp<Index>(static_cast<Index>(rel.z * Real(locator_dims_.z)), 0,
+                               locator_dims_.z - 1);
+  const auto& bucket = locator_cells_[static_cast<std::size_t>(
+      bx + locator_dims_.x * (by + locator_dims_.y * bz))];
+
+  constexpr Real kEps = Real(-1e-4);
+  for (const Index t : bucket) {
+    Index a, b, c, d;
+    tet(t, a, b, c, d);
+    Real bary[4];
+    if (!barycentric(p, vertices_[static_cast<std::size_t>(a)],
+                     vertices_[static_cast<std::size_t>(b)],
+                     vertices_[static_cast<std::size_t>(c)],
+                     vertices_[static_cast<std::size_t>(d)], bary))
+      continue;
+    if (bary[0] < kEps || bary[1] < kEps || bary[2] < kEps || bary[3] < kEps) continue;
+    value = bary[0] * field.get(a) + bary[1] * field.get(b) + bary[2] * field.get(c) +
+            bary[3] * field.get(d);
+    return true;
+  }
+  return false;
+}
+
+TetMesh TetMesh::from_structured(const StructuredGrid& grid) {
+  TetMesh mesh;
+  mesh.vertices_.reserve(static_cast<std::size_t>(grid.num_points()));
+  const Vec3i dims = grid.dims();
+  for (Index k = 0; k < dims.z; ++k)
+    for (Index j = 0; j < dims.y; ++j)
+      for (Index i = 0; i < dims.x; ++i)
+        mesh.vertices_.push_back(grid.point_position(i, j, k));
+
+  // Cell corners in marching order -> global point indices.
+  const Index corner_offset[8] = {
+      grid.point_index(0, 0, 0), grid.point_index(1, 0, 0), grid.point_index(1, 1, 0),
+      grid.point_index(0, 1, 0), grid.point_index(0, 0, 1), grid.point_index(1, 0, 1),
+      grid.point_index(1, 1, 1), grid.point_index(0, 1, 1)};
+  const Vec3i cells = grid.cell_dims();
+  mesh.tets_.reserve(static_cast<std::size_t>(cells.x * cells.y * cells.z * 24));
+  for (Index k = 0; k < cells.z; ++k)
+    for (Index j = 0; j < cells.y; ++j)
+      for (Index i = 0; i < cells.x; ++i) {
+        const Index base = grid.point_index(i, j, k);
+        for (const auto& t : kKuhnTets) {
+          for (int v = 0; v < 4; ++v)
+            mesh.tets_.push_back(base + corner_offset[t[v]]);
+        }
+      }
+
+  for (std::size_t f = 0; f < grid.point_fields().size(); ++f) {
+    const Field& src = grid.point_fields().at(f);
+    Field dst(src.name(), src.tuples(), src.components(), src.association());
+    std::copy(src.values().begin(), src.values().end(), dst.values().begin());
+    mesh.point_fields().add(std::move(dst));
+  }
+  return mesh;
+}
+
+} // namespace eth

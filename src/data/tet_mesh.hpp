@@ -1,0 +1,74 @@
+#pragma once
+// TetMesh: unstructured tetrahedral grids — the paper's §VII extension
+// path made concrete: "one would have to extend ETH for other domains
+// such as unstructured grid". A TetMesh carries vertices, tetrahedra
+// and point fields; the isosurface extractor contours it directly and
+// sample() supports point queries through a cell-locating grid.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace eth {
+
+class StructuredGrid;
+
+class TetMesh final : public DataSet {
+public:
+  TetMesh() = default;
+
+  DataSetKind kind() const override { return DataSetKind::kTetMesh; }
+  Index num_points() const override { return static_cast<Index>(vertices_.size()); }
+  Index num_tets() const { return static_cast<Index>(tets_.size()) / 4; }
+  AABB bounds() const override;
+  Bytes byte_size() const override {
+    return vertices_.size() * sizeof(Vec3f) + tets_.size() * sizeof(Index) +
+           field_bytes();
+  }
+  std::unique_ptr<DataSet> clone() const override {
+    return std::make_unique<TetMesh>(*this);
+  }
+
+  std::span<const Vec3f> vertices() const { return vertices_; }
+  std::span<const Index> tets() const { return tets_; } ///< 4 per cell
+
+  Index add_vertex(Vec3f p);
+  /// Append tetrahedron (a, b, c, d) by vertex index. Degenerate
+  /// (zero-volume) cells are permitted but contribute nothing to
+  /// contouring or sampling.
+  void add_tet(Index a, Index b, Index c, Index d);
+
+  void tet(Index t, Index& a, Index& b, Index& c, Index& d) const;
+
+  /// Signed volume of tetrahedron t (positive when (b-a, c-a, d-a) is
+  /// right-handed).
+  Real tet_volume(Index t) const;
+
+  /// Sum of |volume| over all cells.
+  Real total_volume() const;
+
+  /// Barycentric interpolation of scalar `field` at `p`. Returns true
+  /// and writes `value` when `p` lies inside some tetrahedron.
+  /// Builds a cell-locating uniform grid lazily on first use.
+  bool sample(const Field& field, Vec3f p, Real& value) const;
+
+  /// Tessellate a structured grid's scalar field into a TetMesh (Kuhn
+  /// 6-tet split per cell, consistent with IsosurfaceExtractor). Copies
+  /// every point field. The canonical way to get test/demo data.
+  static TetMesh from_structured(const StructuredGrid& grid);
+
+private:
+  void build_locator() const;
+
+  std::vector<Vec3f> vertices_;
+  std::vector<Index> tets_;
+
+  // Lazy cell locator: uniform grid of tet-index buckets.
+  mutable std::vector<std::vector<Index>> locator_cells_;
+  mutable Vec3i locator_dims_{0, 0, 0};
+  mutable AABB locator_bounds_;
+};
+
+} // namespace eth

@@ -1,0 +1,79 @@
+#include "data/triangle_mesh.hpp"
+
+namespace eth {
+
+AABB TriangleMesh::bounds() const {
+  AABB box;
+  for (const Vec3f& v : vertices_) box.extend(v);
+  return box;
+}
+
+Index TriangleMesh::add_vertex(Vec3f position) {
+  require(normals_.empty(),
+          "TriangleMesh::add_vertex without normal on a mesh that has normals");
+  vertices_.push_back(position);
+  return static_cast<Index>(vertices_.size()) - 1;
+}
+
+Index TriangleMesh::add_vertex(Vec3f position, Vec3f normal) {
+  require(normals_.size() == vertices_.size(),
+          "TriangleMesh::add_vertex with normal on a mesh without normals");
+  vertices_.push_back(position);
+  normals_.push_back(normal);
+  return static_cast<Index>(vertices_.size()) - 1;
+}
+
+void TriangleMesh::add_triangle(Index a, Index b, Index c) {
+  const Index n = num_points();
+  require(a >= 0 && a < n && b >= 0 && b < n && c >= 0 && c < n,
+          "TriangleMesh::add_triangle: vertex index out of range");
+  indices_.push_back(a);
+  indices_.push_back(b);
+  indices_.push_back(c);
+}
+
+void TriangleMesh::reserve(Index vertices, Index triangles) {
+  vertices_.reserve(static_cast<std::size_t>(vertices));
+  if (!normals_.empty() || vertices_.empty())
+    normals_.reserve(static_cast<std::size_t>(vertices));
+  indices_.reserve(static_cast<std::size_t>(3 * triangles));
+}
+
+Vec3f TriangleMesh::face_normal(Index t) const {
+  Index a, b, c;
+  triangle(t, a, b, c);
+  const Vec3f e1 = vertices_[static_cast<std::size_t>(b)] - vertices_[static_cast<std::size_t>(a)];
+  const Vec3f e2 = vertices_[static_cast<std::size_t>(c)] - vertices_[static_cast<std::size_t>(a)];
+  return normalize(cross(e1, e2));
+}
+
+void TriangleMesh::compute_vertex_normals() {
+  normals_.assign(vertices_.size(), Vec3f{0, 0, 0});
+  const Index nt = num_triangles();
+  for (Index t = 0; t < nt; ++t) {
+    Index a, b, c;
+    triangle(t, a, b, c);
+    const Vec3f e1 = vertices_[static_cast<std::size_t>(b)] - vertices_[static_cast<std::size_t>(a)];
+    const Vec3f e2 = vertices_[static_cast<std::size_t>(c)] - vertices_[static_cast<std::size_t>(a)];
+    // Unnormalized cross product = 2 * area * unit normal, giving the
+    // area weighting for free.
+    const Vec3f fn = cross(e1, e2);
+    normals_[static_cast<std::size_t>(a)] += fn;
+    normals_[static_cast<std::size_t>(b)] += fn;
+    normals_[static_cast<std::size_t>(c)] += fn;
+  }
+  for (Vec3f& n : normals_) n = normalize(n);
+}
+
+void TriangleMesh::append(const TriangleMesh& other) {
+  require(has_normals() == other.has_normals() || num_points() == 0 ||
+              other.num_points() == 0,
+          "TriangleMesh::append: normal presence mismatch");
+  const Index base = num_points();
+  vertices_.insert(vertices_.end(), other.vertices_.begin(), other.vertices_.end());
+  normals_.insert(normals_.end(), other.normals_.begin(), other.normals_.end());
+  indices_.reserve(indices_.size() + other.indices_.size());
+  for (const Index idx : other.indices_) indices_.push_back(idx + base);
+}
+
+} // namespace eth

@@ -1,0 +1,75 @@
+#pragma once
+// TriangleMesh: indexed triangle geometry with optional per-vertex
+// normals and scalars. This is the intermediate representation the
+// geometry-based pipeline extracts (isosurfaces, slices, splat
+// billboards) and hands to the rasterizer — the "very large amount of
+// geometry" the paper contrasts with geometry-free raycasting.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace eth {
+
+class TriangleMesh final : public DataSet {
+public:
+  TriangleMesh() = default;
+
+  DataSetKind kind() const override { return DataSetKind::kTriangleMesh; }
+  Index num_points() const override { return static_cast<Index>(vertices_.size()); }
+  Index num_triangles() const { return static_cast<Index>(indices_.size()) / 3; }
+  AABB bounds() const override;
+  Bytes byte_size() const override {
+    return vertices_.size() * sizeof(Vec3f) + normals_.size() * sizeof(Vec3f) +
+           indices_.size() * sizeof(Index) + field_bytes();
+  }
+  std::unique_ptr<DataSet> clone() const override {
+    return std::make_unique<TriangleMesh>(*this);
+  }
+
+  std::span<const Vec3f> vertices() const { return vertices_; }
+  std::span<const Vec3f> normals() const { return normals_; }
+  std::span<const Index> indices() const { return indices_; }
+  std::span<Vec3f> vertices() { return vertices_; }
+  std::span<Vec3f> normals() { return normals_; }
+
+  bool has_normals() const { return !normals_.empty(); }
+
+  /// Append a vertex (and its normal when the mesh carries normals);
+  /// returns the new vertex index.
+  Index add_vertex(Vec3f position);
+  Index add_vertex(Vec3f position, Vec3f normal);
+
+  /// Append triangle (a, b, c) by vertex index.
+  void add_triangle(Index a, Index b, Index c);
+
+  void reserve(Index vertices, Index triangles);
+
+  /// Vertex indices of triangle t.
+  void triangle(Index t, Index& a, Index& b, Index& c) const {
+    const auto base = static_cast<std::size_t>(3 * t);
+    a = indices_[base];
+    b = indices_[base + 1];
+    c = indices_[base + 2];
+  }
+
+  /// Geometric (face) normal of triangle t, unit length.
+  Vec3f face_normal(Index t) const;
+
+  /// Area-weighted per-vertex normals from face normals (overwrites any
+  /// existing normals).
+  void compute_vertex_normals();
+
+  /// Append all of `other` (vertices, normals and triangles re-indexed).
+  /// Per-vertex fields are NOT merged; callers merge fields explicitly.
+  void append(const TriangleMesh& other);
+
+private:
+  std::vector<Vec3f> vertices_;
+  std::vector<Vec3f> normals_; // empty or same length as vertices_
+  std::vector<Index> indices_; // 3 per triangle
+};
+
+} // namespace eth

@@ -1,0 +1,84 @@
+#include "data/vtk_io.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/string_util.hpp"
+#include "data/serialize.hpp"
+
+namespace eth {
+
+namespace {
+
+constexpr const char* kMagicLine = "# eth DataFile v1";
+
+using FilePtr = std::unique_ptr<std::FILE, int (*)(std::FILE*)>;
+
+FilePtr open_file(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode), &std::fclose);
+  require(f != nullptr, "cannot open '" + path + "'");
+  return f;
+}
+
+std::string read_line(std::FILE* f, const std::string& path) {
+  std::string line;
+  int c;
+  while ((c = std::fgetc(f)) != EOF && c != '\n') line.push_back(static_cast<char>(c));
+  require(c != EOF || !line.empty(), "unexpected end of file in '" + path + "'");
+  return line;
+}
+
+DataSetKind kind_from_name(std::string_view name, const std::string& path) {
+  if (name == "PointSet") return DataSetKind::kPointSet;
+  if (name == "StructuredGrid") return DataSetKind::kStructuredGrid;
+  if (name == "TriangleMesh") return DataSetKind::kTriangleMesh;
+  if (name == "TetMesh") return DataSetKind::kTetMesh;
+  fail("'" + path + "': unknown dataset kind '" + std::string(name) + "'");
+}
+
+} // namespace
+
+void write_dataset(const DataSet& ds, const std::string& path) {
+  const std::vector<std::uint8_t> payload = serialize_dataset(ds);
+  FilePtr f = open_file(path, "wb");
+  std::fprintf(f.get(), "%s\nkind %s\nbytes %zu\n", kMagicLine, to_string(ds.kind()),
+               payload.size());
+  require(std::fwrite(payload.data(), 1, payload.size(), f.get()) == payload.size(),
+          "short write to '" + path + "'");
+}
+
+std::unique_ptr<DataSet> read_dataset(const std::string& path) {
+  FilePtr f = open_file(path, "rb");
+  require(read_line(f.get(), path) == kMagicLine,
+          "'" + path + "' is not an eth DataFile");
+  const std::string kind_line = read_line(f.get(), path);
+  require(starts_with(kind_line, "kind "), "'" + path + "': missing kind line");
+  const std::string bytes_line = read_line(f.get(), path);
+  require(starts_with(bytes_line, "bytes "), "'" + path + "': missing bytes line");
+  const Index payload_size = parse_index(bytes_line.substr(6), path);
+  require(payload_size >= 0, "'" + path + "': negative payload size");
+
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(payload_size));
+  require(std::fread(payload.data(), 1, payload.size(), f.get()) == payload.size(),
+          "'" + path + "': truncated payload");
+  auto ds = deserialize_dataset(payload);
+  // Cross-check the header against the payload's own type tag.
+  require(to_string(ds->kind()) == kind_line.substr(5),
+          "'" + path + "': header kind disagrees with payload");
+  return ds;
+}
+
+std::pair<DataSetKind, Bytes> probe_dataset(const std::string& path) {
+  FilePtr f = open_file(path, "rb");
+  require(read_line(f.get(), path) == kMagicLine,
+          "'" + path + "' is not an eth DataFile");
+  const std::string kind_line = read_line(f.get(), path);
+  require(starts_with(kind_line, "kind "), "'" + path + "': missing kind line");
+  const std::string bytes_line = read_line(f.get(), path);
+  require(starts_with(bytes_line, "bytes "), "'" + path + "': missing bytes line");
+  return {kind_from_name(trim(kind_line.substr(5)), path),
+          static_cast<Bytes>(parse_index(bytes_line.substr(6), path))};
+}
+
+} // namespace eth

@@ -1,0 +1,229 @@
+#include "insitu/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "common/timer.hpp"
+
+namespace eth::insitu {
+
+namespace {
+
+/// RAII file descriptor.
+class Fd {
+public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+private:
+  int fd_ = -1;
+};
+
+void write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      fail(std::string("SocketTransport: write failed: ") + std::strerror(errno));
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+}
+
+void read_all(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t got = ::read(fd, p, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      fail(std::string("SocketTransport: read failed: ") + std::strerror(errno));
+    }
+    require(got != 0, "SocketTransport: peer closed the connection mid-message");
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+}
+
+class TcpTransport final : public Transport {
+public:
+  explicit TcpTransport(Fd fd) : fd_(std::move(fd)) {
+    const int one = 1;
+    ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+
+  void send(std::vector<std::uint8_t> bytes) override {
+    std::uint64_t len = bytes.size();
+    std::uint8_t header[8];
+    for (int i = 0; i < 8; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    write_all(fd_.get(), header, sizeof header);
+    if (!bytes.empty()) write_all(fd_.get(), bytes.data(), bytes.size());
+    sent_ += bytes.size();
+  }
+
+  std::vector<std::uint8_t> recv() override {
+    std::uint8_t header[8];
+    read_all(fd_.get(), header, sizeof header);
+    std::uint64_t len = 0;
+    for (int i = 0; i < 8; ++i) len |= std::uint64_t(header[i]) << (8 * i);
+    require(len < (std::uint64_t(1) << 34),
+            "SocketTransport: implausible message length (corrupt stream?)");
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(len));
+    if (len > 0) read_all(fd_.get(), bytes.data(), bytes.size());
+    return bytes;
+  }
+
+  Bytes bytes_sent() const override { return sent_; }
+
+private:
+  Fd fd_;
+  Bytes sent_ = 0;
+};
+
+} // namespace
+
+void layout_file_publish(const std::string& path, const LayoutEntry& entry) {
+  require(entry.rank >= 0 && entry.port > 0 && !entry.host.empty(),
+          "layout_file_publish: incomplete entry");
+  const std::string line =
+      strprintf("%d %s %d\n", entry.rank, entry.host.c_str(), entry.port);
+  // O_APPEND writes of one short line are atomic on POSIX, so parallel
+  // ranks publishing concurrently never interleave.
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  require(fd >= 0, "layout_file_publish: cannot open '" + path + "'");
+  Fd guard(fd);
+  write_all(fd, line.data(), line.size());
+}
+
+std::vector<LayoutEntry> layout_file_read(const std::string& path) {
+  std::vector<LayoutEntry> entries;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return entries; // not published yet
+  Fd guard(fd);
+  std::string content;
+  char buf[4096];
+  ssize_t got;
+  while ((got = ::read(fd, buf, sizeof buf)) > 0)
+    content.append(buf, static_cast<std::size_t>(got));
+  for (const std::string& raw : split(content, '\n')) {
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split(line, ' ');
+    if (fields.size() != 3) continue; // torn or foreign line: skip
+    LayoutEntry e;
+    e.rank = static_cast<int>(parse_index(fields[0], "layout file rank"));
+    e.host = fields[1];
+    e.port = static_cast<int>(parse_index(fields[2], "layout file port"));
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+LayoutEntry layout_file_wait(const std::string& path, int rank, double timeout_seconds) {
+  WallTimer timer;
+  while (timer.elapsed() < timeout_seconds) {
+    for (const LayoutEntry& e : layout_file_read(path))
+      if (e.rank == rank) return e;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  fail(strprintf("layout_file_wait: rank %d never appeared in '%s'", rank,
+                 path.c_str()));
+}
+
+std::unique_ptr<Transport> socket_listen(const std::string& layout_path, int rank,
+                                         double timeout_seconds) {
+  Fd listener(::socket(AF_INET, SOCK_STREAM, 0));
+  require(listener.valid(), "socket_listen: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listener.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0; // ephemeral
+  require(::bind(listener.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0,
+          "socket_listen: bind failed");
+  socklen_t addr_len = sizeof addr;
+  require(::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0,
+          "socket_listen: getsockname failed");
+  require(::listen(listener.get(), 1) == 0, "socket_listen: listen failed");
+
+  layout_file_publish(layout_path,
+                      LayoutEntry{rank, "127.0.0.1", ntohs(addr.sin_port)});
+
+  // Accept with timeout via non-blocking poll loop.
+  const int flags = ::fcntl(listener.get(), F_GETFL, 0);
+  ::fcntl(listener.get(), F_SETFL, flags | O_NONBLOCK);
+  WallTimer timer;
+  while (timer.elapsed() < timeout_seconds) {
+    const int conn = ::accept(listener.get(), nullptr, nullptr);
+    if (conn >= 0) {
+      const int cflags = ::fcntl(conn, F_GETFL, 0);
+      ::fcntl(conn, F_SETFL, cflags & ~O_NONBLOCK);
+      return std::make_unique<TcpTransport>(Fd(conn));
+    }
+    require(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR,
+            std::string("socket_listen: accept failed: ") + std::strerror(errno));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  fail(strprintf("socket_listen: rank %d timed out waiting for a connection", rank));
+}
+
+std::unique_ptr<Transport> socket_connect(const std::string& layout_path, int rank,
+                                          double timeout_seconds) {
+  const LayoutEntry entry = layout_file_wait(layout_path, rank, timeout_seconds);
+
+  WallTimer timer;
+  while (timer.elapsed() < timeout_seconds) {
+    Fd sock(::socket(AF_INET, SOCK_STREAM, 0));
+    require(sock.valid(), "socket_connect: cannot create socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(entry.port));
+    require(::inet_pton(AF_INET, entry.host.c_str(), &addr.sin_addr) == 1,
+            "socket_connect: bad host '" + entry.host + "'");
+    if (::connect(sock.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+      return std::make_unique<TcpTransport>(std::move(sock));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  fail(strprintf("socket_connect: rank %d could not connect within %.1fs", rank,
+                 timeout_seconds));
+}
+
+} // namespace eth::insitu

@@ -1,0 +1,56 @@
+#pragma once
+// SocketTransport: the paper's internode rendezvous over real TCP.
+//
+// §III-C, verbatim protocol: "the simulation proxy application is
+// started. Each process of the application then adds its assigned IP
+// address and port number to a globally accessible layout file, then
+// opens its port and waits for connection. The visualization proxy
+// application is then started. Each process ... references the global
+// layout file, determines the location of the simulation proxy(s) it
+// will receive data from, waits for the corresponding port to open, and
+// then establishes the connection."
+//
+// This implementation binds loopback ephemeral ports, appends
+// "rank host port" lines to the layout file (O_APPEND, one line per
+// write, so concurrent ranks never interleave), and retries connection
+// until the peer's line appears.
+//
+// Wire format: u64 little-endian length + payload, per message.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "insitu/transport.hpp"
+
+namespace eth::insitu {
+
+/// One "rank host port" record of the layout file.
+struct LayoutEntry {
+  int rank = -1;
+  std::string host;
+  int port = 0;
+};
+
+/// Append this rank's entry (atomic single-line append).
+void layout_file_publish(const std::string& path, const LayoutEntry& entry);
+
+/// Parse every complete entry currently in the file (missing file ->
+/// empty list).
+std::vector<LayoutEntry> layout_file_read(const std::string& path);
+
+/// Poll until `rank`'s entry appears or `timeout_seconds` elapses
+/// (throws on timeout).
+LayoutEntry layout_file_wait(const std::string& path, int rank, double timeout_seconds);
+
+/// Simulation-proxy side: bind + publish + accept one peer.
+/// Blocks in accept until the visualization proxy connects.
+std::unique_ptr<Transport> socket_listen(const std::string& layout_path, int rank,
+                                         double timeout_seconds = 30.0);
+
+/// Visualization-proxy side: wait for the layout entry, then connect
+/// (retrying until the port accepts or the timeout elapses).
+std::unique_ptr<Transport> socket_connect(const std::string& layout_path, int rank,
+                                          double timeout_seconds = 30.0);
+
+} // namespace eth::insitu

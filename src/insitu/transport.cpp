@@ -1,0 +1,83 @@
+#include "insitu/transport.hpp"
+
+#include "common/error.hpp"
+#include "data/serialize.hpp"
+
+namespace eth::insitu {
+
+void Transport::send_dataset(const DataSet& ds) { send(serialize_dataset(ds)); }
+
+std::unique_ptr<DataSet> Transport::recv_dataset() {
+  const std::vector<std::uint8_t> bytes = recv();
+  return deserialize_dataset(bytes);
+}
+
+namespace {
+
+/// One direction of the in-process channel.
+struct Pipe {
+  std::mutex mutex;
+  std::condition_variable arrived;
+  std::deque<std::vector<std::uint8_t>> queue;
+  bool closed = false;
+
+  void push(std::vector<std::uint8_t> bytes) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      queue.push_back(std::move(bytes));
+    }
+    arrived.notify_one();
+  }
+
+  std::vector<std::uint8_t> pop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    arrived.wait(lock, [this] { return !queue.empty() || closed; });
+    require(!queue.empty(), "InProcChannel: peer endpoint destroyed while receiving");
+    std::vector<std::uint8_t> bytes = std::move(queue.front());
+    queue.pop_front();
+    return bytes;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      closed = true;
+    }
+    arrived.notify_all();
+  }
+};
+
+class InProcEndpoint final : public Transport {
+public:
+  InProcEndpoint(std::shared_ptr<Pipe> out, std::shared_ptr<Pipe> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~InProcEndpoint() override {
+    out_->close(); // wake a peer blocked on recv so it can fail cleanly
+  }
+
+  void send(std::vector<std::uint8_t> bytes) override {
+    sent_ += bytes.size();
+    out_->push(std::move(bytes));
+  }
+
+  std::vector<std::uint8_t> recv() override { return in_->pop(); }
+
+  Bytes bytes_sent() const override { return sent_; }
+
+private:
+  std::shared_ptr<Pipe> out_;
+  std::shared_ptr<Pipe> in_;
+  Bytes sent_ = 0;
+};
+
+} // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_inproc_channel() {
+  auto a_to_b = std::make_shared<Pipe>();
+  auto b_to_a = std::make_shared<Pipe>();
+  return {std::make_unique<InProcEndpoint>(a_to_b, b_to_a),
+          std::make_unique<InProcEndpoint>(b_to_a, a_to_b)};
+}
+
+} // namespace eth::insitu

@@ -1,0 +1,52 @@
+#pragma once
+// Transports: how datasets cross the simulation/visualization interface.
+//
+// The paper's proxies either live in one process (tight coupling) or
+// "communicat[e] via the socket layer" (§III-C). ETH provides:
+//  * InProcChannel   - a shared-memory queue between two threads of one
+//                      process (intercore coupling's data hand-off).
+//  * SocketTransport - real loopback TCP with the paper's two-step
+//                      rendezvous: the simulation proxy publishes
+//                      "rank host port" lines to a globally accessible
+//                      layout file, opens its port and waits; the
+//                      visualization proxy polls the layout file, then
+//                      connects (socket_transport.hpp).
+//
+// Both move the same length-prefixed serialized-dataset messages, so
+// coupling strategy is a pure configuration switch.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace eth::insitu {
+
+/// Bidirectional message endpoint.
+class Transport {
+public:
+  virtual ~Transport() = default;
+
+  /// Send a raw message (blocking until enqueued/written).
+  virtual void send(std::vector<std::uint8_t> bytes) = 0;
+
+  /// Receive the next message (blocking).
+  virtual std::vector<std::uint8_t> recv() = 0;
+
+  /// Total payload bytes moved through send() on this endpoint.
+  virtual Bytes bytes_sent() const = 0;
+
+  // Dataset convenience wrappers over data/serialize.
+  void send_dataset(const DataSet& ds);
+  std::unique_ptr<DataSet> recv_dataset();
+};
+
+/// Create both ends of an in-process channel. Thread-safe; either end
+/// may send and receive.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_inproc_channel();
+
+} // namespace eth::insitu

@@ -1,0 +1,129 @@
+#pragma once
+// minimpi: an in-process message-passing runtime with MPI semantics.
+//
+// The paper's proxies are SPMD MPI programs ("IMPI 5.1.2 is used to
+// parallelize our jobs"). This container has no MPI, so minimpi provides
+// the same programming model — ranks, tagged point-to-point messages,
+// and the collectives the proxies need — with each rank running as a
+// thread of one process. All rank-level ETH code (partitioning,
+// rendering, compositing, the in-situ coupling loop) is written against
+// this interface exactly as it would be against MPI.
+//
+// Semantics implemented (matching MPI where it matters for correctness):
+//  * send() is buffered (never blocks on a matching recv) — MPI_Bsend.
+//  * recv() matches on (source, tag) in program order per pair — MPI's
+//    non-overtaking rule holds because each (src,dst) stream is FIFO.
+//  * Collectives are synchronizing and must be called by every rank of
+//    the communicator in the same order.
+//  * split() creates sub-communicators by color/key, like MPI_Comm_split.
+//
+// Deliberate simplifications: no non-blocking requests (the proxies use
+// blocking phases), no wildcards (kAnyTag only, no kAnySource), no
+// derived datatypes (payloads are byte spans; typed helpers wrap them).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace eth::mpi {
+
+/// Reduction operators for reduce()/allreduce().
+enum class ReduceOp { kSum, kMin, kMax, kProd };
+
+constexpr int kAnyTag = -1;
+
+namespace detail {
+class WorldState;
+class GroupState;
+} // namespace detail
+
+/// A communicator: the rank-local handle every SPMD function receives.
+class Comm {
+public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // -------------------------------------------------- point-to-point
+  /// Buffered send of `bytes` to `dest` with `tag`.
+  void send(int dest, int tag, std::span<const std::uint8_t> bytes);
+
+  /// Blocking receive matching (source, tag); tag may be kAnyTag.
+  /// Returns the payload.
+  std::vector<std::uint8_t> recv(int source, int tag = kAnyTag);
+
+  /// Typed convenience wrappers for trivially copyable values.
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag, std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(&v), sizeof(T)));
+  }
+
+  template <typename T>
+  T recv_value(int source, int tag = kAnyTag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::uint8_t> bytes = recv(source, tag);
+    T v;
+    copy_exact(bytes, &v, sizeof(T));
+    return v;
+  }
+
+  // ------------------------------------------------------ collectives
+  /// Synchronize all ranks of this communicator.
+  void barrier();
+
+  /// Root's buffer is copied to every rank; others pass their receive
+  /// buffer (resized to match).
+  void broadcast(std::vector<std::uint8_t>& bytes, int root);
+
+  /// Element-wise reduction of `in` into root's `out` (out ignored on
+  /// non-roots). Buffers on all ranks must have equal length.
+  void reduce(std::span<const double> in, std::span<double> out, ReduceOp op, int root);
+
+  /// reduce + broadcast.
+  void allreduce(std::span<const double> in, std::span<double> out, ReduceOp op);
+
+  double allreduce_scalar(double v, ReduceOp op);
+
+  /// Concatenate every rank's byte buffer at the root, in rank order.
+  std::vector<std::vector<std::uint8_t>> gather(std::span<const std::uint8_t> bytes,
+                                                int root);
+
+  /// gather visible on all ranks.
+  std::vector<std::vector<std::uint8_t>> allgather(std::span<const std::uint8_t> bytes);
+
+  /// Root distributes chunks[i] to rank i; returns this rank's chunk.
+  std::vector<std::uint8_t> scatter(const std::vector<std::vector<std::uint8_t>>& chunks,
+                                    int root);
+
+  /// Partition ranks by `color` (same color => same sub-communicator);
+  /// ranks are ordered by (key, old rank), like MPI_Comm_split.
+  Comm split(int color, int key);
+
+private:
+  friend class World;
+  friend void run_world(int, const std::function<void(Comm&)>&);
+
+  Comm(std::shared_ptr<detail::GroupState> group, int rank)
+      : group_(std::move(group)), rank_(rank) {}
+
+  static void copy_exact(const std::vector<std::uint8_t>& bytes, void* out,
+                         std::size_t n);
+
+  std::shared_ptr<detail::GroupState> group_;
+  int rank_ = 0;
+};
+
+/// Launch `size` ranks, each running `fn(comm)` on its own thread, and
+/// wait for all to finish. Exceptions escaping any rank are captured and
+/// the first one is rethrown on the caller's thread after all ranks
+/// complete or abort.
+void run_world(int size, const std::function<void(Comm&)>& fn);
+
+const char* to_string(ReduceOp op);
+
+} // namespace eth::mpi

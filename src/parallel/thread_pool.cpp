@@ -1,0 +1,100 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace eth {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    require(!shutting_down_, "ThreadPool::submit after shutdown");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return; // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task(); // noexcept boundary: a throwing task terminates
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, Index begin, Index end, Index grain,
+                  const std::function<void(Index, Index)>& fn) {
+  require(grain > 0, "parallel_for: grain must be positive");
+  if (begin >= end) return;
+
+  const Index n = end - begin;
+  const Index workers = static_cast<Index>(pool.size());
+  // Inline when chunking cannot help: tiny range or single worker.
+  if (workers <= 1 || n <= grain) {
+    fn(begin, end);
+    return;
+  }
+
+  const Index chunks = std::min(workers * 4, (n + grain - 1) / grain);
+  const Index chunk_size = (n + chunks - 1) / chunks;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  Index remaining = 0;
+  for (Index c = 0; c < chunks; ++c) {
+    const Index b = begin + c * chunk_size;
+    if (b >= end) break;
+    const Index e = std::min(b + chunk_size, end);
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      ++remaining;
+    }
+    pool.submit([&, b, e] {
+      fn(b, e);
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+} // namespace eth

@@ -1,0 +1,66 @@
+#pragma once
+// Fixed-size worker pool and a blocked-range parallel_for, standing in
+// for the Intel TBB layer the paper's software stack uses for
+// intra-node threading. Rank kernels call parallel_for for their pixel
+// and cell loops; on a 1-core container this degrades to serial
+// execution with identical semantics.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace eth {
+
+class ThreadPool {
+public:
+  /// `threads` == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task; tasks must not throw (a measurement harness cannot
+  /// sensibly continue past a failed kernel chunk — violations
+  /// terminate via the noexcept boundary in the worker loop).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  Index in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Process-wide pool shared by kernels that don't carry their own.
+ThreadPool& global_pool();
+
+/// Chunked parallel loop over [begin, end). `fn(chunk_begin, chunk_end)`
+/// is invoked on pool workers; `grain` bounds the minimum chunk size.
+/// Blocks until the whole range is processed. Runs inline when the range
+/// is small or the pool has a single worker (avoids queueing overhead
+/// that would distort per-thread CPU timing).
+void parallel_for(ThreadPool& pool, Index begin, Index end, Index grain,
+                  const std::function<void(Index, Index)>& fn);
+
+inline void parallel_for(Index begin, Index end, Index grain,
+                         const std::function<void(Index, Index)>& fn) {
+  parallel_for(global_pool(), begin, end, grain, fn);
+}
+
+} // namespace eth

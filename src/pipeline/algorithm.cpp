@@ -1,0 +1,49 @@
+#include "pipeline/algorithm.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace eth {
+
+void Algorithm::set_input(std::shared_ptr<const DataSet> input) {
+  require(input != nullptr, "Algorithm::set_input: null dataset");
+  fixed_input_ = std::move(input);
+  upstream_ = nullptr;
+  modified();
+}
+
+void Algorithm::set_input_connection(std::shared_ptr<Algorithm> upstream) {
+  require(upstream != nullptr, "Algorithm::set_input_connection: null upstream");
+  require(upstream.get() != this, "Algorithm: cannot connect to itself");
+  upstream_ = std::move(upstream);
+  fixed_input_ = nullptr;
+  modified();
+}
+
+std::shared_ptr<const DataSet> Algorithm::update() {
+  std::shared_ptr<const DataSet> input;
+  if (upstream_) {
+    // Pull upstream first; if it re-executed, its output pointer
+    // changes, which we detect by comparing against our cached input.
+    input = upstream_->update();
+    if (input != fixed_input_) {
+      fixed_input_ = input;
+      dirty_ = true;
+    }
+  } else {
+    input = fixed_input_;
+  }
+  if (!is_source())
+    require(input != nullptr, "Algorithm::update: filter has no input connected");
+
+  if (dirty_) {
+    ThreadCpuTimer timer;
+    output_ = execute(input.get(), counters_);
+    require(output_ != nullptr, "Algorithm::execute returned null output");
+    counters_.phases.add(phase_name(), timer.elapsed());
+    dirty_ = false;
+  }
+  return output_;
+}
+
+} // namespace eth

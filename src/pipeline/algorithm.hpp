@@ -1,0 +1,66 @@
+#pragma once
+// The ETH pipeline: a demand-driven chain of operators in the style of
+// VTK's data-centric pipeline ("VTK implements a data-centric pipeline
+// of operators, filters and rendering operations that operate on data,
+// then pass it along to the next element" — paper §III).
+//
+// An Algorithm owns one optional upstream connection and produces one
+// DataSet. update() pulls the upstream output (recursively), re-executes
+// when dirty, and caches. modified() dirties this algorithm and, through
+// pull semantics, everything downstream of it on the next update().
+
+#include <memory>
+
+#include "cluster/counters.hpp"
+#include "data/dataset.hpp"
+
+namespace eth {
+
+class Algorithm {
+public:
+  virtual ~Algorithm() = default;
+
+  Algorithm(const Algorithm&) = delete;
+  Algorithm& operator=(const Algorithm&) = delete;
+
+  /// Connect a fixed dataset as the input (source-style use).
+  void set_input(std::shared_ptr<const DataSet> input);
+
+  /// Connect another algorithm's output as the input (filter-style use).
+  void set_input_connection(std::shared_ptr<Algorithm> upstream);
+
+  /// Pull: bring the output up to date and return it.
+  std::shared_ptr<const DataSet> update();
+
+  /// Mark dirty; the next update() re-executes this algorithm.
+  void modified() { dirty_ = true; }
+
+  /// Work accounting accumulated over every execute() since the last
+  /// reset_counters(); the harness reads these after a run.
+  const cluster::PerfCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = cluster::PerfCounters{}; }
+
+protected:
+  Algorithm() = default;
+
+  /// Produce the output from `input`. Sources receive nullptr.
+  /// Implementations record their work into `counters`.
+  virtual std::unique_ptr<DataSet> execute(const DataSet* input,
+                                           cluster::PerfCounters& counters) = 0;
+
+  /// True when this algorithm needs no input (a source).
+  virtual bool is_source() const { return false; }
+
+  /// Phase-timer bucket execute() time is charged to ("extract" for
+  /// geometry extraction filters, "sample" for samplers, ...).
+  virtual const char* phase_name() const { return "extract"; }
+
+private:
+  std::shared_ptr<const DataSet> fixed_input_;
+  std::shared_ptr<Algorithm> upstream_;
+  std::shared_ptr<const DataSet> output_;
+  cluster::PerfCounters counters_;
+  bool dirty_ = true;
+};
+
+} // namespace eth

@@ -1,0 +1,177 @@
+#include "pipeline/halo_finder.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "data/point_set.hpp"
+
+namespace eth {
+
+namespace {
+
+/// Union-find with path halving + union by size.
+class DisjointSets {
+public:
+  explicit DisjointSets(Index n) : parent_(static_cast<std::size_t>(n)), size_(static_cast<std::size_t>(n), 1) {
+    for (Index i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+  }
+
+  Index find(Index x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  void unite(Index a, Index b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)])
+      std::swap(a, b);
+    parent_[static_cast<std::size_t>(b)] = a;
+    size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+  }
+
+private:
+  std::vector<Index> parent_;
+  std::vector<Index> size_;
+};
+
+std::int64_t cell_key(std::int64_t cx, std::int64_t cy, std::int64_t cz) {
+  // Pack into a single key; 21 bits per axis covers any practical grid.
+  return (cx & 0x1FFFFF) | ((cy & 0x1FFFFF) << 21) | ((cz & 0x1FFFFF) << 42);
+}
+
+} // namespace
+
+HaloFinder::HaloFinder(Real linking_length, Index min_members)
+    : linking_length_(linking_length), min_members_(min_members) {
+  require(linking_length > 0, "HaloFinder: linking length must be positive");
+  require(min_members >= 1, "HaloFinder: min_members must be >= 1");
+}
+
+void HaloFinder::set_linking_length(Real l) {
+  require(l > 0, "HaloFinder: linking length must be positive");
+  linking_length_ = l;
+  modified();
+}
+
+void HaloFinder::set_min_members(Index m) {
+  require(m >= 1, "HaloFinder: min_members must be >= 1");
+  min_members_ = m;
+  modified();
+}
+
+std::unique_ptr<DataSet> HaloFinder::execute(const DataSet* input,
+                                             cluster::PerfCounters& counters) {
+  require(input != nullptr && input->kind() == DataSetKind::kPointSet,
+          "HaloFinder: input must be a PointSet");
+  const auto& ps = static_cast<const PointSet&>(*input);
+  const Index n = ps.num_points();
+  const Real link2 = linking_length_ * linking_length_;
+  const Real inv_cell = Real(1) / linking_length_;
+
+  // Spatial hash: cell size = linking length, so friends are always in
+  // the 27-cell neighborhood.
+  std::unordered_map<std::int64_t, std::vector<Index>> cells;
+  cells.reserve(static_cast<std::size_t>(n));
+  const auto cell_of = [&](Vec3f p) {
+    return cell_key(static_cast<std::int64_t>(std::floor(p.x * inv_cell)),
+                    static_cast<std::int64_t>(std::floor(p.y * inv_cell)),
+                    static_cast<std::int64_t>(std::floor(p.z * inv_cell)));
+  };
+  for (Index i = 0; i < n; ++i) cells[cell_of(ps.position(i))].push_back(i);
+
+  DisjointSets sets(n);
+  Index pair_tests = 0;
+  for (Index i = 0; i < n; ++i) {
+    const Vec3f p = ps.position(i);
+    const auto cx = static_cast<std::int64_t>(std::floor(p.x * inv_cell));
+    const auto cy = static_cast<std::int64_t>(std::floor(p.y * inv_cell));
+    const auto cz = static_cast<std::int64_t>(std::floor(p.z * inv_cell));
+    for (std::int64_t dz = -1; dz <= 1; ++dz)
+      for (std::int64_t dy = -1; dy <= 1; ++dy)
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+          const auto it = cells.find(cell_key(cx + dx, cy + dy, cz + dz));
+          if (it == cells.end()) continue;
+          for (const Index j : it->second) {
+            if (j <= i) continue; // each pair once
+            ++pair_tests;
+            if (length2(ps.position(j) - p) <= link2) sets.unite(i, j);
+          }
+        }
+  }
+
+  // Accumulate per-root statistics.
+  struct HaloAccum {
+    Vec3d centroid_sum{0, 0, 0};
+    double speed_sum = 0;
+    Index members = 0;
+  };
+  std::unordered_map<Index, HaloAccum> accums;
+  const Field* velocity =
+      ps.point_fields().has("velocity") ? &ps.point_fields().get("velocity") : nullptr;
+  for (Index i = 0; i < n; ++i) {
+    HaloAccum& acc = accums[sets.find(i)];
+    const Vec3f p = ps.position(i);
+    acc.centroid_sum = acc.centroid_sum + Vec3d{double(p.x), double(p.y), double(p.z)};
+    if (velocity != nullptr) acc.speed_sum += double(length(velocity->get_vec3(i)));
+    ++acc.members;
+  }
+
+  // Emit halos that meet the membership threshold, largest first for
+  // deterministic, science-friendly ordering.
+  std::vector<std::pair<Index, const HaloAccum*>> halos;
+  for (const auto& [root, acc] : accums)
+    if (acc.members >= min_members_) halos.push_back({root, &acc});
+  std::sort(halos.begin(), halos.end(), [](const auto& a, const auto& b) {
+    return a.second->members != b.second->members
+               ? a.second->members > b.second->members
+               : a.first < b.first;
+  });
+
+  auto out = std::make_unique<PointSet>(static_cast<Index>(halos.size()));
+  Field members("members", out->num_points(), 1);
+  Field radius("radius", out->num_points(), 1);
+  Field mean_speed("mean_speed", out->num_points(), 1);
+  std::unordered_map<Index, Index> halo_slot;
+  for (std::size_t h = 0; h < halos.size(); ++h) {
+    const HaloAccum& acc = *halos[h].second;
+    const Vec3d c = acc.centroid_sum / double(acc.members);
+    out->set_position(static_cast<Index>(h), {Real(c.x), Real(c.y), Real(c.z)});
+    members.set(static_cast<Index>(h), Real(acc.members));
+    mean_speed.set(static_cast<Index>(h),
+                   velocity != nullptr ? Real(acc.speed_sum / double(acc.members))
+                                       : Real(0));
+    halo_slot[halos[h].first] = static_cast<Index>(h);
+  }
+
+  // Second pass for the RMS radius.
+  std::vector<double> r2_sum(halos.size(), 0);
+  for (Index i = 0; i < n; ++i) {
+    const auto it = halo_slot.find(sets.find(i));
+    if (it == halo_slot.end()) continue;
+    r2_sum[static_cast<std::size_t>(it->second)] +=
+        double(length2(ps.position(i) - out->position(it->second)));
+  }
+  for (std::size_t h = 0; h < halos.size(); ++h)
+    radius.set(static_cast<Index>(h),
+               Real(std::sqrt(r2_sum[h] / double(halos[h].second->members))));
+
+  out->point_fields().add(std::move(members));
+  out->point_fields().add(std::move(radius));
+  out->point_fields().add(std::move(mean_speed));
+
+  counters.elements_processed += n;
+  counters.flop_estimate += double(pair_tests) * 8.0;
+  counters.bytes_read += ps.byte_size();
+  counters.bytes_written += out->byte_size();
+  counters.max_parallel_items = std::max(counters.max_parallel_items, n);
+  return out;
+}
+
+} // namespace eth

@@ -1,0 +1,45 @@
+#pragma once
+// HaloFinder: friends-of-friends (FoF) clustering of particle data.
+//
+// The paper's motivating example of an in-situ ANALYSIS extract (§I):
+// "cosmology investigators ... while the algorithm tracks very large
+// numbers of particles, the science is particularly interested in the
+// distribution of halos". FoF is the standard halo definition: two
+// particles are friends when closer than the linking length; halos are
+// the connected components with at least `min_members` particles.
+//
+// Output: a PointSet of halo centers (member-mass centroids) with
+// per-halo point fields:
+//   "members"     - particle count
+//   "radius"      - RMS member distance from the centroid
+//   "mean_speed"  - mean |velocity| of members (when the input carries
+//                   a "velocity" field)
+//
+// Implementation: uniform-grid spatial hash with cell size = linking
+// length, union-find over neighbor pairs within the 27-cell stencil —
+// O(n) expected for bounded local densities.
+
+#include "pipeline/algorithm.hpp"
+
+namespace eth {
+
+class HaloFinder final : public Algorithm {
+public:
+  HaloFinder(Real linking_length, Index min_members = 10);
+
+  Real linking_length() const { return linking_length_; }
+  Index min_members() const { return min_members_; }
+  void set_linking_length(Real l);
+  void set_min_members(Index m);
+
+protected:
+  std::unique_ptr<DataSet> execute(const DataSet* input,
+                                   cluster::PerfCounters& counters) override;
+  const char* phase_name() const override { return "extract"; }
+
+private:
+  Real linking_length_;
+  Index min_members_;
+};
+
+} // namespace eth

@@ -1,0 +1,43 @@
+#include "pipeline/threshold.hpp"
+
+#include <vector>
+
+#include "data/point_set.hpp"
+
+namespace eth {
+
+ThresholdFilter::ThresholdFilter(std::string field_name, Real lower, Real upper)
+    : field_name_(std::move(field_name)), lower_(lower), upper_(upper) {
+  require(lower <= upper, "ThresholdFilter: lower must not exceed upper");
+}
+
+void ThresholdFilter::set_range(Real lower, Real upper) {
+  require(lower <= upper, "ThresholdFilter: lower must not exceed upper");
+  lower_ = lower;
+  upper_ = upper;
+  modified();
+}
+
+std::unique_ptr<DataSet> ThresholdFilter::execute(const DataSet* input,
+                                                  cluster::PerfCounters& counters) {
+  require(input != nullptr && input->kind() == DataSetKind::kPointSet,
+          "ThresholdFilter: input must be a PointSet");
+  const auto& ps = static_cast<const PointSet&>(*input);
+  const Field& field = ps.point_fields().get(field_name_);
+
+  std::vector<Index> keep;
+  const Index n = ps.num_points();
+  for (Index i = 0; i < n; ++i) {
+    const Real v = field.get(i);
+    if (v >= lower_ && v <= upper_) keep.push_back(i);
+  }
+
+  counters.elements_processed += n;
+  counters.bytes_read += ps.byte_size();
+  counters.max_parallel_items = std::max(counters.max_parallel_items, n);
+  auto out = std::make_unique<PointSet>(ps.subset(keep));
+  counters.bytes_written += out->byte_size();
+  return out;
+}
+
+} // namespace eth

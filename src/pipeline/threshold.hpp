@@ -1,0 +1,32 @@
+#pragma once
+// ThresholdFilter: keep only points whose scalar lies in [lower, upper].
+// The workhorse "configurable visualization operation" for case-specific
+// analyses (e.g. selecting the high-velocity tail of a HACC timestep)
+// — the paper's §III stresses that operations like this must be easy to
+// drop into a tested pipeline.
+
+#include <string>
+
+#include "pipeline/algorithm.hpp"
+
+namespace eth {
+
+class ThresholdFilter final : public Algorithm {
+public:
+  ThresholdFilter(std::string field_name, Real lower, Real upper);
+
+  void set_range(Real lower, Real upper);
+  Real lower() const { return lower_; }
+  Real upper() const { return upper_; }
+
+protected:
+  std::unique_ptr<DataSet> execute(const DataSet* input,
+                                   cluster::PerfCounters& counters) override;
+
+private:
+  std::string field_name_;
+  Real lower_;
+  Real upper_;
+};
+
+} // namespace eth

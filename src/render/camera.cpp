@@ -1,0 +1,68 @@
+#include "render/camera.hpp"
+
+#include <cmath>
+
+#include "common/aabb.hpp"
+#include "common/error.hpp"
+
+namespace eth {
+
+Camera::Camera(Vec3f eye, Vec3f center, Vec3f up, Real fovy_radians, Real znear,
+               Real zfar)
+    : eye_(eye), center_(center), up_(normalize(up)), fovy_(fovy_radians),
+      znear_(znear), zfar_(zfar) {
+  require(length(center - eye) > Real(0), "Camera: eye and center coincide");
+  require(fovy_radians > 0 && fovy_radians < Real(3.1), "Camera: bad field of view");
+  require(znear > 0 && zfar > znear, "Camera: bad depth range");
+}
+
+Camera Camera::framing(const AABB& box, Vec3f view_dir, Real fovy_radians) {
+  require(!box.is_empty(), "Camera::framing: empty bounds");
+  const Vec3f dir = normalize(view_dir);
+  const Real radius = std::max(box.diagonal() * Real(0.5), Real(1e-6));
+  // Distance so the bounding sphere subtends ~90 % of the vertical fov.
+  const Real dist = radius / std::tan(fovy_radians * Real(0.45));
+  const Vec3f center = box.center();
+  const Vec3f eye = center - dir * dist;
+  const Vec3f up = std::abs(dir.y) > Real(0.95) ? Vec3f{0, 0, 1} : Vec3f{0, 1, 0};
+  return Camera(eye, center, up, fovy_radians, dist * Real(0.01), dist + radius * 4);
+}
+
+Mat4 Camera::view() const { return look_at(eye_, center_, up_); }
+
+Mat4 Camera::projection(Real aspect) const {
+  return perspective(fovy_, aspect, znear_, zfar_);
+}
+
+Ray Camera::generate_ray(Index px, Index py, Index width, Index height) const {
+  return frame(width, height).ray(px, py);
+}
+
+CameraFrame Camera::frame(Index width, Index height) const {
+  require(width > 0 && height > 0, "Camera::frame: empty image");
+  CameraFrame f;
+  f.origin = eye_;
+  f.forward = normalize(center_ - eye_);
+  f.right = normalize(cross(f.forward, up_));
+  f.up = cross(f.right, f.forward);
+  f.half_h = std::tan(fovy_ / 2);
+  f.half_w = f.half_h * Real(width) / Real(height);
+  f.inv_width = Real(1) / Real(width);
+  f.inv_height = Real(1) / Real(height);
+  return f;
+}
+
+Real Camera::eye_depth(Vec3f p) const {
+  const Vec3f fwd = normalize(center_ - eye_);
+  return dot(p - eye_, fwd);
+}
+
+Camera Camera::orbited(Real radians, Vec3f axis) const {
+  const Mat4 rot = rotate(axis, radians);
+  const Vec3f rel = eye_ - center_;
+  const Vec3f new_eye = center_ + transform_vector(rot, rel);
+  const Vec3f new_up = transform_vector(rot, up_);
+  return Camera(new_eye, center_, new_up, fovy_, znear_, zfar_);
+}
+
+} // namespace eth

@@ -1,0 +1,81 @@
+#pragma once
+// Camera: shared view definition for both rendering back-ends. The
+// geometry pipeline consumes view_proj(); the raycaster consumes
+// generate_ray(). Keeping one camera type guarantees the two pipelines
+// render the same view — a precondition for the paper's RMSE
+// comparisons between algorithms (Table II).
+
+#include "common/aabb.hpp"
+#include "common/mat.hpp"
+#include "common/vec.hpp"
+
+namespace eth {
+
+struct Ray {
+  Vec3f origin;
+  Vec3f direction; ///< unit length
+};
+
+/// Precomputed per-image ray-generation basis. Renderers build one per
+/// (camera, image size) and generate millions of rays without repeating
+/// the basis construction.
+struct CameraFrame {
+  Vec3f origin;
+  Vec3f forward, right, up;
+  Real half_w = 1, half_h = 1;
+  Real inv_width = 0, inv_height = 0;
+
+  Ray ray(Index px, Index py) const {
+    const Real ndc_x = (Real(2) * (Real(px) + Real(0.5))) * inv_width - Real(1);
+    const Real ndc_y = Real(1) - (Real(2) * (Real(py) + Real(0.5))) * inv_height;
+    return Ray{origin, normalize(forward + right * (ndc_x * half_w) +
+                                 up * (ndc_y * half_h))};
+  }
+};
+
+class Camera {
+public:
+  Camera() = default;
+  Camera(Vec3f eye, Vec3f center, Vec3f up, Real fovy_radians, Real znear, Real zfar);
+
+  /// Frame `box` from direction `view_dir` so it fills ~90 % of the
+  /// image. The standard way experiments position cameras: independent
+  /// of the data's absolute scale.
+  static Camera framing(const AABB& box, Vec3f view_dir, Real fovy_radians = Real(0.6));
+
+  Vec3f eye() const { return eye_; }
+  Vec3f center() const { return center_; }
+  Real fovy() const { return fovy_; }
+  Real znear() const { return znear_; }
+  Real zfar() const { return zfar_; }
+
+  Mat4 view() const;
+  Mat4 projection(Real aspect) const;
+  Mat4 view_projection(Real aspect) const { return projection(aspect) * view(); }
+
+  /// Primary ray through pixel (px, py) of a width x height image
+  /// (pixel centers; y grows downward in image space).
+  Ray generate_ray(Index px, Index py, Index width, Index height) const;
+
+  /// Precompute the ray-generation basis for a width x height image;
+  /// frame.ray(px, py) == generate_ray(px, py, width, height).
+  CameraFrame frame(Index width, Index height) const;
+
+  /// Eye-space depth (distance along the view axis) of world point `p`;
+  /// this is the depth both back-ends store, so their images composite.
+  Real eye_depth(Vec3f p) const;
+
+  /// New camera orbited around `center` by `radians` about `axis`
+  /// (camera animation paths for multi-image timesteps).
+  Camera orbited(Real radians, Vec3f axis = {0, 1, 0}) const;
+
+private:
+  Vec3f eye_{0, 0, 5};
+  Vec3f center_{0, 0, 0};
+  Vec3f up_{0, 1, 0};
+  Real fovy_ = Real(0.6);
+  Real znear_ = Real(0.1);
+  Real zfar_ = Real(1000);
+};
+
+} // namespace eth

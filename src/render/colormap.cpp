@@ -1,0 +1,75 @@
+#include "render/colormap.hpp"
+
+namespace eth {
+
+TransferFunction::TransferFunction(std::vector<ControlPoint> points)
+    : points_(std::move(points)) {
+  require(!points_.empty(), "TransferFunction: need at least one control point");
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    require(points_[i].value >= points_[i - 1].value,
+            "TransferFunction: control points must be sorted by value");
+}
+
+Vec4f TransferFunction::map(Real value) const {
+  require(!points_.empty(), "TransferFunction: empty");
+  if (value <= points_.front().value) return points_.front().rgba;
+  if (value >= points_.back().value) return points_.back().rgba;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (value <= points_[i].value) {
+      const ControlPoint& a = points_[i - 1];
+      const ControlPoint& b = points_[i];
+      const Real span = b.value - a.value;
+      const Real t = span > 0 ? (value - a.value) / span : Real(0);
+      return a.rgba + (b.rgba - a.rgba) * t;
+    }
+  }
+  return points_.back().rgba;
+}
+
+TransferFunction TransferFunction::rescaled(Real lo, Real hi) const {
+  require(hi >= lo, "TransferFunction::rescaled: inverted range");
+  const Real old_lo = points_.front().value;
+  const Real old_hi = points_.back().value;
+  const Real old_span = old_hi - old_lo;
+  std::vector<ControlPoint> out = points_;
+  for (ControlPoint& p : out) {
+    const Real t = old_span > 0 ? (p.value - old_lo) / old_span : Real(0);
+    p.value = lo + (hi - lo) * t;
+  }
+  return TransferFunction(std::move(out));
+}
+
+TransferFunction TransferFunction::grayscale() {
+  return TransferFunction({{0.0f, {0, 0, 0, 1}}, {1.0f, {1, 1, 1, 1}}});
+}
+
+TransferFunction TransferFunction::cool_warm() {
+  return TransferFunction({{0.0f, {0.23f, 0.30f, 0.75f, 1}},
+                           {0.5f, {0.87f, 0.87f, 0.87f, 1}},
+                           {1.0f, {0.71f, 0.02f, 0.15f, 1}}});
+}
+
+TransferFunction TransferFunction::viridis() {
+  return TransferFunction({{0.00f, {0.267f, 0.005f, 0.329f, 1}},
+                           {0.25f, {0.229f, 0.322f, 0.546f, 1}},
+                           {0.50f, {0.128f, 0.567f, 0.551f, 1}},
+                           {0.75f, {0.369f, 0.789f, 0.383f, 1}},
+                           {1.00f, {0.993f, 0.906f, 0.144f, 1}}});
+}
+
+TransferFunction TransferFunction::thermal() {
+  return TransferFunction({{0.00f, {0.0f, 0.0f, 0.0f, 0.0f}},
+                           {0.30f, {0.5f, 0.0f, 0.0f, 0.4f}},
+                           {0.60f, {1.0f, 0.3f, 0.0f, 0.7f}},
+                           {0.85f, {1.0f, 0.8f, 0.1f, 0.9f}},
+                           {1.00f, {1.0f, 1.0f, 0.9f, 1.0f}}});
+}
+
+TransferFunction TransferFunction::halo_density() {
+  return TransferFunction({{0.00f, {0.02f, 0.03f, 0.15f, 0.1f}},
+                           {0.40f, {0.10f, 0.25f, 0.60f, 0.4f}},
+                           {0.75f, {0.60f, 0.75f, 0.95f, 0.8f}},
+                           {1.00f, {1.00f, 1.00f, 1.00f, 1.0f}}});
+}
+
+} // namespace eth

@@ -1,0 +1,48 @@
+#pragma once
+// TransferFunction: maps scalar values to color and opacity — the
+// "easily configurable visualization operation" knob for how extracted
+// data is presented. Piecewise-linear over explicit control points,
+// like VTK's vtkColorTransferFunction.
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/vec.hpp"
+
+namespace eth {
+
+class TransferFunction {
+public:
+  struct ControlPoint {
+    Real value;  ///< scalar position
+    Vec4f rgba;  ///< color + opacity at that position
+  };
+
+  TransferFunction() = default;
+
+  /// Control points must be passed sorted by value (checked).
+  explicit TransferFunction(std::vector<ControlPoint> points);
+
+  /// Map a scalar: clamps outside the control range, linear between
+  /// points.
+  Vec4f map(Real value) const;
+
+  /// Remap the control points onto [lo, hi] (preserving shape); used to
+  /// fit a preset map to a field's range.
+  TransferFunction rescaled(Real lo, Real hi) const;
+
+  const std::vector<ControlPoint>& points() const { return points_; }
+
+  // -------- presets (defined over [0, 1]; rescale to the field range)
+  static TransferFunction grayscale();
+  static TransferFunction cool_warm();   ///< diverging blue-white-red
+  static TransferFunction viridis();     ///< perceptually uniform
+  static TransferFunction thermal();     ///< black-red-yellow-white (xRAGE temperature)
+  static TransferFunction halo_density();///< dark blue -> bright core (HACC)
+
+private:
+  std::vector<ControlPoint> points_;
+};
+
+} // namespace eth

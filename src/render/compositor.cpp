@@ -1,0 +1,97 @@
+#include "render/compositor.hpp"
+
+#include "common/error.hpp"
+#include "data/serialize.hpp"
+
+namespace eth {
+
+void depth_composite_pair(ImageBuffer& dst, const ImageBuffer& src,
+                          cluster::PerfCounters& counters) {
+  require(dst.width() == src.width() && dst.height() == src.height(),
+          "depth_composite_pair: size mismatch");
+  const std::size_t n = static_cast<std::size_t>(dst.num_pixels());
+  auto& dcol = dst.colors();
+  auto& ddep = dst.depths();
+  const auto& scol = src.colors();
+  const auto& sdep = src.depths();
+  for (std::size_t p = 0; p < n; ++p) {
+    if (sdep[p] < ddep[p]) {
+      ddep[p] = sdep[p];
+      dcol[p] = scol[p];
+    }
+  }
+  counters.elements_processed += dst.num_pixels();
+  counters.flop_estimate += double(n) * 2.0;
+}
+
+void depth_composite(std::span<const ImageBuffer> partials, ImageBuffer& out,
+                     cluster::PerfCounters& counters) {
+  for (const ImageBuffer& partial : partials)
+    depth_composite_pair(out, partial, counters);
+}
+
+void alpha_composite(std::span<const ImageBuffer> partials,
+                     std::span<const std::size_t> order, ImageBuffer& out,
+                     cluster::PerfCounters& counters) {
+  require(order.size() == partials.size(), "alpha_composite: order size mismatch");
+  for (const std::size_t idx : order) {
+    require(idx < partials.size(), "alpha_composite: order index out of range");
+    const ImageBuffer& src = partials[idx];
+    require(src.width() == out.width() && src.height() == out.height(),
+            "alpha_composite: size mismatch");
+    for (Index y = 0; y < out.height(); ++y)
+      for (Index x = 0; x < out.width(); ++x) out.blend_over(x, y, src.color(x, y));
+    counters.elements_processed += out.num_pixels();
+    counters.flop_estimate += double(out.num_pixels()) * 7.0;
+  }
+}
+
+void alpha_composite_premultiplied(std::span<const ImageBuffer> partials,
+                                   std::span<const std::size_t> order,
+                                   ImageBuffer& out,
+                                   cluster::PerfCounters& counters) {
+  require(order.size() == partials.size(),
+          "alpha_composite_premultiplied: order size mismatch");
+  for (const std::size_t idx : order) {
+    require(idx < partials.size(),
+            "alpha_composite_premultiplied: order index out of range");
+    const ImageBuffer& src = partials[idx];
+    require(src.width() == out.width() && src.height() == out.height(),
+            "alpha_composite_premultiplied: size mismatch");
+    for (Index y = 0; y < out.height(); ++y)
+      for (Index x = 0; x < out.width(); ++x) {
+        const Vec4f s = src.color(x, y);
+        if (s.w <= 0) continue;
+        const Vec4f d = out.color(x, y);
+        const Real trans = Real(1) - d.w;
+        out.set_color(x, y, {d.x + s.x * trans, d.y + s.y * trans,
+                             d.z + s.z * trans, d.w + s.w * trans});
+        if (src.depth(x, y) < out.depth(x, y)) out.set_depth(x, y, src.depth(x, y));
+      }
+    counters.elements_processed += out.num_pixels();
+    counters.flop_estimate += double(out.num_pixels()) * 8.0;
+  }
+}
+
+std::vector<std::uint8_t> pack_image(const ImageBuffer& image) {
+  ByteWriter w;
+  w.put_i64(image.width());
+  w.put_i64(image.height());
+  w.put_bytes(image.colors().data(), image.colors().size() * sizeof(Vec4f));
+  w.put_bytes(image.depths().data(), image.depths().size() * sizeof(Real));
+  return w.take();
+}
+
+ImageBuffer unpack_image(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const Index width = r.get_i64();
+  const Index height = r.get_i64();
+  require(width >= 0 && height >= 0, "unpack_image: negative dimensions");
+  ImageBuffer image(width, height);
+  r.get_bytes(image.colors().data(), image.colors().size() * sizeof(Vec4f));
+  r.get_bytes(image.depths().data(), image.depths().size() * sizeof(Real));
+  require(r.at_end(), "unpack_image: trailing bytes");
+  return image;
+}
+
+} // namespace eth

@@ -1,0 +1,48 @@
+#pragma once
+// Parallel image compositing.
+//
+// Each rank renders its spatial partition of the data into a full-size
+// image with an eye-space depth channel; the compositor merges the
+// per-rank images into the final artifact. For opaque geometry and
+// surfaces this is sort-last depth compositing (nearest depth wins per
+// pixel); for semi-transparent ray-marched output the per-rank images
+// must be blended in front-to-back order of their partitions.
+
+#include <span>
+#include <vector>
+
+#include "cluster/counters.hpp"
+#include "data/image.hpp"
+
+namespace eth {
+
+/// Depth-composite `partials` into `out` (all same size). Order
+/// independent. `out` should start cleared to the background.
+void depth_composite(std::span<const ImageBuffer> partials, ImageBuffer& out,
+                     cluster::PerfCounters& counters);
+
+/// Merge `src` into `dst` in place by depth test (binary-swap step).
+void depth_composite_pair(ImageBuffer& dst, const ImageBuffer& src,
+                          cluster::PerfCounters& counters);
+
+/// Alpha-composite `partials` over each other; `order` lists partial
+/// indices front to back (e.g. partitions sorted by view distance).
+/// Partial colors are STRAIGHT alpha (rgb not yet multiplied by a).
+void alpha_composite(std::span<const ImageBuffer> partials,
+                     std::span<const std::size_t> order, ImageBuffer& out,
+                     cluster::PerfCounters& counters);
+
+/// Same front-to-back composition for PREMULTIPLIED-alpha partials (the
+/// DVR renderer's output): out += partial * (1 - out.alpha), in order.
+/// `out` must start fully transparent. Depth keeps the nearest partial's
+/// entry depth per pixel.
+void alpha_composite_premultiplied(std::span<const ImageBuffer> partials,
+                                   std::span<const std::size_t> order,
+                                   ImageBuffer& out, cluster::PerfCounters& counters);
+
+/// Serialize / deserialize an image for minimpi transport during
+/// compositing (color + depth, little-endian).
+std::vector<std::uint8_t> pack_image(const ImageBuffer& image);
+ImageBuffer unpack_image(std::span<const std::uint8_t> bytes);
+
+} // namespace eth

@@ -1,0 +1,411 @@
+#include "render/ray/raycaster.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace eth {
+
+namespace {
+
+Vec4f shade_headlight(Vec3f normal, Vec3f ray_dir, Vec4f base, Real ambient) {
+  // Light rides with the camera: intensity from the angle between the
+  // surface normal and the reversed ray direction, two-sided.
+  const Real ndotl = std::abs(dot(normal, ray_dir));
+  const Real lit = ambient + (Real(1) - ambient) * clamp(ndotl, Real(0), Real(1));
+  return {base.x * lit, base.y * lit, base.z * lit, base.w};
+}
+
+} // namespace
+
+MinMaxGrid::MinMaxGrid(const StructuredGrid& grid, const Field& field,
+                       Index cells_per_macrocell) {
+  require(cells_per_macrocell >= 1, "MinMaxGrid: macrocell size must be >= 1");
+  const Vec3i cells = grid.cell_dims();
+  if (cells.x == 0 || cells.y == 0 || cells.z == 0) return;
+
+  dims_ = {(cells.x + cells_per_macrocell - 1) / cells_per_macrocell,
+           (cells.y + cells_per_macrocell - 1) / cells_per_macrocell,
+           (cells.z + cells_per_macrocell - 1) / cells_per_macrocell};
+  origin_ = grid.origin();
+  const Vec3f macro_world{grid.spacing().x * Real(cells_per_macrocell),
+                          grid.spacing().y * Real(cells_per_macrocell),
+                          grid.spacing().z * Real(cells_per_macrocell)};
+  inv_cell_ = Vec3f{1, 1, 1} / macro_world;
+  extent_ = std::min({macro_world.x, macro_world.y, macro_world.z});
+
+  ranges_.assign(static_cast<std::size_t>(dims_.x * dims_.y * dims_.z),
+                 {std::numeric_limits<Real>::max(), std::numeric_limits<Real>::lowest()});
+  // A macrocell's range covers every grid POINT of the cells it spans
+  // (the +1 closures make trilinear values within the span bounded by
+  // the recorded range).
+  const Vec3i pts = grid.dims();
+  for (Index k = 0; k < pts.z; ++k)
+    for (Index j = 0; j < pts.y; ++j)
+      for (Index i = 0; i < pts.x; ++i) {
+        const Real v = field.get(grid.point_index(i, j, k));
+        // Every macrocell whose cell span touches this point: point p
+        // borders cells p-1 and p.
+        const Index mi_lo = std::max<Index>(0, (i - 1) / cells_per_macrocell);
+        const Index mi_hi = std::min<Index>(dims_.x - 1, i / cells_per_macrocell);
+        const Index mj_lo = std::max<Index>(0, (j - 1) / cells_per_macrocell);
+        const Index mj_hi = std::min<Index>(dims_.y - 1, j / cells_per_macrocell);
+        const Index mk_lo = std::max<Index>(0, (k - 1) / cells_per_macrocell);
+        const Index mk_hi = std::min<Index>(dims_.z - 1, k / cells_per_macrocell);
+        for (Index mk = mk_lo; mk <= mk_hi; ++mk)
+          for (Index mj = mj_lo; mj <= mj_hi; ++mj)
+            for (Index mi = mi_lo; mi <= mi_hi; ++mi) {
+              auto& range = ranges_[static_cast<std::size_t>(
+                  mi + dims_.x * (mj + dims_.y * mk))];
+              range.first = std::min(range.first, v);
+              range.second = std::max(range.second, v);
+            }
+      }
+}
+
+bool MinMaxGrid::may_contain(Vec3f p, Real isovalue) const {
+  if (ranges_.empty()) return true;
+  const Vec3f rel = (p - origin_) * inv_cell_;
+  const auto mi = static_cast<Index>(rel.x);
+  const auto mj = static_cast<Index>(rel.y);
+  const auto mk = static_cast<Index>(rel.z);
+  if (rel.x < 0 || rel.y < 0 || rel.z < 0 || mi >= dims_.x || mj >= dims_.y ||
+      mk >= dims_.z)
+    return false;
+  const auto& range =
+      ranges_[static_cast<std::size_t>(mi + dims_.x * (mj + dims_.y * mk))];
+  return isovalue >= range.first && isovalue <= range.second;
+}
+
+void RaycastRenderer::build_volume(const StructuredGrid& grid,
+                                   const std::string& field_name,
+                                   cluster::PerfCounters& counters) {
+  const Field& field = grid.point_fields().get(field_name);
+  ThreadCpuTimer timer;
+  minmax_ = MinMaxGrid(grid, field);
+  counters.phases.add("build", timer.elapsed());
+  counters.elements_processed += grid.num_points();
+  counters.flop_estimate += double(grid.num_points()) * 4.0;
+}
+
+void RaycastRenderer::build_spheres(const PointSet& points,
+                                    const SphereRaycastOptions& options,
+                                    cluster::PerfCounters& counters) {
+  Real radius = options.world_radius;
+  if (radius <= 0) {
+    const AABB box = points.bounds();
+    radius = box.is_empty() ? Real(0.01) : box.diagonal() / Real(500);
+  }
+  radius_ = radius;
+
+  ThreadCpuTimer timer;
+  bvh_ = SphereBVH(points.positions(), radius, options.split, options.max_leaf_size);
+  counters.phases.add("build", timer.elapsed());
+  counters.elements_processed += points.num_points();
+  counters.bytes_read += points.byte_size();
+  const double n = double(std::max<Index>(1, points.num_points()));
+  counters.flop_estimate += n * std::log2(n) * 8.0; // O(N log N) setup
+  counters.max_parallel_items =
+      std::max(counters.max_parallel_items, points.num_points());
+}
+
+void RaycastRenderer::render_spheres(const PointSet& points, const Camera& camera,
+                                     ImageBuffer& image,
+                                     const SphereRaycastOptions& options,
+                                     cluster::PerfCounters& counters) const {
+  require(!bvh_.empty() || points.num_points() == 0,
+          "RaycastRenderer::render_spheres: call build_spheres first");
+  const Index width = image.width(), height = image.height();
+  if (width == 0 || height == 0) return;
+
+  const Field* scalars = nullptr;
+  if (options.colormap != nullptr && !options.scalar_field.empty() &&
+      points.point_fields().has(options.scalar_field))
+    scalars = &points.point_fields().get(options.scalar_field);
+
+  Index rays = 0;
+  for (Index py = 0; py < height; ++py) {
+    for (Index px = 0; px < width; ++px) {
+      const Ray ray = camera.generate_ray(px, py, width, height);
+      ++rays;
+      if (bvh_.empty()) continue;
+      const SphereHit hit =
+          bvh_.intersect(ray, camera.znear(), camera.zfar(), counters);
+      if (!hit.valid()) continue;
+      const Vec4f base = scalars != nullptr
+                             ? options.colormap->map(scalars->get(hit.primitive))
+                             : options.uniform_color;
+      const Vec4f color = shade_headlight(hit.normal, ray.direction, base, options.ambient);
+      const Vec3f p = ray.origin + ray.direction * hit.t;
+      image.depth_test_set(px, py, color, camera.eye_depth(p));
+    }
+  }
+
+  counters.rays_cast += rays;
+  counters.flop_estimate += double(rays) * 40.0;
+  counters.max_parallel_items =
+      std::max(counters.max_parallel_items, width * height);
+}
+
+namespace {
+
+/// Clip `ray` against `box` within [znear, zfar]; returns false on miss.
+bool clip_ray_to_box(const Ray& ray, const AABB& box, Real znear, Real zfar, Real& t0,
+                     Real& t1) {
+  Real lo = znear, hi = zfar;
+  for (int a = 0; a < 3; ++a) {
+    const Real inv = Real(1) / ray.direction[a];
+    Real ta = (box.lo[a] - ray.origin[a]) * inv;
+    Real tb = (box.hi[a] - ray.origin[a]) * inv;
+    if (ta > tb) std::swap(ta, tb);
+    lo = std::max(lo, ta);
+    hi = std::min(hi, tb);
+    if (hi < lo) return false;
+  }
+  t0 = lo;
+  t1 = hi;
+  return true;
+}
+
+/// March [t0, t_limit] for the first isovalue crossing; returns the
+/// refined hit parameter or -1. With a non-empty MinMaxGrid, spans
+/// whose macrocell cannot contain the isovalue are skipped (no crossing
+/// can occur in a span whose value range excludes the isovalue).
+Real march_iso(const StructuredGrid& grid, const Field& field, const MinMaxGrid& minmax,
+               const Ray& ray, Real t0, Real t_limit, Real step,
+               const IsoRaycastOptions& options, Index& steps_total) {
+  const bool use_skipping = !minmax.empty();
+  const Real skip = use_skipping ? minmax.macro_extent() * Real(0.5) : Real(0);
+  Real prev_t = t0 + Real(1e-6);
+  Real prev_v = grid.sample(field, ray.origin + ray.direction * prev_t);
+  for (Real t = prev_t + step; t <= t_limit;) {
+    if (use_skipping &&
+        !minmax.may_contain(ray.origin + ray.direction * t, options.isovalue)) {
+      t += std::max(skip, step);
+      ++steps_total;
+      prev_t = t;
+      prev_v = grid.sample(field, ray.origin + ray.direction * t);
+      t += step;
+      continue;
+    }
+    ++steps_total;
+    const Real v = grid.sample(field, ray.origin + ray.direction * t);
+    if ((prev_v - options.isovalue) * (v - options.isovalue) <= 0 && prev_v != v) {
+      // Bisection refinement inside [prev_t, t].
+      Real a = prev_t, b = t, va = prev_v;
+      for (int it = 0; it < options.bisection_iterations; ++it) {
+        const Real m = (a + b) / 2;
+        const Real vm = grid.sample(field, ray.origin + ray.direction * m);
+        if ((va - options.isovalue) * (vm - options.isovalue) <= 0)
+          b = m;
+        else {
+          a = m;
+          va = vm;
+        }
+      }
+      return (a + b) / 2;
+    }
+    prev_t = t;
+    prev_v = v;
+    t += step;
+  }
+  return Real(-1);
+}
+
+} // namespace
+
+void RaycastRenderer::render_volume_iso(const StructuredGrid& grid,
+                                        const std::string& field_name,
+                                        const Camera& camera, ImageBuffer& image,
+                                        const IsoRaycastOptions& options,
+                                        cluster::PerfCounters& counters) const {
+  render_volume_scene(grid, field_name, camera, image, options, {}, counters);
+}
+
+void RaycastRenderer::render_volume_scene(const StructuredGrid& grid,
+                                          const std::string& field_name,
+                                          const Camera& camera, ImageBuffer& image,
+                                          const IsoRaycastOptions& iso_options,
+                                          std::span<const SliceRaycastOptions> slices,
+                                          cluster::PerfCounters& counters) const {
+  const Index width = image.width(), height = image.height();
+  if (width == 0 || height == 0) return;
+  const Field& field = grid.point_fields().get(field_name);
+  const AABB box = grid.bounds();
+  require(!box.is_empty(), "render_volume_scene: empty grid");
+  for (const SliceRaycastOptions& slice : slices)
+    require(slice.colormap != nullptr, "render_volume_scene: slice needs a colormap");
+
+  const Vec3f spacing = grid.spacing();
+  const Real step = std::min({spacing.x, spacing.y, spacing.z}) *
+                    std::max(iso_options.step_scale, Real(0.05f));
+  const Vec4f iso_base = iso_options.colormap != nullptr
+                             ? iso_options.colormap->map(iso_options.isovalue)
+                             : iso_options.uniform_color;
+
+  // Unit slice normals, precomputed.
+  std::vector<Vec3f> slice_normals;
+  slice_normals.reserve(slices.size());
+  for (const SliceRaycastOptions& slice : slices)
+    slice_normals.push_back(normalize(slice.plane_normal));
+
+  const CameraFrame frame = camera.frame(width, height);
+  Index rays = 0;
+  Index steps_total = 0;
+  for (Index py = 0; py < height; ++py) {
+    for (Index px = 0; px < width; ++px) {
+      const Ray ray = frame.ray(px, py);
+      ++rays;
+      Real t0, t1;
+      if (!clip_ray_to_box(ray, box, camera.znear(), camera.zfar(), t0, t1)) continue;
+
+      // Nearest slice hit (if any); the isosurface march is then
+      // bounded by it — anything behind is occluded.
+      Real nearest = t1;
+      int nearest_slice = -1;
+      for (std::size_t s = 0; s < slices.size(); ++s) {
+        const Vec3f n = slice_normals[s];
+        const Real denom = dot(ray.direction, n);
+        if (std::abs(denom) < Real(1e-9)) continue;
+        const Real t = dot(slices[s].plane_origin - ray.origin, n) / denom;
+        if (t > t0 - Real(1e-4) && t < nearest) {
+          nearest = t;
+          nearest_slice = static_cast<int>(s);
+        }
+      }
+
+      const Real hit_t =
+          march_iso(grid, field, minmax_, ray, t0, nearest, step, iso_options,
+                    steps_total);
+      if (hit_t > 0) {
+        const Vec3f p = ray.origin + ray.direction * hit_t;
+        const Vec3f normal = normalize(grid.gradient(field, p));
+        const Vec4f color =
+            shade_headlight(normal, ray.direction, iso_base, iso_options.ambient);
+        image.depth_test_set(px, py, color, camera.eye_depth(p));
+      } else if (nearest_slice >= 0) {
+        const Vec3f p = ray.origin + ray.direction * nearest;
+        const SliceRaycastOptions& slice = slices[static_cast<std::size_t>(nearest_slice)];
+        const Real v = grid.sample(field, p);
+        const Vec4f color =
+            shade_headlight(slice_normals[static_cast<std::size_t>(nearest_slice)],
+                            ray.direction, slice.colormap->map(v), slice.ambient);
+        image.depth_test_set(px, py, color, camera.eye_depth(p));
+      }
+    }
+  }
+
+  counters.rays_cast += rays;
+  counters.ray_steps += steps_total;
+  counters.bytes_read += grid.byte_size();
+  counters.flop_estimate += double(steps_total) * 30.0 + double(rays) * 20.0;
+  counters.max_parallel_items =
+      std::max(counters.max_parallel_items, width * height);
+}
+
+void RaycastRenderer::render_volume_slice(const StructuredGrid& grid,
+                                          const std::string& field_name,
+                                          const Camera& camera, ImageBuffer& image,
+                                          const SliceRaycastOptions& options,
+                                          cluster::PerfCounters& counters) const {
+  const Index width = image.width(), height = image.height();
+  if (width == 0 || height == 0) return;
+  const Field& field = grid.point_fields().get(field_name);
+  const AABB box = grid.bounds();
+  require(!box.is_empty(), "render_volume_slice: empty grid");
+  require(options.colormap != nullptr, "render_volume_slice: colormap required");
+  const Vec3f n = normalize(options.plane_normal);
+
+  Index rays = 0;
+  for (Index py = 0; py < height; ++py) {
+    for (Index px = 0; px < width; ++px) {
+      const Ray ray = camera.generate_ray(px, py, width, height);
+      ++rays;
+      // O(1) plane intersection.
+      const Real denom = dot(ray.direction, n);
+      if (std::abs(denom) < Real(1e-9)) continue;
+      const Real t = dot(options.plane_origin - ray.origin, n) / denom;
+      if (t <= camera.znear() || t >= camera.zfar()) continue;
+      const Vec3f p = ray.origin + ray.direction * t;
+      if (!box.contains(p)) continue;
+      // O(1) trilinear lookup.
+      const Real v = grid.sample(field, p);
+      const Vec4f base = options.colormap->map(v);
+      const Vec4f color = shade_headlight(n, ray.direction, base, options.ambient);
+      image.depth_test_set(px, py, color, camera.eye_depth(p));
+    }
+  }
+
+  counters.rays_cast += rays;
+  counters.bytes_read += grid.byte_size();
+  counters.flop_estimate += double(rays) * 30.0;
+  counters.max_parallel_items =
+      std::max(counters.max_parallel_items, width * height);
+}
+
+} // namespace eth
+
+namespace eth {
+
+void RaycastRenderer::render_volume_dvr(const StructuredGrid& grid,
+                                        const std::string& field_name,
+                                        const Camera& camera, ImageBuffer& image,
+                                        const DvrRaycastOptions& options,
+                                        cluster::PerfCounters& counters) const {
+  const Index width = image.width(), height = image.height();
+  if (width == 0 || height == 0) return;
+  require(options.transfer != nullptr, "render_volume_dvr: transfer function required");
+  const Field& field = grid.point_fields().get(field_name);
+  const AABB box = grid.bounds();
+  require(!box.is_empty(), "render_volume_dvr: empty grid");
+
+  const Vec3f spacing = grid.spacing();
+  const Real base_step = std::min({spacing.x, spacing.y, spacing.z});
+  const Real step = base_step * std::max(options.step_scale, Real(0.05f));
+  // Opacity correction: per-sample alpha scaled by the step relative to
+  // unit-spacing sampling, so step_scale changes resolution, not the
+  // integrated optical depth.
+  const Real alpha_scale = options.opacity_scale * options.step_scale;
+
+  const CameraFrame frame = camera.frame(width, height);
+  Index rays = 0;
+  Index steps_total = 0;
+  for (Index py = 0; py < height; ++py) {
+    for (Index px = 0; px < width; ++px) {
+      const Ray ray = frame.ray(px, py);
+      ++rays;
+      Real t0, t1;
+      if (!clip_ray_to_box(ray, box, camera.znear(), camera.zfar(), t0, t1)) continue;
+
+      // Front-to-back emission/absorption: accum holds premultiplied
+      // rgb, alpha the accumulated opacity.
+      Vec3f accum{0, 0, 0};
+      Real alpha = 0;
+      for (Real t = t0 + step * Real(0.5); t < t1; t += step) {
+        ++steps_total;
+        const Real v = grid.sample(field, ray.origin + ray.direction * t);
+        const Vec4f s = options.transfer->map(v);
+        const Real a = clamp(s.w * alpha_scale, Real(0), Real(1));
+        if (a > 0) {
+          const Real weight = (Real(1) - alpha) * a;
+          accum += Vec3f{s.x, s.y, s.z} * weight;
+          alpha += weight;
+          if (alpha >= options.early_termination_alpha) break;
+        }
+      }
+      if (alpha <= 0) continue;
+      image.set_color(px, py, {accum.x, accum.y, accum.z, alpha});
+      image.set_depth(px, py, camera.eye_depth(ray.origin + ray.direction * t0));
+    }
+  }
+
+  counters.rays_cast += rays;
+  counters.ray_steps += steps_total;
+  counters.bytes_read += grid.byte_size();
+  counters.flop_estimate += double(steps_total) * 40.0 + double(rays) * 20.0;
+  counters.max_parallel_items =
+      std::max(counters.max_parallel_items, width * height);
+}
+
+} // namespace eth

@@ -1,0 +1,47 @@
+#include "sim/dump.hpp"
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "data/vtk_io.hpp"
+
+namespace eth::sim {
+
+std::string dump_path(const std::string& dir, const std::string& case_name,
+                      Index timestep, int rank) {
+  return dir + "/" + case_name +
+         strprintf("_t%04lld_r%04d.eth", static_cast<long long>(timestep), rank);
+}
+
+DumpWriter::DumpWriter(std::string dir, std::string case_name)
+    : dir_(std::move(dir)), case_name_(std::move(case_name)) {
+  require(!dir_.empty() && !case_name_.empty(), "DumpWriter: empty dir or case name");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  require(!ec, "DumpWriter: cannot create directory '" + dir_ + "': " + ec.message());
+}
+
+void DumpWriter::write(const DataSet& ds, Index timestep, int rank) const {
+  require(timestep >= 0 && rank >= 0, "DumpWriter: negative timestep or rank");
+  write_dataset(ds, dump_path(dir_, case_name_, timestep, rank));
+}
+
+SimulationProxy::SimulationProxy(std::string dir, std::string case_name)
+    : dir_(std::move(dir)), case_name_(std::move(case_name)) {}
+
+std::unique_ptr<DataSet> SimulationProxy::load(Index timestep, int rank) const {
+  return read_dataset(dump_path(dir_, case_name_, timestep, rank));
+}
+
+bool SimulationProxy::has(Index timestep, int rank) const {
+  return std::filesystem::exists(dump_path(dir_, case_name_, timestep, rank));
+}
+
+Index SimulationProxy::num_timesteps(int rank) const {
+  Index t = 0;
+  while (has(t, rank)) ++t;
+  return t;
+}
+
+} // namespace eth::sim

@@ -1,0 +1,61 @@
+#pragma once
+// The dump/proxy disk workflow — the heart of the ETH architecture
+// (paper Figure 3): "we make a preliminary run of the simulation ...
+// and write data out as if for simple post-processing analysis ... Our
+// simulation proxy then reads the simulation data into memory and
+// presents it to the simulation/analysis interface as if by the
+// simulation itself."
+//
+// DumpWriter plays the instrumented simulation (one file per rank per
+// timestep); SimulationProxy plays the proxy's reader side.
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace eth::sim {
+
+/// File naming shared by writer and proxy:
+/// <dir>/<case>_t<timestep>_r<rank>.eth
+std::string dump_path(const std::string& dir, const std::string& case_name,
+                      Index timestep, int rank);
+
+/// Writes per-rank, per-timestep dataset files.
+class DumpWriter {
+public:
+  DumpWriter(std::string dir, std::string case_name);
+
+  /// Write `ds` as rank `rank`'s piece of `timestep`.
+  void write(const DataSet& ds, Index timestep, int rank) const;
+
+  const std::string& dir() const { return dir_; }
+  const std::string& case_name() const { return case_name_; }
+
+private:
+  std::string dir_;
+  std::string case_name_;
+};
+
+/// Reads the per-rank files back, presenting them "as if by the
+/// simulation itself".
+class SimulationProxy {
+public:
+  SimulationProxy(std::string dir, std::string case_name);
+
+  /// Load rank `rank`'s piece of `timestep`. Throws if missing.
+  std::unique_ptr<DataSet> load(Index timestep, int rank) const;
+
+  /// True when rank `rank`'s file for `timestep` exists.
+  bool has(Index timestep, int rank) const;
+
+  /// Number of consecutive timesteps available for `rank`, starting
+  /// at 0.
+  Index num_timesteps(int rank) const;
+
+private:
+  std::string dir_;
+  std::string case_name_;
+};
+
+} // namespace eth::sim

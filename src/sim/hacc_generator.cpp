@@ -1,0 +1,136 @@
+#include "sim/hacc_generator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace eth::sim {
+
+namespace {
+
+struct Halo {
+  Vec3f center;
+  Real scale;    ///< Plummer a
+  Real sigma_v;  ///< velocity dispersion
+};
+
+/// Halo catalogue for (seed, timestep): centers drift with a fixed
+/// per-halo velocity; the profile deepens slightly as time advances.
+std::vector<Halo> make_halos(const HaccParams& p) {
+  std::vector<Halo> halos(static_cast<std::size_t>(p.num_halos));
+  Rng rng(derive_seed(p.seed, 0xA105));
+  const Real t = Real(p.timestep);
+  for (Halo& h : halos) {
+    const Vec3f base = rng.point_in_box({0, 0, 0}, {p.box_size, p.box_size, p.box_size});
+    const Vec3f drift = rng.unit_vector() * Real(rng.uniform(0.05, 0.25));
+    Vec3f c = base + drift * t;
+    // Periodic wrap.
+    for (int a = 0; a < 3; ++a)
+      c[a] = c[a] - p.box_size * std::floor(c[a] / p.box_size);
+    h.center = c;
+    // Contraction: structure grows denser with time, like gravitational
+    // collapse (scale shrinks toward 60 % of initial).
+    const Real contraction = Real(1) / (Real(1) + Real(0.05) * t);
+    h.scale = p.halo_scale_radius * Real(rng.uniform(0.5, 1.8)) *
+              std::max(contraction, Real(0.6));
+    h.sigma_v = Real(rng.uniform(80.0, 250.0));
+  }
+  return halos;
+}
+
+/// Sample a radius from the Plummer profile with scale a
+/// (inverse-CDF: r = a / sqrt(u^(-2/3) - 1)).
+Real plummer_radius(Rng& rng, Real a) {
+  const double u = std::max(1e-9, rng.uniform());
+  const double r = double(a) / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+  return Real(std::min(r, double(a) * 25.0)); // truncate the heavy tail
+}
+
+} // namespace
+
+std::unique_ptr<PointSet> generate_hacc(const HaccParams& p) {
+  return generate_hacc_rank(p, 0, 1);
+}
+
+PointSet extract_hacc_slab(const PointSet& full, Real box_size, int rank, int ranks) {
+  require(box_size > 0, "extract_hacc_slab: box size must be positive");
+  require(ranks > 0 && rank >= 0 && rank < ranks, "extract_hacc_slab: bad rank");
+  // The same half-open interval predicate generate_hacc_rank applies,
+  // over the same stream order.
+  const Real slab_lo = box_size * Real(rank) / Real(ranks);
+  const Real slab_hi = box_size * Real(rank + 1) / Real(ranks);
+  std::vector<Index> keep;
+  for (Index i = 0; i < full.num_points(); ++i) {
+    const Real x = full.position(i).x;
+    if (x >= slab_lo && x < slab_hi) keep.push_back(i);
+  }
+  return full.subset(keep);
+}
+
+std::unique_ptr<PointSet> generate_hacc_rank(const HaccParams& p, int rank, int ranks) {
+  require(p.num_particles >= 0, "generate_hacc: negative particle count");
+  require(p.num_halos > 0, "generate_hacc: need at least one halo");
+  require(p.background_fraction >= 0.0 && p.background_fraction <= 1.0,
+          "generate_hacc: background fraction must be in [0, 1]");
+  require(p.box_size > 0, "generate_hacc: box size must be positive");
+  require(ranks > 0 && rank >= 0 && rank < ranks, "generate_hacc: bad rank");
+
+  const std::vector<Halo> halos = make_halos(p);
+
+  // Rank slab in x. Particles are generated globally-deterministically
+  // and kept when they land in this rank's slab, so the union over
+  // ranks is exactly the full box regardless of rank count.
+  const Real slab_lo = p.box_size * Real(rank) / Real(ranks);
+  const Real slab_hi = p.box_size * Real(rank + 1) / Real(ranks);
+
+  auto ps = std::make_unique<PointSet>();
+  ps->reserve(p.num_particles / ranks + 64);
+  Field ids("id", 0, 1, FieldAssociation::kPoint);
+  Field velocity("velocity", 0, 3, FieldAssociation::kPoint);
+
+  Rng rng(derive_seed(p.seed, 0xBEEF + static_cast<std::uint64_t>(p.timestep)));
+  const auto wrap = [&](Vec3f v) {
+    for (int a = 0; a < 3; ++a) v[a] = v[a] - p.box_size * std::floor(v[a] / p.box_size);
+    return v;
+  };
+
+  for (Index i = 0; i < p.num_particles; ++i) {
+    Vec3f pos, vel;
+    if (rng.uniform() < p.background_fraction) {
+      pos = rng.point_in_box({0, 0, 0}, {p.box_size, p.box_size, p.box_size});
+      vel = rng.unit_vector() * Real(rng.uniform(10.0, 60.0));
+    } else {
+      const auto h = static_cast<std::size_t>(rng.uniform_index(
+          static_cast<std::uint64_t>(p.num_halos)));
+      const Halo& halo = halos[h];
+      const Real r = plummer_radius(rng, halo.scale);
+      pos = wrap(halo.center + rng.unit_vector() * r);
+      // Dispersion falls off with radius, crudely virial.
+      const Real sigma = halo.sigma_v / std::sqrt(Real(1) + r / halo.scale);
+      vel = Vec3f{Real(rng.normal(0.0, sigma)), Real(rng.normal(0.0, sigma)),
+                  Real(rng.normal(0.0, sigma))};
+    }
+    if (pos.x < slab_lo || pos.x >= slab_hi) continue;
+
+    const Index local = ps->num_points();
+    ps->push_back(pos);
+    ids.resize(local + 1);
+    ids.set(local, Real(i));
+    velocity.resize(local + 1);
+    velocity.set_vec3(local, vel);
+  }
+
+  ps->point_fields().add(std::move(ids));
+  ps->point_fields().add(std::move(velocity));
+
+  // Speed magnitude as a ready-to-color scalar.
+  const Field& vel_field = ps->point_fields().get("velocity");
+  Field speed("speed", ps->num_points(), 1, FieldAssociation::kPoint);
+  for (Index i = 0; i < ps->num_points(); ++i)
+    speed.set(i, length(vel_field.get_vec3(i)));
+  ps->point_fields().add(std::move(speed));
+  return ps;
+}
+
+} // namespace eth::sim

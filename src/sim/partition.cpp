@@ -1,0 +1,60 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace eth::sim {
+
+std::vector<PointSet> partition_points(const PointSet& ps, int ranks) {
+  require(ranks > 0, "partition_points: ranks must be positive");
+  const Index n = ps.num_points();
+
+  const AABB box = ps.bounds();
+  const int axis = box.is_empty() ? 0 : box.longest_axis();
+
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index(0));
+  std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return ps.position(a)[axis] < ps.position(b)[axis];
+  });
+
+  std::vector<PointSet> parts;
+  parts.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const Index begin = n * r / ranks;
+    const Index end = n * (r + 1) / ranks;
+    parts.push_back(ps.subset(std::span<const Index>(
+        order.data() + begin, static_cast<std::size_t>(end - begin))));
+  }
+  return parts;
+}
+
+std::vector<StructuredGrid> partition_grid(const StructuredGrid& grid, int ranks) {
+  require(ranks > 0, "partition_grid: ranks must be positive");
+  const Vec3i dims = grid.dims();
+  require(dims.z >= ranks + 1 || ranks == 1,
+          "partition_grid: too many ranks for the grid's z extent");
+
+  std::vector<StructuredGrid> parts;
+  parts.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const Index z_lo = dims.z * r / ranks;
+    Index z_hi = dims.z * (r + 1) / ranks;
+    if (r + 1 < ranks) z_hi += 1; // shared plane with the next slab
+    parts.push_back(grid.extract({0, 0, z_lo}, {dims.x, dims.y, z_hi}));
+  }
+  return parts;
+}
+
+std::vector<std::size_t> view_order(const std::vector<AABB>& bounds, Vec3f eye) {
+  std::vector<std::size_t> order(bounds.size());
+  std::iota(order.begin(), order.end(), std::size_t(0));
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return length2(bounds[a].center() - eye) < length2(bounds[b].center() - eye);
+  });
+  return order;
+}
+
+} // namespace eth::sim

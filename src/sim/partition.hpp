@@ -1,0 +1,38 @@
+#pragma once
+// Spatial partitioning of datasets across parallel ranks.
+//
+// Section VII: "as a pre-processing step, one would need to run the
+// simulation to collect data sets and partition the data thus
+// collected." These helpers split a dataset into the per-rank pieces
+// the simulation proxy serves, and describe each piece's spatial extent
+// for view-order compositing.
+
+#include <vector>
+
+#include "common/aabb.hpp"
+#include "data/point_set.hpp"
+#include "data/structured_grid.hpp"
+
+namespace eth::sim {
+
+/// Split a point set into `ranks` equal-count slabs along the longest
+/// axis of its bounds (sorted split, deterministic).
+std::vector<PointSet> partition_points(const PointSet& ps, int ranks);
+
+/// Split a grid into `ranks` z-slabs with one plane of overlap so
+/// surface extraction is crack-free across partitions.
+std::vector<StructuredGrid> partition_grid(const StructuredGrid& grid, int ranks);
+
+/// Per-partition bounds (for depth-sorting partitions at compositing).
+template <typename DataSetT>
+std::vector<AABB> partition_bounds(const std::vector<DataSetT>& parts) {
+  std::vector<AABB> out;
+  out.reserve(parts.size());
+  for (const auto& part : parts) out.push_back(part.bounds());
+  return out;
+}
+
+/// Order partitions front-to-back relative to camera position `eye`.
+std::vector<std::size_t> view_order(const std::vector<AABB>& bounds, Vec3f eye);
+
+} // namespace eth::sim

@@ -1,0 +1,221 @@
+#include "sim/xrage_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace eth::sim {
+
+namespace {
+
+/// Deterministic lattice hash -> [0, 1).
+Real lattice_noise(std::uint64_t seed, Index i, Index j, Index k) {
+  SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(i + 1)) ^
+                (0xBF58476D1CE4E5B9ull * static_cast<std::uint64_t>(j + 1)) ^
+                (0x94D049BB133111EBull * static_cast<std::uint64_t>(k + 1)));
+  return Real(double(sm.next() >> 11) * 0x1.0p-53);
+}
+
+/// Trilinear value noise at continuous lattice position.
+Real value_noise(std::uint64_t seed, Vec3f p) {
+  const auto fi = static_cast<Index>(std::floor(p.x));
+  const auto fj = static_cast<Index>(std::floor(p.y));
+  const auto fk = static_cast<Index>(std::floor(p.z));
+  const Real fx = p.x - Real(fi), fy = p.y - Real(fj), fz = p.z - Real(fk);
+  const auto s = [&](Index di, Index dj, Index dk) {
+    return lattice_noise(seed, fi + di, fj + dj, fk + dk);
+  };
+  const Real c00 = lerp(s(0, 0, 0), s(1, 0, 0), fx);
+  const Real c10 = lerp(s(0, 1, 0), s(1, 1, 0), fx);
+  const Real c01 = lerp(s(0, 0, 1), s(1, 0, 1), fx);
+  const Real c11 = lerp(s(0, 1, 1), s(1, 1, 1), fx);
+  return lerp(lerp(c00, c10, fy), lerp(c01, c11, fy), fz);
+}
+
+/// 4-octave fractal noise in [0, 1).
+Real fbm(std::uint64_t seed, Vec3f p) {
+  Real sum = 0, amp = Real(0.5);
+  Real norm = 0;
+  for (int octave = 0; octave < 4; ++octave) {
+    sum += amp * value_noise(seed + static_cast<std::uint64_t>(octave) * 7919u, p);
+    norm += amp;
+    p = p * Real(2.03);
+    amp *= Real(0.5);
+  }
+  return sum / norm;
+}
+
+} // namespace
+
+XrageParams XrageParams::small_problem() {
+  XrageParams p;
+  p.dims = {76, 47, 40};
+  return p;
+}
+
+XrageParams XrageParams::medium_problem() {
+  XrageParams p;
+  p.dims = {160, 94, 80};
+  return p;
+}
+
+XrageParams XrageParams::large_problem() {
+  XrageParams p;
+  p.dims = {230, 140, 120};
+  return p;
+}
+
+std::unique_ptr<StructuredGrid> generate_xrage(const XrageParams& p) {
+  return generate_xrage_block(p, {0, 0, 0}, p.dims);
+}
+
+Vec3i block_factorization(Vec3i dims, int parts) {
+  require(parts > 0, "block_factorization: parts must be positive");
+  // Greedy: repeatedly split the axis with the most points per block.
+  Vec3i f{1, 1, 1};
+  int remaining = parts;
+  // Factor `parts` into primes, assign largest-first to the axis where
+  // each block currently has the most points.
+  std::vector<int> primes;
+  for (int d = 2; remaining > 1; ++d) {
+    while (remaining % d == 0) {
+      primes.push_back(d);
+      remaining /= d;
+    }
+    require(d <= parts, "block_factorization: internal factoring error");
+  }
+  std::sort(primes.rbegin(), primes.rend());
+  for (const int prime : primes) {
+    int best_axis = -1;
+    double best_points = -1;
+    for (int a = 0; a < 3; ++a) {
+      const double per_block = double(dims[a]) / double(f[a] * prime);
+      if (per_block < 2.0) continue; // would make blocks too thin
+      const double current = double(dims[a]) / double(f[a]);
+      if (current > best_points) {
+        best_points = current;
+        best_axis = a;
+      }
+    }
+    require(best_axis >= 0,
+            "block_factorization: grid too small for this many blocks");
+    f[best_axis] = f[best_axis] * prime;
+  }
+  return f;
+}
+
+std::pair<Vec3i, Vec3i> grid_block_range(Vec3i dims, int share, int parts) {
+  require(share >= 0 && share < parts, "grid_block_range: bad share");
+  const Vec3i f = block_factorization(dims, parts);
+  const Index bx = share % f.x;
+  const Index by = (share / f.x) % f.y;
+  const Index bz = share / (f.x * f.y);
+  Vec3i lo, hi;
+  const Index bidx[3] = {bx, by, bz};
+  for (int a = 0; a < 3; ++a) {
+    lo[a] = dims[a] * bidx[a] / f[a];
+    hi[a] = dims[a] * (bidx[a] + 1) / f[a];
+    if (bidx[a] + 1 < f[a]) hi[a] += 1; // shared plane with the next block
+  }
+  return {lo, hi};
+}
+
+std::unique_ptr<StructuredGrid> generate_xrage_rank(const XrageParams& p, int rank,
+                                                    int ranks) {
+  require(ranks > 0 && rank >= 0 && rank < ranks, "generate_xrage: bad rank");
+  const Index z_total = p.dims.z;
+  Index z_lo = z_total * rank / ranks;
+  Index z_hi = z_total * (rank + 1) / ranks;
+  if (rank + 1 < ranks) z_hi += 1;
+  z_hi = std::min(z_hi, z_total);
+  require(z_hi - z_lo >= 2, "generate_xrage: slab too thin for this rank count");
+  return generate_xrage_block(p, {0, 0, z_lo}, {p.dims.x, p.dims.y, z_hi});
+}
+
+std::unique_ptr<StructuredGrid> generate_xrage_block(const XrageParams& p, Vec3i lo,
+                                                     Vec3i hi) {
+  require(p.dims.x >= 2 && p.dims.y >= 2 && p.dims.z >= 2,
+          "generate_xrage: dims must be >= 2");
+  require(p.domain_size > 0, "generate_xrage: domain_size must be positive");
+  for (int a = 0; a < 3; ++a) {
+    require(lo[a] >= 0 && hi[a] <= p.dims[a] && hi[a] - lo[a] >= 2,
+            "generate_xrage_block: bad block range");
+  }
+
+  // Physical extents proportional to dims; uniform spacing.
+  const Real spacing_val = p.domain_size / Real(p.dims.x - 1);
+  const Vec3f spacing{spacing_val, spacing_val, spacing_val};
+
+  const Vec3i dims{hi.x - lo.x, hi.y - lo.y, hi.z - lo.z};
+  const Vec3f origin{spacing_val * Real(lo.x), spacing_val * Real(lo.y),
+                     spacing_val * Real(lo.z)};
+  auto grid = std::make_unique<StructuredGrid>(dims, origin, spacing);
+  Field& temperature = grid->add_scalar_field("temperature");
+  Field& density = grid->add_scalar_field("density");
+  Field& pressure = grid->add_scalar_field("pressure");
+
+  // Impact geometry: strike point on the "ground" (y = 0 plane) at the
+  // domain's x/z center. The shock radius grows with sqrt(t) (Sedov-
+  // like), the plume rises linearly with t.
+  const Real sx = p.domain_size * Real(0.5);
+  const Real sy = Real(0);
+  const Real sz = spacing_val * Real(p.dims.z - 1) * Real(0.5);
+  const Real t = Real(1) + Real(p.timestep);
+  const Real shock_radius = Real(0.9) * std::sqrt(t) * p.domain_size * Real(0.08);
+  const Real shock_width = shock_radius * Real(0.25);
+  const Real plume_height = p.domain_size * Real(0.06) * t;
+  const Real noise_scale = Real(6) / p.domain_size;
+
+  for (Index k = 0; k < dims.z; ++k)
+    for (Index j = 0; j < dims.y; ++j)
+      for (Index i = 0; i < dims.x; ++i) {
+        // Evaluate at the GLOBAL lattice position (spacing * global
+        // index) so a block is bit-identical to the same region of the
+        // full grid; origin + spacing*local would differ by ULPs.
+        const Vec3f pos{spacing_val * Real(lo.x + i), spacing_val * Real(lo.y + j),
+                        spacing_val * Real(lo.z + k)};
+        const Vec3f rel{pos.x - sx, pos.y - sy, pos.z - sz};
+        const Real r = length(rel);
+
+        // Ambient stratification: cool with altitude.
+        Real temp = Real(0.08) * (Real(1) - pos.y / (p.domain_size * Real(0.6)));
+        temp = std::max(temp, Real(0.02));
+
+        // Crater / fireball core: hot inside ~half the shock radius.
+        const Real core = std::exp(-(r * r) / (shock_radius * shock_radius * Real(0.18)));
+        temp += Real(0.85) * core;
+
+        // Shock shell: Gaussian ridge at the shock radius.
+        const Real shell = std::exp(-((r - shock_radius) * (r - shock_radius)) /
+                                    (2 * shock_width * shock_width));
+        temp += Real(0.45) * shell;
+
+        // Rising turbulent plume above the strike point.
+        const Real horiz2 = rel.x * rel.x + rel.z * rel.z;
+        const Real plume_r = shock_radius * Real(0.5) *
+                             (Real(0.4) + Real(0.6) * pos.y / std::max(plume_height, Real(1e-3)));
+        if (pos.y > 0 && pos.y < plume_height && horiz2 < plume_r * plume_r) {
+          const Real n = fbm(p.seed, pos * noise_scale + Vec3f{0, t * Real(0.7), 0});
+          temp += Real(0.35) * n * (Real(1) - pos.y / plume_height);
+        }
+
+        // Turbulence roughens everything near the event.
+        const Real rough = fbm(p.seed + 1, pos * noise_scale * Real(2));
+        temp *= Real(0.9) + Real(0.2) * rough;
+        temp = clamp(temp, Real(0), Real(1));
+
+        const Index idx = grid->point_index(i, j, k);
+        temperature.set(idx, temp);
+        // Crude equation-of-state companions (exercised by multi-field
+        // pipelines and tests, not by the paper's figures).
+        density.set(idx, clamp(Real(1.2) - temp + Real(0.3) * shell, Real(0.05), Real(2)));
+        pressure.set(idx, clamp(temp * (Real(0.8) + Real(0.4) * core), Real(0), Real(2)));
+      }
+
+  return grid;
+}
+
+} // namespace eth::sim

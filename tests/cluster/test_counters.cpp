@@ -1,0 +1,55 @@
+#include "cluster/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eth::cluster {
+namespace {
+
+TEST(PerfCounters, MergeAddsWorkAndMaxesParallelism) {
+  PerfCounters a, b;
+  a.elements_processed = 100;
+  a.rays_cast = 10;
+  a.bytes_read = 1000;
+  a.max_parallel_items = 50;
+  a.phases.add("render", 1.5);
+
+  b.elements_processed = 200;
+  b.rays_cast = 5;
+  b.bytes_read = 500;
+  b.max_parallel_items = 80;
+  b.phases.add("render", 0.5);
+  b.phases.add("build", 2.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.elements_processed, 300);
+  EXPECT_EQ(a.rays_cast, 15);
+  EXPECT_EQ(a.bytes_read, 1500u);
+  EXPECT_EQ(a.max_parallel_items, 80);
+  EXPECT_DOUBLE_EQ(a.phases.get("render"), 2.0);
+  EXPECT_DOUBLE_EQ(a.phases.get("build"), 2.0);
+}
+
+TEST(PerfCounters, MergeOfEmptyIsIdentity) {
+  PerfCounters a;
+  a.flop_estimate = 42;
+  a.primitives_emitted = 7;
+  PerfCounters b;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.flop_estimate, 42);
+  EXPECT_EQ(a.primitives_emitted, 7);
+}
+
+TEST(PerfCounters, SummaryMentionsEveryCounter) {
+  PerfCounters c;
+  c.elements_processed = 123;
+  c.rays_cast = 456;
+  c.bytes_communicated = 789;
+  const std::string s = c.summary();
+  EXPECT_NE(s.find("elements_processed: 123"), std::string::npos);
+  EXPECT_NE(s.find("rays_cast: 456"), std::string::npos);
+  EXPECT_NE(s.find("bytes_communicated"), std::string::npos);
+  EXPECT_NE(s.find("cpu_seconds_total"), std::string::npos);
+}
+
+} // namespace
+} // namespace eth::cluster

@@ -1,0 +1,89 @@
+#include "cluster/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace eth::cluster {
+namespace {
+
+MachineSpec spec() {
+  MachineSpec m = MachineSpec::hikari();
+  m.link_bandwidth_bytes_per_s = 10e9;
+  m.link_latency = 1e-6;
+  m.per_hop_latency = 0.1e-6;
+  m.nodes_per_leaf_switch = 24;
+  m.memcpy_bandwidth_bytes_per_s = 50e9;
+  return m;
+}
+
+TEST(Interconnect, HopTopology) {
+  const InterconnectModel net(spec());
+  EXPECT_EQ(net.hops(3, 3), 0);       // same node
+  EXPECT_EQ(net.hops(0, 23), 2);      // same leaf switch
+  EXPECT_EQ(net.hops(0, 24), 4);      // across the spine
+  EXPECT_EQ(net.hops(25, 30), 2);
+  EXPECT_THROW(net.hops(-1, 0), Error);
+}
+
+TEST(Interconnect, TransferTimeLatencyPlusBandwidth) {
+  const InterconnectModel net(spec());
+  // 10 GB at 10 GB/s across the spine: ~1 s plus microseconds.
+  const Seconds t = net.transfer_time(Bytes(10e9), 0, 100);
+  EXPECT_NEAR(t, 1.0, 1e-3);
+  // Latency dominates small messages.
+  const Seconds tiny = net.transfer_time(1, 0, 100);
+  EXPECT_GT(tiny, 1e-6);
+  EXPECT_LT(tiny, 3e-6);
+  // Same-leaf transfer is faster than cross-spine for equal size.
+  EXPECT_LT(net.transfer_time(1, 0, 1), net.transfer_time(1, 0, 100));
+}
+
+TEST(Interconnect, SameNodeUsesSharedMemoryPath) {
+  const InterconnectModel net(spec());
+  EXPECT_DOUBLE_EQ(net.transfer_time(Bytes(50e9), 7, 7), 1.0);
+  EXPECT_DOUBLE_EQ(net.shm_copy_time(Bytes(25e9)), 0.5);
+}
+
+TEST(Interconnect, IncastSerializesOnReceiverLink) {
+  const InterconnectModel net(spec());
+  const Bytes per_sender = Bytes(1e9);
+  const Seconds one = net.incast_time(per_sender, 1);
+  const Seconds ten = net.incast_time(per_sender, 10);
+  EXPECT_NEAR(ten / one, 10.0, 0.01);
+  EXPECT_DOUBLE_EQ(net.incast_time(per_sender, 0), 0.0);
+  EXPECT_THROW(net.incast_time(per_sender, -1), Error);
+}
+
+TEST(Interconnect, BinarySwapNearlyNodeCountIndependent) {
+  const InterconnectModel net(spec());
+  const Bytes image = 256 * 256 * 20;
+  EXPECT_DOUBLE_EQ(net.binary_swap_time(image, 1), 0.0);
+  const Seconds t4 = net.binary_swap_time(image, 4);
+  const Seconds t256 = net.binary_swap_time(image, 256);
+  // The exchanged volume converges to ~2 images per node: growing the
+  // node count 64x costs only extra per-stage latencies.
+  EXPECT_LT(t256 / t4, 1.5);
+  EXPECT_GT(t256, t4); // more stages = slightly more latency
+  EXPECT_THROW(net.binary_swap_time(image, 0), Error);
+}
+
+TEST(Interconnect, DirectSendOvertakesBinarySwapAtScale) {
+  // The Figure-15 mechanism: direct send grows linearly with senders,
+  // binary swap stays flat.
+  const InterconnectModel net(spec());
+  const Bytes image = 256 * 256 * 20;
+  EXPECT_GT(net.incast_time(image, 215) / net.binary_swap_time(image, 216), 20.0);
+}
+
+TEST(Interconnect, PairwiseExchangeIsPairCountIndependent) {
+  const InterconnectModel net(spec());
+  const Bytes b = Bytes(2e9);
+  // Non-blocking fat tree: concurrent pairs don't contend.
+  EXPECT_DOUBLE_EQ(net.pairwise_exchange_time(b, 1), net.pairwise_exchange_time(b, 64));
+  EXPECT_DOUBLE_EQ(net.pairwise_exchange_time(b, 0), 0.0);
+  EXPECT_NEAR(net.pairwise_exchange_time(b, 4), 0.2, 1e-3);
+}
+
+} // namespace
+} // namespace eth::cluster

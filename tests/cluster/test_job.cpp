@@ -1,0 +1,92 @@
+#include "cluster/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace eth::cluster {
+namespace {
+
+TEST(Coupling, StringRoundTrip) {
+  for (const Coupling c :
+       {Coupling::kTight, Coupling::kIntercore, Coupling::kInternode}) {
+    EXPECT_EQ(coupling_from_string(to_string(c)), c);
+  }
+  EXPECT_THROW(coupling_from_string("bogus"), Error);
+}
+
+TEST(JobLayout, NodePartitioningPerCoupling) {
+  JobLayout tight{Coupling::kTight, 8, 4, 0};
+  EXPECT_EQ(tight.sim_nodes(), 8);
+  EXPECT_EQ(tight.viz_node_count(), 8);
+  EXPECT_EQ(tight.viz_first_node(), 0);
+
+  JobLayout inter{Coupling::kInternode, 8, 4, 0};
+  EXPECT_EQ(inter.sim_nodes(), 4); // default: half
+  EXPECT_EQ(inter.viz_node_count(), 4);
+  EXPECT_EQ(inter.viz_first_node(), 4);
+
+  JobLayout uneven{Coupling::kInternode, 10, 4, 3};
+  EXPECT_EQ(uneven.sim_nodes(), 7);
+  EXPECT_EQ(uneven.viz_node_count(), 3);
+  EXPECT_EQ(uneven.viz_first_node(), 7);
+}
+
+TEST(JobLayout, ValidationRules) {
+  JobLayout ok{Coupling::kIntercore, 4, 2, 0};
+  EXPECT_NO_THROW(ok.validate());
+
+  JobLayout zero_nodes{Coupling::kTight, 0, 1, 0};
+  EXPECT_THROW(zero_nodes.validate(), Error);
+
+  JobLayout internode_one{Coupling::kInternode, 1, 1, 0};
+  EXPECT_THROW(internode_one.validate(), Error);
+
+  JobLayout viz_eats_all{Coupling::kInternode, 4, 2, 4};
+  EXPECT_THROW(viz_eats_all.validate(), Error);
+
+  JobLayout viz_on_tight{Coupling::kTight, 4, 2, 2};
+  EXPECT_THROW(viz_on_tight.validate(), Error);
+}
+
+TEST(JobLayout, TextRoundTrip) {
+  JobLayout layout{Coupling::kInternode, 400, 16, 100};
+  const JobLayout restored = JobLayout::from_text(layout.to_text());
+  EXPECT_EQ(restored.coupling, Coupling::kInternode);
+  EXPECT_EQ(restored.nodes, 400);
+  EXPECT_EQ(restored.ranks, 16);
+  EXPECT_EQ(restored.viz_node_count(), 100);
+}
+
+TEST(JobLayout, ParserAcceptsCommentsAndBlankLines) {
+  const JobLayout layout = JobLayout::from_text(
+      "# a comment\n\ncoupling tight\n  nodes 12  \nranks 3\n# trailing\n");
+  EXPECT_EQ(layout.coupling, Coupling::kTight);
+  EXPECT_EQ(layout.nodes, 12);
+  EXPECT_EQ(layout.ranks, 3);
+}
+
+TEST(JobLayout, ParserRejectsMalformedInput) {
+  EXPECT_THROW(JobLayout::from_text("coupling tight\nnodes 4\n"), Error); // no ranks
+  EXPECT_THROW(JobLayout::from_text("coupling tight\nnodes x\nranks 1\n"), Error);
+  EXPECT_THROW(JobLayout::from_text("coupling tight\nnodes 4\nranks 1\nwhat 3\n"),
+               Error);
+  EXPECT_THROW(JobLayout::from_text("justoneword\n"), Error);
+}
+
+TEST(JobLayout, FileSaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "eth_layout_test.txt").string();
+  JobLayout layout{Coupling::kIntercore, 32, 8, 0};
+  layout.save(path);
+  const JobLayout restored = JobLayout::load(path);
+  EXPECT_EQ(restored.coupling, Coupling::kIntercore);
+  EXPECT_EQ(restored.nodes, 32);
+  std::filesystem::remove(path);
+  EXPECT_THROW(JobLayout::load(path), Error);
+}
+
+} // namespace
+} // namespace eth::cluster

@@ -1,0 +1,82 @@
+#include "cluster/machine.hpp"
+#include "cluster/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace eth::cluster {
+namespace {
+
+TEST(MachineSpec, HikariCalibrationMatchesPaperArithmetic) {
+  const MachineSpec m = MachineSpec::hikari();
+  m.validate();
+  // Table I: ~55-56 kW on 400 busy nodes.
+  const Watts total_busy = m.node_power(1.0) * 400;
+  EXPECT_NEAR(total_busy / 1e3, 55.6, 1.0);
+  // Section VI-A arithmetic: dynamic power is ~28 % of busy power
+  // (11 % total drop == 39 % dynamic drop).
+  const double dynamic_fraction = m.node_dynamic_watts() / m.node_power(1.0);
+  EXPECT_NEAR(dynamic_fraction, 0.11 / 0.39, 0.02);
+  EXPECT_EQ(m.cores_per_node, 24);
+  EXPECT_EQ(m.total_nodes, 432);
+}
+
+TEST(MachineSpec, NodePowerInterpolatesAndClamps) {
+  MachineSpec m = MachineSpec::tiny();
+  EXPECT_DOUBLE_EQ(m.node_power(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.node_power(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(m.node_power(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(m.node_power(-1.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.node_power(2.0), 20.0);
+}
+
+TEST(MachineSpec, ValidateCatchesInconsistencies) {
+  MachineSpec m = MachineSpec::tiny();
+  m.total_nodes = 0;
+  EXPECT_THROW(m.validate(), Error);
+  m = MachineSpec::tiny();
+  m.node_busy_watts = 5; // below idle
+  EXPECT_THROW(m.validate(), Error);
+  m = MachineSpec::tiny();
+  m.node_serial_fraction = 1.0;
+  EXPECT_THROW(m.validate(), Error);
+  m = MachineSpec::tiny();
+  m.host_core_speed_ratio = 0;
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(UtilizationForItems, SaturatesAndScalesLinearly) {
+  const MachineSpec m = MachineSpec::hikari(); // 24 cores
+  const Index sat = 1000;
+  EXPECT_DOUBLE_EQ(utilization_for_items(m, 0, sat), 0.0);
+  EXPECT_DOUBLE_EQ(utilization_for_items(m, 24 * 1000, sat), 1.0);
+  EXPECT_DOUBLE_EQ(utilization_for_items(m, 48 * 1000, sat), 1.0); // capped
+  EXPECT_NEAR(utilization_for_items(m, 12 * 1000, sat), 0.5, 1e-12);
+  EXPECT_THROW(utilization_for_items(m, 10, 0), Error);
+}
+
+TEST(NodeComputeTime, AmdahlSpeedupShape) {
+  MachineSpec m = MachineSpec::hikari();
+  m.node_serial_fraction = 0.02;
+  m.host_core_speed_ratio = 1.0;
+  const double cpu = 24.0; // 24 cpu-seconds of work
+  // Close to cpu/cores but held back by the serial term.
+  const Seconds t = node_compute_time(m, cpu);
+  EXPECT_GT(t, cpu / 24.0);
+  EXPECT_LT(t, cpu / 24.0 * 2.0);
+  EXPECT_NEAR(t, cpu * (0.02 + 0.98 / 24.0), 1e-9);
+  // Linear in the measured CPU time.
+  EXPECT_NEAR(node_compute_time(m, 2 * cpu), 2 * t, 1e-9);
+}
+
+TEST(NodeComputeTime, HostSpeedRatioRescales) {
+  MachineSpec m = MachineSpec::hikari();
+  m.node_serial_fraction = 0.0;
+  m.host_core_speed_ratio = 2.0; // host core twice as fast as a node core
+  EXPECT_NEAR(node_compute_time(m, 10.0), 10.0 / 2.0 / 24.0, 1e-12);
+  EXPECT_THROW(node_compute_time(m, -1.0), Error);
+}
+
+} // namespace
+} // namespace eth::cluster

@@ -1,0 +1,116 @@
+#include "cluster/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace eth::cluster {
+namespace {
+
+MachineSpec tiny() { return MachineSpec::tiny(); } // 4 nodes, 10/20 W, 1 s meter
+
+TEST(Timeline, EmptyTimelineHasZeroMakespan) {
+  const Timeline t(tiny(), 4);
+  EXPECT_DOUBLE_EQ(t.makespan(), 0.0);
+}
+
+TEST(Timeline, RejectsBadSpansAndAllocations) {
+  EXPECT_THROW(Timeline(tiny(), 0), Error);
+  EXPECT_THROW(Timeline(tiny(), 5), Error); // machine only has 4
+  Timeline t(tiny(), 4);
+  EXPECT_THROW(t.add_span({1, 0, 0, 4, 1.0}), Error);   // ends before start
+  EXPECT_THROW(t.add_span({0, 1, 0, 5, 1.0}), Error);   // outside allocation
+  EXPECT_THROW(t.add_span({0, 1, 2, 2, 1.0}), Error);   // empty node range
+  EXPECT_THROW(t.add_span({0, 1, 0, 4, 1.5}), Error);   // bad utilization
+}
+
+TEST(Timeline, FullyBusyRunEnergy) {
+  Timeline t(tiny(), 4);
+  t.add_full_span(0, 10, 1.0);
+  const RunPowerReport rep = t.report();
+  EXPECT_DOUBLE_EQ(rep.makespan, 10.0);
+  // 4 nodes at 20 W for 10 s.
+  EXPECT_NEAR(rep.energy, 800.0, 1e-6);
+  EXPECT_NEAR(rep.average_power, 80.0, 1e-6);
+  EXPECT_NEAR(rep.dynamic_energy, 400.0, 1e-6);
+  EXPECT_NEAR(rep.average_dynamic_power, 40.0, 1e-6);
+}
+
+TEST(Timeline, IdleTailChargesIdlePowerOnly) {
+  Timeline t(tiny(), 4);
+  t.add_full_span(0, 5, 1.0);
+  t.add_span({9, 10, 0, 1, 1.0}); // single node finishes the job later
+  const RunPowerReport rep = t.report();
+  EXPECT_DOUBLE_EQ(rep.makespan, 10.0);
+  // Idle: 4 nodes * 10 W * 10 s = 400 J.
+  // Dynamic: 4 nodes * 10 W * 5 s + 1 node * 10 W * 1 s = 210 J.
+  EXPECT_NEAR(rep.energy, 610.0, 1e-6);
+  EXPECT_NEAR(rep.dynamic_energy, 210.0, 1e-6);
+}
+
+TEST(Timeline, OverlappingSpansOnSameNodesCapAtFullUtilization) {
+  Timeline t(tiny(), 2);
+  t.add_span({0, 10, 0, 2, 0.7});
+  t.add_span({0, 10, 0, 2, 0.7}); // sums to 1.4, capped at 1.0
+  const RunPowerReport rep = t.report();
+  EXPECT_NEAR(rep.dynamic_energy, 2 * 10.0 * 10.0, 1e-6);
+}
+
+TEST(Timeline, PartialUtilizationScalesDynamicPower) {
+  Timeline t(tiny(), 4);
+  t.add_full_span(0, 10, 0.25);
+  const RunPowerReport rep = t.report();
+  EXPECT_NEAR(rep.dynamic_energy, 4 * 10.0 * 0.25 * 10.0, 1e-6);
+}
+
+TEST(Timeline, DisjointNodeRanges) {
+  Timeline t(tiny(), 4);
+  t.add_span({0, 10, 0, 2, 1.0});  // sim half busy the whole time
+  t.add_span({5, 10, 2, 4, 1.0});  // viz half busy the second half
+  EXPECT_DOUBLE_EQ(t.busy_node_equivalent(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.busy_node_equivalent(7.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.busy_node_equivalent(11.0), 0.0);
+  const RunPowerReport rep = t.report();
+  EXPECT_NEAR(rep.dynamic_energy, (2 * 10 + 2 * 5) * 10.0, 1e-6);
+}
+
+TEST(Timeline, PowerTraceHasMeterCadence) {
+  Timeline t(tiny(), 4); // 1 s sample period
+  t.add_full_span(0, 3.5, 1.0);
+  const RunPowerReport rep = t.report();
+  ASSERT_EQ(rep.trace.size(), 4u); // ceil(3.5 / 1.0)
+  EXPECT_DOUBLE_EQ(rep.trace[0].time, 1.0);
+  // First three windows fully busy: 4 * 20 W.
+  EXPECT_NEAR(rep.trace[0].watts, 80.0, 1e-6);
+  EXPECT_NEAR(rep.trace[2].watts, 80.0, 1e-6);
+  // Last window (3.0-3.5) fully busy too but only half long; the meter
+  // averages over the actual window -> still 80 W.
+  EXPECT_NEAR(rep.trace[3].watts, 80.0, 1e-6);
+}
+
+TEST(Timeline, TraceSeesUtilizationDips) {
+  Timeline t(tiny(), 4);
+  t.add_full_span(0, 1, 1.0);
+  // Second 1-2: idle. Third 2-3: busy again.
+  t.add_full_span(2, 3, 1.0);
+  const RunPowerReport rep = t.report();
+  ASSERT_EQ(rep.trace.size(), 3u);
+  EXPECT_NEAR(rep.trace[0].watts, 80.0, 1e-6);
+  EXPECT_NEAR(rep.trace[1].watts, 40.0, 1e-6); // idle floor
+  EXPECT_NEAR(rep.trace[2].watts, 80.0, 1e-6);
+}
+
+TEST(Timeline, FewerNodesDrawProportionallyLessPower) {
+  // Figure 10's mechanism: the 200-node job's meter reads half the
+  // 400-node job's.
+  MachineSpec m = MachineSpec::hikari();
+  Timeline t400(m, 400), t200(m, 200);
+  t400.add_full_span(0, 100, 1.0);
+  t200.add_full_span(0, 100, 1.0);
+  const auto r400 = t400.report();
+  const auto r200 = t200.report();
+  EXPECT_NEAR(r200.average_power / r400.average_power, 0.5, 1e-9);
+}
+
+} // namespace
+} // namespace eth::cluster

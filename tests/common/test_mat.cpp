@@ -1,0 +1,130 @@
+#include "common/mat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace eth {
+namespace {
+
+void expect_mat_near(const Mat4& a, const Mat4& b, Real tol) {
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) EXPECT_NEAR(a.m[i][j], b.m[i][j], tol);
+}
+
+TEST(Mat4, IdentityIsMultiplicativeNeutral) {
+  Rng rng(3);
+  Mat4 m;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) m.m[i][j] = Real(rng.uniform(-2, 2));
+  expect_mat_near(m * Mat4::identity(), m, 1e-6f);
+  expect_mat_near(Mat4::identity() * m, m, 1e-6f);
+}
+
+TEST(Mat4, TranslateMovesPoints) {
+  const Mat4 t = translate({1, 2, 3});
+  EXPECT_EQ(transform_point(t, {0, 0, 0}), (Vec3f{1, 2, 3}));
+  // Directions are unaffected by translation.
+  EXPECT_EQ(transform_vector(t, {1, 0, 0}), (Vec3f{1, 0, 0}));
+}
+
+TEST(Mat4, ScaleScalesPoints) {
+  const Mat4 s = scale({2, 3, 4});
+  EXPECT_EQ(transform_point(s, {1, 1, 1}), (Vec3f{2, 3, 4}));
+}
+
+TEST(Mat4, RotationPreservesLengthAndAxis) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3f axis = rng.unit_vector();
+    const Real angle = Real(rng.uniform(-3.0, 3.0));
+    const Mat4 r = rotate(axis, angle);
+    // The axis is fixed.
+    const Vec3f rotated_axis = transform_vector(r, axis);
+    EXPECT_NEAR(length(rotated_axis - axis), 0, 1e-5);
+    // Lengths are preserved.
+    const Vec3f v = rng.unit_vector() * Real(rng.uniform(0.5, 2.0));
+    EXPECT_NEAR(length(transform_vector(r, v)), length(v), 1e-4);
+  }
+}
+
+TEST(Mat4, RotateQuarterTurnAboutZ) {
+  const Mat4 r = rotate({0, 0, 1}, Real(1.5707963267948966));
+  const Vec3f v = transform_vector(r, {1, 0, 0});
+  EXPECT_NEAR(v.x, 0, 1e-6);
+  EXPECT_NEAR(v.y, 1, 1e-6);
+}
+
+TEST(Mat4, InverseRoundTrips) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Compose transforms guaranteed nonsingular.
+    const Mat4 m = translate(rng.point_in_box({-5, -5, -5}, {5, 5, 5})) *
+                   rotate(rng.unit_vector(), Real(rng.uniform(-3, 3))) *
+                   scale({Real(rng.uniform(0.5, 2)), Real(rng.uniform(0.5, 2)),
+                          Real(rng.uniform(0.5, 2))});
+    expect_mat_near(m * inverse(m), Mat4::identity(), 1e-4f);
+    expect_mat_near(inverse(m) * m, Mat4::identity(), 1e-4f);
+  }
+}
+
+TEST(Mat4, InverseOfSingularThrows) {
+  EXPECT_THROW(inverse(Mat4::zero()), Error);
+}
+
+TEST(Mat4, TransposeInvolution) {
+  Rng rng(9);
+  Mat4 m;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) m.m[i][j] = Real(rng.uniform(-1, 1));
+  expect_mat_near(transpose(transpose(m)), m, 0);
+  EXPECT_EQ(transpose(m).m[1][2], m.m[2][1]);
+}
+
+TEST(Mat4, LookAtMapsEyeToOriginAndCenterToNegativeZ) {
+  const Vec3f eye{3, 4, 5}, center{0, 1, 0};
+  const Mat4 v = look_at(eye, center, {0, 1, 0});
+  const Vec3f eye_view = transform_point(v, eye);
+  EXPECT_NEAR(length(eye_view), 0, 1e-5);
+  const Vec3f center_view = transform_point(v, center);
+  EXPECT_NEAR(center_view.x, 0, 1e-5);
+  EXPECT_NEAR(center_view.y, 0, 1e-5);
+  EXPECT_LT(center_view.z, 0); // right-handed: forward is -z
+}
+
+TEST(Mat4, PerspectiveMapsFrustumCorners) {
+  const Real fovy = Real(1.0), aspect = Real(2.0), znear = Real(1), zfar = Real(10);
+  const Mat4 p = perspective(fovy, aspect, znear, zfar);
+  // A point on the near plane center maps to NDC z = -1.
+  const Vec3f near_center = transform_point(p, {0, 0, -znear});
+  EXPECT_NEAR(near_center.z, -1, 1e-5);
+  const Vec3f far_center = transform_point(p, {0, 0, -zfar});
+  EXPECT_NEAR(far_center.z, 1, 1e-4);
+}
+
+TEST(Mat4, PerspectiveRejectsBadParameters) {
+  EXPECT_THROW(perspective(0, 1, 0.1f, 10), Error);
+  EXPECT_THROW(perspective(1, -1, 0.1f, 10), Error);
+  EXPECT_THROW(perspective(1, 1, 0, 10), Error);
+  EXPECT_THROW(perspective(1, 1, 10, 1), Error);
+}
+
+TEST(Mat4, OrthographicMapsBoxToNdcCube) {
+  const Mat4 o = orthographic(-2, 2, -1, 1, 1, 5);
+  const Vec3f lo = transform_point(o, {-2, -1, -1});
+  EXPECT_NEAR(lo.x, -1, 1e-6);
+  EXPECT_NEAR(lo.y, -1, 1e-6);
+  EXPECT_NEAR(lo.z, -1, 1e-6);
+  const Vec3f hi = transform_point(o, {2, 1, -5});
+  EXPECT_NEAR(hi.x, 1, 1e-6);
+  EXPECT_NEAR(hi.y, 1, 1e-6);
+  EXPECT_NEAR(hi.z, 1, 1e-6);
+}
+
+TEST(Mat4, OrthographicRejectsDegenerateBox) {
+  EXPECT_THROW(orthographic(1, 1, -1, 1, 0, 1), Error);
+}
+
+} // namespace
+} // namespace eth

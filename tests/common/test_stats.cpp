@@ -1,0 +1,100 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace eth {
+namespace {
+
+TEST(RunningStats, EmptyIsAllZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(41);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3, 2);
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1);
+  a.add(3);
+  a.merge(b); // no-op
+  EXPECT_EQ(a.count(), 2);
+  b.merge(a); // adopt
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, BasicsAndInterpolation) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2);
+  EXPECT_DOUBLE_EQ(percentile(v, 62.5), 3.5);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_THROW(percentile(v, -1), Error);
+  EXPECT_THROW(percentile(v, 101), Error);
+}
+
+TEST(RmsDifference, KnownAndErrors) {
+  EXPECT_DOUBLE_EQ(rms_difference({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(rms_difference({0, 0}, {3, 4}), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(rms_difference({}, {}), 0.0);
+  EXPECT_THROW(rms_difference({1}, {1, 2}), Error);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 4
+  h.add(-3);    // clamps into bin 0
+  h.add(42);    // clamps into bin 4
+  h.add(5.0);   // bin 2 (exact boundary rounds into upper bin)
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(2), 1);
+  EXPECT_EQ(h.bin_count(4), 2);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0, 10, 0), Error);
+  EXPECT_THROW(Histogram(5, 5, 3), Error);
+  EXPECT_THROW(Histogram(5, 1, 3), Error);
+}
+
+} // namespace
+} // namespace eth

@@ -1,0 +1,74 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace eth {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("one", ','), (std::vector<std::string>{"one"}));
+}
+
+TEST(Trim, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\r\n x \n"), "x");
+  EXPECT_EQ(trim("nothing"), "nothing");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("kind PointSet", "kind "));
+  EXPECT_FALSE(starts_with("kin", "kind"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Strprintf, FormatsLikePrintf) {
+  EXPECT_EQ(strprintf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strprintf("%s", "plain"), "plain");
+  // Long output beyond any small internal buffer.
+  const std::string big = strprintf("%0512d", 7);
+  EXPECT_EQ(big.size(), 512u);
+  EXPECT_EQ(big.back(), '7');
+}
+
+TEST(FormatBytes, HumanizedUnits) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(999), "999 B");
+  EXPECT_EQ(format_bytes(1500), "1.50 kB");
+  EXPECT_EQ(format_bytes(2'460'000'000ull), "2.46 GB");
+}
+
+TEST(FormatSeconds, RangesAndNegative) {
+  EXPECT_EQ(format_seconds(0.0000005), "0.5 us");
+  EXPECT_EQ(format_seconds(0.25), "250 ms");
+  EXPECT_EQ(format_seconds(1.5), "1.50 s");
+  EXPECT_EQ(format_seconds(125), "2m05s");
+  EXPECT_EQ(format_seconds(-0.25), "-250 ms");
+}
+
+TEST(ParseDouble, AcceptsValidRejectsJunk) {
+  EXPECT_DOUBLE_EQ(parse_double("3.25", "t"), 3.25);
+  EXPECT_DOUBLE_EQ(parse_double("  -1e3 ", "t"), -1000.0);
+  EXPECT_THROW(parse_double("", "t"), Error);
+  EXPECT_THROW(parse_double("abc", "t"), Error);
+  EXPECT_THROW(parse_double("1.5x", "t"), Error);
+}
+
+TEST(ParseIndex, AcceptsValidRejectsJunk) {
+  EXPECT_EQ(parse_index("42", "t"), 42);
+  EXPECT_EQ(parse_index(" -7 ", "t"), -7);
+  EXPECT_THROW(parse_index("", "t"), Error);
+  EXPECT_THROW(parse_index("4.5", "t"), Error);
+  EXPECT_THROW(parse_index("12ab", "t"), Error);
+}
+
+} // namespace
+} // namespace eth

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+
+namespace eth {
+namespace {
+
+TEST(Error, RequirePassesAndThrows) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "nope"), Error);
+  try {
+    require(false, "the message");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "the message");
+  }
+  EXPECT_THROW(fail("always"), Error);
+}
+
+TEST(WallTimer, AdvancesMonotonically) {
+  WallTimer t;
+  const double a = t.elapsed();
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(double(i));
+  asm volatile("" : : "g"(&sink) : "memory");
+  const double b = t.elapsed();
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_LT(t.elapsed(), b + 1.0);
+}
+
+TEST(ThreadCpuTimer, ChargesBusyWork) {
+  ThreadCpuTimer t;
+  double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += std::sqrt(double(i));
+  asm volatile("" : : "g"(&sink) : "memory");
+  // Some CPU time must have been charged (coarse lower bound).
+  EXPECT_GT(t.elapsed(), 0.0);
+}
+
+TEST(PhaseTimer, AccumulatesByName) {
+  PhaseTimer p;
+  p.add("build", 1.0);
+  p.add("render", 2.0);
+  p.add("build", 0.5);
+  EXPECT_DOUBLE_EQ(p.get("build"), 1.5);
+  EXPECT_DOUBLE_EQ(p.get("render"), 2.0);
+  EXPECT_DOUBLE_EQ(p.get("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(p.total(), 3.5);
+  p.clear();
+  EXPECT_DOUBLE_EQ(p.total(), 0.0);
+}
+
+TEST(PhaseTimer, OverflowThrows) {
+  PhaseTimer p;
+  const char* names[] = {"a", "b", "c", "d", "e", "f", "g", "h",
+                         "i", "j", "k", "l", "m", "n", "o", "p"};
+  for (const char* n : names) p.add(n, 1.0);
+  EXPECT_THROW(p.add("q", 1.0), Error);
+}
+
+TEST(Log, LevelGatingAndRestore) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  // Should be cheap no-ops at kOff.
+  log_debug("invisible ", 1);
+  log_error("also invisible ", 2.5);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+} // namespace
+} // namespace eth

@@ -1,0 +1,114 @@
+#include "common/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace eth {
+namespace {
+
+TEST(Vec3, ArithmeticBasics) {
+  const Vec3f a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3f{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3f{3, 3, 3}));
+  EXPECT_EQ(a * 2.0f, (Vec3f{2, 4, 6}));
+  EXPECT_EQ(2.0f * a, (Vec3f{2, 4, 6}));
+  EXPECT_EQ(a * b, (Vec3f{4, 10, 18}));
+  EXPECT_EQ(b / 2.0f, (Vec3f{2, 2.5f, 3}));
+  EXPECT_EQ(-a, (Vec3f{-1, -2, -3}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3f v{1, 1, 1};
+  v += Vec3f{1, 2, 3};
+  EXPECT_EQ(v, (Vec3f{2, 3, 4}));
+  v -= Vec3f{1, 1, 1};
+  EXPECT_EQ(v, (Vec3f{1, 2, 3}));
+  v *= 3.0f;
+  EXPECT_EQ(v, (Vec3f{3, 6, 9}));
+}
+
+TEST(Vec3, IndexingMatchesComponents) {
+  Vec3f v{7, 8, 9};
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v[1], 8);
+  EXPECT_EQ(v[2], 9);
+  v[1] = 42;
+  EXPECT_EQ(v.y, 42);
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3f x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(dot(x, y), 0);
+  EXPECT_EQ(dot(x, x), 1);
+  EXPECT_EQ(cross(x, y), z);
+  EXPECT_EQ(cross(y, z), x);
+  EXPECT_EQ(cross(z, x), y);
+  // Anti-commutative.
+  EXPECT_EQ(cross(y, x), -z);
+}
+
+TEST(Vec3, CrossIsOrthogonal) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3f a = rng.unit_vector() * Real(rng.uniform(0.1, 10.0));
+    const Vec3f b = rng.unit_vector() * Real(rng.uniform(0.1, 10.0));
+    const Vec3f c = cross(a, b);
+    EXPECT_NEAR(dot(c, a), 0, 1e-3);
+    EXPECT_NEAR(dot(c, b), 0, 1e-3);
+  }
+}
+
+TEST(Vec3, LengthAndNormalize) {
+  EXPECT_FLOAT_EQ(length(Vec3f{3, 4, 0}), 5);
+  EXPECT_FLOAT_EQ(length2(Vec3f{3, 4, 0}), 25);
+  const Vec3f n = normalize(Vec3f{3, 4, 0});
+  EXPECT_NEAR(length(n), 1.0f, 1e-6);
+  // Zero vector stays zero rather than producing NaN.
+  const Vec3f z = normalize(Vec3f{0, 0, 0});
+  EXPECT_EQ(z, (Vec3f{0, 0, 0}));
+}
+
+TEST(Vec3, MinMaxClampLerp) {
+  const Vec3f a{1, 5, 3}, b{2, 4, 6};
+  EXPECT_EQ(min(a, b), (Vec3f{1, 4, 3}));
+  EXPECT_EQ(max(a, b), (Vec3f{2, 5, 6}));
+  EXPECT_EQ(lerp(a, b, 0.0f), a);
+  EXPECT_EQ(lerp(a, b, 1.0f), b);
+  EXPECT_EQ(clamp(Vec3f{-1, 0.5f, 2}, 0.0f, 1.0f), (Vec3f{0, 0.5f, 1}));
+  EXPECT_EQ(clamp(5, 0, 3), 3);
+  EXPECT_EQ(clamp(-5, 0, 3), 0);
+  EXPECT_EQ(clamp(2, 0, 3), 2);
+}
+
+TEST(Vec3, ReflectPreservesLengthAndFlipsNormalComponent) {
+  const Vec3f n{0, 1, 0};
+  const Vec3f d = normalize(Vec3f{1, -1, 0});
+  const Vec3f r = reflect(d, n);
+  EXPECT_NEAR(length(r), 1.0f, 1e-6);
+  EXPECT_NEAR(r.y, -d.y, 1e-6);
+  EXPECT_NEAR(r.x, d.x, 1e-6);
+}
+
+TEST(Vec2, Basics) {
+  const Vec2f a{1, 2}, b{3, 4};
+  EXPECT_EQ(a + b, (Vec2f{4, 6}));
+  EXPECT_EQ(b - a, (Vec2f{2, 2}));
+  EXPECT_EQ(a * 2.0f, (Vec2f{2, 4}));
+  EXPECT_FLOAT_EQ(dot(a, b), 11);
+  EXPECT_FLOAT_EQ(length(Vec2f{3, 4}), 5);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 2);
+}
+
+TEST(Vec4, Basics) {
+  const Vec4f a{1, 2, 3, 4}, b{4, 3, 2, 1};
+  EXPECT_EQ(a + b, (Vec4f{5, 5, 5, 5}));
+  EXPECT_EQ(a - b, (Vec4f{-3, -1, 1, 3}));
+  EXPECT_EQ(a * 2.0f, (Vec4f{2, 4, 6, 8}));
+  EXPECT_FLOAT_EQ(dot(a, b), 4 + 6 + 6 + 4);
+  EXPECT_EQ(a[3], 4);
+}
+
+} // namespace
+} // namespace eth

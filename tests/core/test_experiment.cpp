@@ -1,0 +1,77 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace eth {
+namespace {
+
+ExperimentSpec valid_hacc() {
+  ExperimentSpec spec;
+  spec.application = Application::kHacc;
+  spec.viz.algorithm = insitu::VizAlgorithm::kVtkPoints;
+  spec.layout.nodes = 4;
+  spec.layout.ranks = 2;
+  return spec;
+}
+
+TEST(ExperimentSpec, ValidSpecPasses) {
+  EXPECT_NO_THROW(valid_hacc().validate());
+}
+
+TEST(ExperimentSpec, RejectsAlgorithmDataMismatch) {
+  ExperimentSpec spec = valid_hacc();
+  spec.viz.algorithm = insitu::VizAlgorithm::kVtkGeometry; // volume algo on HACC
+  EXPECT_THROW(spec.validate(), Error);
+  spec.application = Application::kXrage; // now consistent
+  EXPECT_NO_THROW(spec.validate());
+  spec.viz.algorithm = insitu::VizAlgorithm::kRaycastSpheres;
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+TEST(ExperimentSpec, RejectsOversizedLayout) {
+  ExperimentSpec spec = valid_hacc();
+  spec.layout.nodes = spec.machine.total_nodes + 1;
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+TEST(ExperimentSpec, RejectsDegenerateCounts) {
+  ExperimentSpec spec = valid_hacc();
+  spec.timesteps = 0;
+  EXPECT_THROW(spec.validate(), Error);
+  spec = valid_hacc();
+  spec.viz.images_per_timestep = 0;
+  EXPECT_THROW(spec.validate(), Error);
+  spec = valid_hacc();
+  spec.name.clear();
+  EXPECT_THROW(spec.validate(), Error);
+  spec = valid_hacc();
+  spec.layout.ranks = 100;
+  EXPECT_THROW(spec.validate(), Error);
+  spec = valid_hacc();
+  spec.use_disk_proxy = true;
+  spec.proxy_dir.clear();
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+TEST(ExperimentSpec, RejectsSubUnityScaleFactors) {
+  ExperimentSpec spec = valid_hacc();
+  spec.data_scale = 0.5;
+  EXPECT_THROW(spec.validate(), Error);
+  spec = valid_hacc();
+  spec.pixel_scale = 0.0;
+  EXPECT_THROW(spec.validate(), Error);
+  spec = valid_hacc();
+  spec.data_scale = 125.0;
+  spec.pixel_scale = 16.0;
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(Application, Names) {
+  EXPECT_STREQ(to_string(Application::kHacc), "hacc");
+  EXPECT_STREQ(to_string(Application::kXrage), "xrage");
+}
+
+} // namespace
+} // namespace eth

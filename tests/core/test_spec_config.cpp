@@ -1,0 +1,122 @@
+#include "core/spec_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace eth {
+namespace {
+
+TEST(SpecConfig, SingleValuedKeysSetTheSpec) {
+  const auto points = parse_experiment_config(R"(
+# comment line
+application hacc
+particles 12345
+algorithm vtk-points    # trailing comment
+coupling internode
+nodes 32
+ranks 4
+viz_nodes 8
+sampling 0.5
+images 7
+image_size 96x64
+quantization_bits 12
+)");
+  ASSERT_EQ(points.size(), 1u);
+  const ExperimentSpec& spec = points[0].spec;
+  EXPECT_EQ(spec.application, Application::kHacc);
+  EXPECT_EQ(spec.hacc.num_particles, 12345);
+  EXPECT_EQ(spec.viz.algorithm, insitu::VizAlgorithm::kVtkPoints);
+  EXPECT_EQ(spec.layout.coupling, cluster::Coupling::kInternode);
+  EXPECT_EQ(spec.layout.nodes, 32);
+  EXPECT_EQ(spec.layout.viz_nodes, 8);
+  EXPECT_DOUBLE_EQ(spec.viz.sampling_ratio, 0.5);
+  EXPECT_EQ(spec.viz.images_per_timestep, 7);
+  EXPECT_EQ(spec.viz.image_width, 96);
+  EXPECT_EQ(spec.viz.image_height, 64);
+  EXPECT_EQ(spec.transport_quantization_bits, 12);
+  EXPECT_EQ(points[0].label, "run");
+}
+
+TEST(SpecConfig, CartesianProductExpansion) {
+  const auto points = parse_experiment_config(R"(
+application hacc
+particles 1000
+algorithm gaussian-splat vtk-points raycast-spheres
+sampling 1.0 0.5
+nodes 8
+ranks 2
+)");
+  ASSERT_EQ(points.size(), 6u); // 3 algorithms x 2 ratios
+  // Labels carry every swept dimension.
+  EXPECT_EQ(points[0].label, "algorithm=gaussian-splat sampling=1.0");
+  EXPECT_EQ(points[5].label, "algorithm=raycast-spheres sampling=0.5");
+  // Names are unique (proxy/artifact separation).
+  for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t j = i + 1; j < points.size(); ++j)
+      EXPECT_NE(points[i].spec.name, points[j].spec.name);
+}
+
+TEST(SpecConfig, XrageGridsAndVolumeKeys) {
+  const auto points = parse_experiment_config(R"(
+application xrage
+grid 16x12x10 24x20x16
+algorithm raycast-volume
+isovalue 0.4
+slices 3
+nodes 4
+ranks 2
+)");
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].spec.xrage.dims, (Vec3i{16, 12, 10}));
+  EXPECT_EQ(points[1].spec.xrage.dims, (Vec3i{24, 20, 16}));
+  EXPECT_FLOAT_EQ(points[0].spec.viz.isovalue, 0.4f);
+  EXPECT_EQ(points[0].spec.viz.num_slices, 3);
+}
+
+TEST(SpecConfig, ProxyDirEnablesDiskProxy) {
+  const auto points = parse_experiment_config(
+      "application hacc\nalgorithm vtk-points\nproxy_dir /tmp/x\nnodes 2\nranks 2\n");
+  EXPECT_TRUE(points[0].spec.use_disk_proxy);
+  EXPECT_EQ(points[0].spec.proxy_dir, "/tmp/x");
+}
+
+TEST(SpecConfig, RejectsMalformedInput) {
+  EXPECT_THROW(parse_experiment_config(""), Error);
+  EXPECT_THROW(parse_experiment_config("bogus_key 3\n"), Error);
+  EXPECT_THROW(parse_experiment_config("particles\n"), Error);
+  EXPECT_THROW(parse_experiment_config("application klingon\n"), Error);
+  EXPECT_THROW(parse_experiment_config("application hacc\nalgorithm warp\n"), Error);
+  EXPECT_THROW(parse_experiment_config("application hacc\nimage_size 64\n"), Error);
+  // Validation catches inconsistent expanded specs.
+  EXPECT_THROW(parse_experiment_config(
+                   "application xrage\nalgorithm vtk-points\nnodes 2\nranks 2\n"),
+               Error);
+}
+
+TEST(SpecConfig, LoadFromFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "eth_spec_config_test.cfg").string();
+  {
+    std::ofstream f(path);
+    f << "application hacc\nalgorithm vtk-points\nparticles 500\nnodes 2\nranks 2\n";
+  }
+  const auto points = load_experiment_config(path);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].spec.hacc.num_particles, 500);
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_experiment_config(path), Error);
+}
+
+TEST(SpecConfig, ReferenceMentionsEveryKey) {
+  const std::string ref = experiment_config_reference();
+  for (const char* key : {"application", "particles", "grid", "algorithm", "coupling",
+                          "nodes", "sampling", "quantization_bits", "proxy_dir"})
+    EXPECT_NE(ref.find(key), std::string::npos) << key;
+}
+
+} // namespace
+} // namespace eth

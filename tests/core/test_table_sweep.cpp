@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "core/sweep.hpp"
+#include "core/table.hpp"
+
+namespace eth {
+namespace {
+
+TEST(ResultTable, BuildAndRenderText) {
+  ResultTable table({"name", "value"});
+  table.begin_row();
+  table.add_cell("alpha");
+  table.add_cell(1.5, "%.1f");
+  table.begin_row();
+  table.add_cell("beta-long-label");
+  table.add_cell(Index(42));
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.cell(0, 1), "1.5");
+  EXPECT_EQ(table.cell(1, 1), "42");
+
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("beta-long-label"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("|--"), std::string::npos);
+}
+
+TEST(ResultTable, CsvEscapesSpecials) {
+  ResultTable table({"label", "note"});
+  table.begin_row();
+  table.add_cell("a,b");
+  table.add_cell("say \"hi\"");
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_EQ(csv.substr(0, 10), "label,note");
+}
+
+TEST(ResultTable, SaveCsvWritesFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "eth_table.csv").string();
+  ResultTable table({"x"});
+  table.begin_row();
+  table.add_cell(Index(7));
+  table.save_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x");
+  std::getline(f, line);
+  EXPECT_EQ(line, "7");
+  std::filesystem::remove(path);
+}
+
+TEST(ResultTable, MisuseThrows) {
+  EXPECT_THROW(ResultTable({}), Error);
+  ResultTable table({"a"});
+  EXPECT_THROW(table.add_cell("no row yet"), Error);
+  table.begin_row();
+  table.add_cell("x");
+  EXPECT_THROW(table.add_cell("overflow"), Error);
+  EXPECT_THROW(table.cell(5, 0), Error);
+}
+
+TEST(SweepOver, BuildsLabeledVariants) {
+  ExperimentSpec base;
+  base.name = "base";
+  base.application = Application::kHacc;
+  base.viz.algorithm = insitu::VizAlgorithm::kVtkPoints;
+  const std::vector<double> ratios{1.0, 0.5};
+  const auto points = sweep_over<double>(
+      base, ratios, [](const double& r) { return "ratio" + std::to_string(int(r * 100)); },
+      [](const double& r, ExperimentSpec& spec) { spec.viz.sampling_ratio = r; });
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].label, "ratio100");
+  EXPECT_EQ(points[1].spec.viz.sampling_ratio, 0.5);
+  EXPECT_EQ(points[1].spec.name, "base-ratio50");
+}
+
+TEST(RunSweep, ExecutesInOrderWithCallback) {
+  ExperimentSpec base;
+  base.name = "sweep-test";
+  base.application = Application::kHacc;
+  base.hacc.num_particles = 500;
+  base.viz.algorithm = insitu::VizAlgorithm::kVtkPoints;
+  base.viz.image_width = 16;
+  base.viz.image_height = 16;
+  base.viz.images_per_timestep = 1;
+  base.layout.nodes = 2;
+  base.layout.ranks = 2;
+
+  const std::vector<int> sizes{500, 1000};
+  const auto points = sweep_over<int>(
+      base, sizes, [](const int& n) { return std::to_string(n); },
+      [](const int& n, ExperimentSpec& spec) { spec.hacc.num_particles = n; });
+
+  std::vector<std::string> seen;
+  const Harness harness;
+  const auto outcomes = run_sweep(harness, points, [&](const SweepOutcome& o) {
+    seen.push_back(o.label);
+  });
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(seen, (std::vector<std::string>{"500", "1000"}));
+  for (const auto& o : outcomes) EXPECT_GT(o.result.exec_seconds, 0);
+
+  const ResultTable table = metrics_table("particles", outcomes);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.cell(0, 0), "500");
+}
+
+} // namespace
+} // namespace eth

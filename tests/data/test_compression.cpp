@@ -1,0 +1,136 @@
+#include "data/compression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+#include "data/serialize.hpp"
+#include "data/structured_grid.hpp"
+#include "data/triangle_mesh.hpp"
+
+namespace eth {
+namespace {
+
+TEST(QuantizePack, RoundTripWithinErrorBound) {
+  Rng rng(5);
+  std::vector<Real> values(1000);
+  for (Real& v : values) v = Real(rng.uniform(-50, 150));
+  for (const int bits : {4, 8, 12, 16, 24}) {
+    std::vector<std::uint8_t> packed;
+    quantize_pack(values, bits, -50, 150, packed);
+    EXPECT_EQ(packed.size(), (values.size() * static_cast<std::size_t>(bits) + 7) / 8);
+    std::vector<Real> restored(values.size());
+    unpack_dequantize(packed, 0, 1000, bits, -50, 150, restored);
+    // At high bit depths the quantization step approaches float32 ULP
+    // at this magnitude; allow a few ULPs of rounding on top.
+    const Real bound =
+        quantization_error_bound(-50, 150, bits) * 1.01f + 200.0f * 1e-6f;
+    for (std::size_t i = 0; i < values.size(); ++i)
+      EXPECT_LE(std::abs(values[i] - restored[i]), bound) << "bits=" << bits;
+  }
+}
+
+TEST(QuantizePack, ErrorBoundShrinksWithBits) {
+  EXPECT_GT(quantization_error_bound(0, 1, 4), quantization_error_bound(0, 1, 8));
+  EXPECT_GT(quantization_error_bound(0, 1, 8), quantization_error_bound(0, 1, 16));
+  EXPECT_THROW(quantization_error_bound(0, 1, 0), Error);
+  EXPECT_THROW(quantization_error_bound(0, 1, 25), Error);
+}
+
+TEST(QuantizePack, ConstantArrayIsExact) {
+  std::vector<Real> values(64, 7.5f);
+  std::vector<std::uint8_t> packed;
+  quantize_pack(values, 8, 7.5f, 7.5f, packed);
+  std::vector<Real> restored(64);
+  unpack_dequantize(packed, 0, 64, 8, 7.5f, 7.5f, restored);
+  for (const Real v : restored) EXPECT_EQ(v, 7.5f);
+}
+
+PointSet make_particles(Index n = 500) {
+  PointSet ps(n);
+  Rng rng(9);
+  Field speed("speed", n, 1);
+  for (Index i = 0; i < n; ++i) {
+    ps.set_position(i, rng.point_in_box({0, 0, 0}, {100, 100, 100}));
+    speed.set(i, Real(rng.uniform(0, 300)));
+  }
+  ps.point_fields().add(std::move(speed));
+  return ps;
+}
+
+TEST(CompressDataset, PointSetRoundTripWithinBound) {
+  const PointSet ps = make_particles();
+  const auto compressed = compress_dataset(ps, 16);
+  const auto restored = decompress_dataset(compressed);
+  ASSERT_EQ(restored->kind(), DataSetKind::kPointSet);
+  const auto& r = static_cast<const PointSet&>(*restored);
+  ASSERT_EQ(r.num_points(), ps.num_points());
+  const Real pos_bound = quantization_error_bound(0, 100, 16) * 1.01f;
+  for (Index i = 0; i < ps.num_points(); ++i)
+    EXPECT_LE(length(r.position(i) - ps.position(i)), pos_bound * 2);
+  const Real speed_bound = quantization_error_bound(0, 300, 16) * 1.01f;
+  for (Index i = 0; i < ps.num_points(); ++i)
+    EXPECT_LE(std::abs(r.point_fields().get("speed").get(i) -
+                       ps.point_fields().get("speed").get(i)),
+              speed_bound);
+}
+
+TEST(CompressDataset, CompressionActuallySavesBytes) {
+  const PointSet ps = make_particles(5000);
+  const auto plain = serialize_dataset(ps);
+  const auto q8 = compress_dataset(ps, 8);
+  const auto q16 = compress_dataset(ps, 16);
+  // 8-bit: ~4x smaller than 32-bit floats (minus headers).
+  EXPECT_LT(double(q8.size()), 0.35 * double(plain.size()));
+  EXPECT_LT(q8.size(), q16.size());
+  EXPECT_LT(q16.size(), plain.size());
+}
+
+TEST(CompressDataset, GridRoundTrip) {
+  StructuredGrid grid({8, 6, 5}, {1, 2, 3}, {0.5f, 0.5f, 0.5f});
+  Field& f = grid.add_scalar_field("temperature");
+  Rng rng(3);
+  for (Index i = 0; i < grid.num_points(); ++i) f.set(i, Real(rng.uniform()));
+
+  const auto compressed = compress_dataset(grid, 12);
+  const auto restored = decompress_dataset(compressed);
+  ASSERT_EQ(restored->kind(), DataSetKind::kStructuredGrid);
+  const auto& r = static_cast<const StructuredGrid&>(*restored);
+  EXPECT_EQ(r.dims(), (Vec3i{8, 6, 5}));
+  EXPECT_EQ(r.origin(), (Vec3f{1, 2, 3}));
+  const Real bound = quantization_error_bound(0, 1, 12) * 1.05f;
+  for (Index i = 0; i < grid.num_points(); ++i)
+    EXPECT_LE(std::abs(r.point_fields().get("temperature").get(i) - f.get(i)), bound);
+}
+
+TEST(CompressDataset, MoreBitsLessError) {
+  const PointSet ps = make_particles(2000);
+  double last_err = 1e30;
+  for (const int bits : {4, 8, 12, 16}) {
+    const auto restored = decompress_dataset(compress_dataset(ps, bits));
+    const auto& r = static_cast<const PointSet&>(*restored);
+    double err = 0;
+    for (Index i = 0; i < ps.num_points(); ++i)
+      err += double(length(r.position(i) - ps.position(i)));
+    EXPECT_LT(err, last_err);
+    last_err = err;
+  }
+}
+
+TEST(CompressDataset, RejectsBadInput) {
+  const PointSet ps = make_particles(10);
+  EXPECT_THROW(compress_dataset(ps, 0), Error);
+  EXPECT_THROW(compress_dataset(ps, 32), Error);
+  TriangleMesh mesh;
+  EXPECT_THROW(compress_dataset(mesh, 8), Error);
+
+  auto bytes = compress_dataset(ps, 8);
+  bytes.resize(4);
+  EXPECT_THROW(decompress_dataset(bytes), Error);
+  auto bytes2 = compress_dataset(ps, 8);
+  bytes2[9] ^= 0xFF; // corrupt the magic
+  EXPECT_THROW(decompress_dataset(bytes2), Error);
+}
+
+} // namespace
+} // namespace eth

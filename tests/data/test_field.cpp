@@ -1,0 +1,117 @@
+#include "data/field.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eth {
+namespace {
+
+TEST(Field, ConstructionAndZeroInit) {
+  Field f("density", 5, 1);
+  EXPECT_EQ(f.name(), "density");
+  EXPECT_EQ(f.tuples(), 5);
+  EXPECT_EQ(f.components(), 1);
+  EXPECT_EQ(f.association(), FieldAssociation::kPoint);
+  for (Index t = 0; t < 5; ++t) EXPECT_EQ(f.get(t), 0.0f);
+}
+
+TEST(Field, RejectsBadConstruction) {
+  EXPECT_THROW(Field("x", 3, 0), Error);
+  EXPECT_THROW(Field("x", -1, 1), Error);
+}
+
+TEST(Field, GetSetScalarAndComponents) {
+  Field f("v", 3, 2);
+  f.set(1, 0, 3.5f);
+  f.set(1, 1, -2.0f);
+  EXPECT_EQ(f.get(1, 0), 3.5f);
+  EXPECT_EQ(f.get(1, 1), -2.0f);
+  EXPECT_EQ(f.get(0, 0), 0.0f);
+  // Interleaved storage layout.
+  EXPECT_EQ(f.values()[2], 3.5f);
+  EXPECT_EQ(f.values()[3], -2.0f);
+}
+
+TEST(Field, Vec3Accessors) {
+  Field f("velocity", 2, 3);
+  f.set_vec3(1, {1, 2, 3});
+  EXPECT_EQ(f.get_vec3(1), (Vec3f{1, 2, 3}));
+  EXPECT_EQ(f.get_vec3(0), (Vec3f{0, 0, 0}));
+
+  Field scalar("s", 2, 1);
+  EXPECT_THROW(scalar.get_vec3(0), Error);
+  EXPECT_THROW(scalar.set_vec3(0, {1, 1, 1}), Error);
+}
+
+TEST(Field, ResizePreservesPrefix) {
+  Field f("x", 2, 2);
+  f.set(0, 0, 1);
+  f.set(1, 1, 2);
+  f.resize(4);
+  EXPECT_EQ(f.tuples(), 4);
+  EXPECT_EQ(f.get(0, 0), 1);
+  EXPECT_EQ(f.get(1, 1), 2);
+  EXPECT_EQ(f.get(3, 0), 0);
+  f.resize(1);
+  EXPECT_EQ(f.tuples(), 1);
+}
+
+TEST(Field, RangeComputesMinMax) {
+  Field f("r", 4, 2);
+  f.set(0, 0, -5);
+  f.set(1, 0, 10);
+  f.set(2, 1, 99); // other component must not leak in
+  const auto [lo, hi] = f.range(0);
+  EXPECT_EQ(lo, -5);
+  EXPECT_EQ(hi, 10);
+  const auto [lo1, hi1] = f.range(1);
+  EXPECT_EQ(lo1, 0);
+  EXPECT_EQ(hi1, 99);
+  EXPECT_THROW(f.range(2), Error);
+  const Field empty("e", 0, 1);
+  const auto [elo, ehi] = empty.range();
+  EXPECT_EQ(elo, 0);
+  EXPECT_EQ(ehi, 0);
+}
+
+TEST(Field, ByteSize) {
+  const Field f("x", 10, 3);
+  EXPECT_EQ(f.byte_size(), 10u * 3u * sizeof(Real));
+}
+
+TEST(FieldCollection, AddGetHasRemove) {
+  FieldCollection fc;
+  EXPECT_FALSE(fc.has("a"));
+  fc.add(Field("a", 3, 1));
+  fc.add(Field("b", 3, 3));
+  EXPECT_TRUE(fc.has("a"));
+  EXPECT_EQ(fc.size(), 2u);
+  EXPECT_EQ(fc.get("b").components(), 3);
+  fc.get("a").set(0, 7);
+  EXPECT_EQ(fc.get("a").get(0), 7);
+  fc.remove("a");
+  EXPECT_FALSE(fc.has("a"));
+  EXPECT_EQ(fc.size(), 1u);
+}
+
+TEST(FieldCollection, ErrorsOnDuplicateAndMissing) {
+  FieldCollection fc;
+  fc.add(Field("a", 1, 1));
+  EXPECT_THROW(fc.add(Field("a", 2, 1)), Error);
+  EXPECT_THROW(fc.get("missing"), Error);
+  EXPECT_THROW(fc.remove("missing"), Error);
+}
+
+TEST(FieldCollection, ByteSizeSumsFields) {
+  FieldCollection fc;
+  fc.add(Field("a", 4, 1));
+  fc.add(Field("b", 4, 3));
+  EXPECT_EQ(fc.byte_size(), (4u + 12u) * sizeof(Real));
+}
+
+TEST(FieldAssociation, ToString) {
+  EXPECT_STREQ(to_string(FieldAssociation::kPoint), "point");
+  EXPECT_STREQ(to_string(FieldAssociation::kCell), "cell");
+}
+
+} // namespace
+} // namespace eth

@@ -1,0 +1,158 @@
+#include "data/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace eth {
+namespace {
+
+TEST(ByteWriterReader, PodRoundTrip) {
+  ByteWriter w;
+  w.put_u8(7);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_i64(-42);
+  w.put_f32(3.25f);
+  w.put_f64(-1.5e300);
+  w.put_string("hello");
+  const auto buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEF);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_EQ(r.get_f32(), 3.25f);
+  EXPECT_EQ(r.get_f64(), -1.5e300);
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReader, TruncatedInputThrows) {
+  ByteWriter w;
+  w.put_u32(5);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  r.get_u32();
+  EXPECT_THROW(r.get_u8(), Error);
+
+  ByteReader r2(buf);
+  EXPECT_THROW(r2.get_u64(), Error);
+
+  // String header promising more bytes than remain.
+  ByteWriter w3;
+  w3.put_u32(1000);
+  const auto buf3 = w3.take();
+  ByteReader r3(buf3);
+  EXPECT_THROW(r3.get_string(), Error);
+}
+
+TEST(SerializeField, RoundTrip) {
+  Field f("velocity", 4, 3, FieldAssociation::kCell);
+  Rng rng(3);
+  for (Index t = 0; t < 4; ++t)
+    for (int c = 0; c < 3; ++c) f.set(t, c, Real(rng.uniform(-10, 10)));
+  ByteWriter w;
+  serialize_field(w, f);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  const Field g = deserialize_field(r);
+  EXPECT_EQ(g.name(), "velocity");
+  EXPECT_EQ(g.components(), 3);
+  EXPECT_EQ(g.tuples(), 4);
+  EXPECT_EQ(g.association(), FieldAssociation::kCell);
+  for (Index t = 0; t < 4; ++t)
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(g.get(t, c), f.get(t, c));
+}
+
+PointSet make_point_set() {
+  PointSet ps(10);
+  Rng rng(5);
+  for (Index i = 0; i < 10; ++i) ps.set_position(i, rng.point_in_box({0, 0, 0}, {1, 1, 1}));
+  Field id("id", 10, 1);
+  for (Index i = 0; i < 10; ++i) id.set(i, Real(i));
+  ps.point_fields().add(std::move(id));
+  return ps;
+}
+
+TEST(SerializeDataset, PointSetRoundTrip) {
+  const PointSet ps = make_point_set();
+  const auto bytes = serialize_dataset(ps);
+  const auto restored = deserialize_dataset(bytes);
+  ASSERT_EQ(restored->kind(), DataSetKind::kPointSet);
+  const auto& r = static_cast<const PointSet&>(*restored);
+  ASSERT_EQ(r.num_points(), 10);
+  for (Index i = 0; i < 10; ++i) {
+    EXPECT_EQ(r.position(i), ps.position(i));
+    EXPECT_EQ(r.point_fields().get("id").get(i), Real(i));
+  }
+}
+
+TEST(SerializeDataset, StructuredGridRoundTrip) {
+  StructuredGrid g({4, 3, 2}, {1, 2, 3}, {0.5f, 0.5f, 0.5f});
+  Field& f = g.add_scalar_field("t");
+  for (Index i = 0; i < g.num_points(); ++i) f.set(i, Real(i) * 0.25f);
+  const auto bytes = serialize_dataset(g);
+  const auto restored = deserialize_dataset(bytes);
+  ASSERT_EQ(restored->kind(), DataSetKind::kStructuredGrid);
+  const auto& r = static_cast<const StructuredGrid&>(*restored);
+  EXPECT_EQ(r.dims(), (Vec3i{4, 3, 2}));
+  EXPECT_EQ(r.origin(), (Vec3f{1, 2, 3}));
+  EXPECT_EQ(r.spacing(), (Vec3f{0.5f, 0.5f, 0.5f}));
+  for (Index i = 0; i < r.num_points(); ++i)
+    EXPECT_EQ(r.point_fields().get("t").get(i), Real(i) * 0.25f);
+}
+
+TEST(SerializeDataset, TriangleMeshRoundTripWithNormals) {
+  TriangleMesh m;
+  m.add_vertex({0, 0, 0}, {0, 0, 1});
+  m.add_vertex({1, 0, 0}, {0, 1, 0});
+  m.add_vertex({0, 1, 0}, {1, 0, 0});
+  m.add_triangle(0, 1, 2);
+  Field s("scalar", 3, 1);
+  s.set(0, 5);
+  m.point_fields().add(std::move(s));
+
+  const auto bytes = serialize_dataset(m);
+  const auto restored = deserialize_dataset(bytes);
+  ASSERT_EQ(restored->kind(), DataSetKind::kTriangleMesh);
+  const auto& r = static_cast<const TriangleMesh&>(*restored);
+  EXPECT_EQ(r.num_points(), 3);
+  EXPECT_EQ(r.num_triangles(), 1);
+  ASSERT_TRUE(r.has_normals());
+  EXPECT_EQ(r.normals()[1], (Vec3f{0, 1, 0}));
+  EXPECT_EQ(r.point_fields().get("scalar").get(0), 5);
+}
+
+TEST(SerializeDataset, TriangleMeshWithoutNormals) {
+  TriangleMesh m;
+  m.add_vertex({0, 0, 0});
+  m.add_vertex({1, 0, 0});
+  m.add_vertex({0, 1, 0});
+  m.add_triangle(0, 1, 2);
+  const auto bytes = serialize_dataset(m);
+  const auto restored = deserialize_dataset(bytes);
+  EXPECT_FALSE(static_cast<const TriangleMesh&>(*restored).has_normals());
+}
+
+TEST(SerializeDataset, CorruptMagicThrows) {
+  auto bytes = serialize_dataset(make_point_set());
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(deserialize_dataset(bytes), Error);
+}
+
+TEST(SerializeDataset, TrailingBytesThrow) {
+  auto bytes = serialize_dataset(make_point_set());
+  bytes.push_back(0);
+  EXPECT_THROW(deserialize_dataset(bytes), Error);
+}
+
+TEST(SerializeDataset, TruncatedPayloadThrows) {
+  auto bytes = serialize_dataset(make_point_set());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(deserialize_dataset(bytes), Error);
+}
+
+} // namespace
+} // namespace eth

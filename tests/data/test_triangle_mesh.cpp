@@ -1,0 +1,119 @@
+#include "data/triangle_mesh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eth {
+namespace {
+
+TriangleMesh make_quad() {
+  // Unit square in the z=0 plane, two triangles, CCW from +z.
+  TriangleMesh m;
+  const Index a = m.add_vertex({0, 0, 0});
+  const Index b = m.add_vertex({1, 0, 0});
+  const Index c = m.add_vertex({1, 1, 0});
+  const Index d = m.add_vertex({0, 1, 0});
+  m.add_triangle(a, b, c);
+  m.add_triangle(a, c, d);
+  return m;
+}
+
+TEST(TriangleMesh, CountsAndBounds) {
+  const TriangleMesh m = make_quad();
+  EXPECT_EQ(m.kind(), DataSetKind::kTriangleMesh);
+  EXPECT_EQ(m.num_points(), 4);
+  EXPECT_EQ(m.num_triangles(), 2);
+  EXPECT_EQ(m.bounds().lo, (Vec3f{0, 0, 0}));
+  EXPECT_EQ(m.bounds().hi, (Vec3f{1, 1, 0}));
+  EXPECT_FALSE(m.has_normals());
+}
+
+TEST(TriangleMesh, TriangleLookup) {
+  const TriangleMesh m = make_quad();
+  Index a, b, c;
+  m.triangle(1, a, b, c);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(c, 3);
+}
+
+TEST(TriangleMesh, FaceNormalOrientation) {
+  const TriangleMesh m = make_quad();
+  const Vec3f n = m.face_normal(0);
+  EXPECT_NEAR(n.x, 0, 1e-6);
+  EXPECT_NEAR(n.y, 0, 1e-6);
+  EXPECT_NEAR(n.z, 1, 1e-6);
+}
+
+TEST(TriangleMesh, AddTriangleRejectsBadIndices) {
+  TriangleMesh m = make_quad();
+  EXPECT_THROW(m.add_triangle(0, 1, 4), Error);
+  EXPECT_THROW(m.add_triangle(-1, 1, 2), Error);
+}
+
+TEST(TriangleMesh, NormalPresenceIsConsistent) {
+  TriangleMesh m;
+  m.add_vertex({0, 0, 0});
+  // Mesh created without normals rejects a vertex with a normal.
+  EXPECT_THROW(m.add_vertex({1, 0, 0}, {0, 0, 1}), Error);
+
+  TriangleMesh n;
+  n.add_vertex({0, 0, 0}, {0, 0, 1});
+  EXPECT_TRUE(n.has_normals());
+  EXPECT_THROW(n.add_vertex({1, 0, 0}), Error);
+}
+
+TEST(TriangleMesh, ComputeVertexNormalsFlatQuad) {
+  TriangleMesh m = make_quad();
+  m.compute_vertex_normals();
+  ASSERT_TRUE(m.has_normals());
+  for (const Vec3f n : m.normals()) {
+    EXPECT_NEAR(n.z, 1, 1e-5);
+    EXPECT_NEAR(length(n), 1, 1e-5);
+  }
+}
+
+TEST(TriangleMesh, ComputeVertexNormalsAveragesAtEdge) {
+  // Two triangles folded 90 degrees along the shared edge: shared
+  // vertices' normals bisect the fold.
+  TriangleMesh m;
+  const Index a = m.add_vertex({0, 0, 0});
+  const Index b = m.add_vertex({1, 0, 0});
+  const Index c = m.add_vertex({1, 1, 0});
+  const Index d = m.add_vertex({0, 0, 1});
+  m.add_triangle(a, b, c);       // z = 0 plane, normal +z
+  m.add_triangle(a, d, b);       // y = 0 plane, normal... check sign
+  m.compute_vertex_normals();
+  const Vec3f shared = m.normals()[static_cast<std::size_t>(a)];
+  EXPECT_NEAR(length(shared), 1, 1e-5);
+  // Not aligned with either face alone.
+  EXPECT_LT(std::abs(shared.z), 0.999f);
+}
+
+TEST(TriangleMesh, AppendReindexes) {
+  TriangleMesh a = make_quad();
+  const TriangleMesh b = make_quad();
+  a.append(b);
+  EXPECT_EQ(a.num_points(), 8);
+  EXPECT_EQ(a.num_triangles(), 4);
+  Index i0, i1, i2;
+  a.triangle(2, i0, i1, i2);
+  EXPECT_EQ(i0, 4);
+  EXPECT_EQ(i1, 5);
+  EXPECT_EQ(i2, 6);
+}
+
+TEST(TriangleMesh, CloneIsDeep) {
+  TriangleMesh m = make_quad();
+  const auto clone = m.clone();
+  m.vertices()[0] = Vec3f{9, 9, 9};
+  const auto& c = static_cast<const TriangleMesh&>(*clone);
+  EXPECT_EQ(c.vertices()[0], (Vec3f{0, 0, 0}));
+}
+
+TEST(TriangleMesh, ByteSizeTracksContents) {
+  const TriangleMesh m = make_quad();
+  EXPECT_EQ(m.byte_size(), 4 * sizeof(Vec3f) + 6 * sizeof(Index));
+}
+
+} // namespace
+} // namespace eth

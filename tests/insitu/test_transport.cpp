@@ -1,0 +1,85 @@
+#include "insitu/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "data/point_set.hpp"
+#include "data/serialize.hpp"
+#include "sim/xrage_generator.hpp"
+
+namespace eth::insitu {
+namespace {
+
+TEST(InProcChannel, MessageRoundTrip) {
+  auto [a, b] = make_inproc_channel();
+  a->send({1, 2, 3});
+  EXPECT_EQ(b->recv(), (std::vector<std::uint8_t>{1, 2, 3}));
+  b->send({9});
+  EXPECT_EQ(a->recv(), (std::vector<std::uint8_t>{9}));
+}
+
+TEST(InProcChannel, PreservesMessageOrder) {
+  auto [a, b] = make_inproc_channel();
+  for (std::uint8_t i = 0; i < 10; ++i) a->send({i});
+  for (std::uint8_t i = 0; i < 10; ++i) EXPECT_EQ(b->recv()[0], i);
+}
+
+TEST(InProcChannel, CountsBytesSentPerEndpoint) {
+  auto [a, b] = make_inproc_channel();
+  a->send(std::vector<std::uint8_t>(100));
+  a->send(std::vector<std::uint8_t>(50));
+  b->send(std::vector<std::uint8_t>(7));
+  EXPECT_EQ(a->bytes_sent(), 150u);
+  EXPECT_EQ(b->bytes_sent(), 7u);
+}
+
+TEST(InProcChannel, BlockingRecvWaitsForSender) {
+  auto [a, b] = make_inproc_channel();
+  std::thread sender([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->send({42});
+  });
+  EXPECT_EQ(b->recv()[0], 42);
+  sender.join();
+}
+
+TEST(InProcChannel, PeerDestructionWakesBlockedReceiver) {
+  auto [a, b] = make_inproc_channel();
+  std::thread receiver([&b] { EXPECT_THROW(b->recv(), Error); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  a.reset(); // destroy the sender endpoint
+  receiver.join();
+}
+
+TEST(InProcChannel, DatasetRoundTripPointSet) {
+  auto [a, b] = make_inproc_channel();
+  PointSet ps(3);
+  ps.set_position(1, {4, 5, 6});
+  Field id("id", 3, 1);
+  id.set(2, 9);
+  ps.point_fields().add(std::move(id));
+
+  a->send_dataset(ps);
+  const auto restored = b->recv_dataset();
+  ASSERT_EQ(restored->kind(), DataSetKind::kPointSet);
+  const auto& r = static_cast<const PointSet&>(*restored);
+  EXPECT_EQ(r.position(1), (Vec3f{4, 5, 6}));
+  EXPECT_EQ(r.point_fields().get("id").get(2), 9);
+}
+
+TEST(InProcChannel, DatasetRoundTripGrid) {
+  auto [a, b] = make_inproc_channel();
+  sim::XrageParams params;
+  params.dims = {8, 8, 8};
+  const auto grid = sim::generate_xrage(params);
+  a->send_dataset(*grid);
+  const auto restored = b->recv_dataset();
+  ASSERT_EQ(restored->kind(), DataSetKind::kStructuredGrid);
+  EXPECT_EQ(static_cast<const StructuredGrid&>(*restored).dims(), (Vec3i{8, 8, 8}));
+  EXPECT_EQ(a->bytes_sent(), serialize_dataset(*grid).size());
+}
+
+} // namespace
+} // namespace eth::insitu

@@ -1,0 +1,240 @@
+#include "parallel/minimpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace eth::mpi {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+std::string string_of(const std::vector<std::uint8_t>& b) {
+  return std::string(b.begin(), b.end());
+}
+
+TEST(MiniMpi, WorldRunsEveryRankExactlyOnce) {
+  std::atomic<int> ran{0};
+  std::atomic<int> rank_sum{0};
+  run_world(5, [&](Comm& comm) {
+    ++ran;
+    rank_sum += comm.rank();
+    EXPECT_EQ(comm.size(), 5);
+  });
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(rank_sum.load(), 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(MiniMpi, PointToPointDelivery) {
+  run_world(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, bytes_of("payload"));
+    } else {
+      EXPECT_EQ(string_of(comm.recv(0, 7)), "payload");
+    }
+  });
+}
+
+TEST(MiniMpi, MessagesFromOnePeerStayFifoPerTag) {
+  run_world(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, bytes_of("first"));
+      comm.send(1, 1, bytes_of("second"));
+      comm.send(1, 1, bytes_of("third"));
+    } else {
+      EXPECT_EQ(string_of(comm.recv(0, 1)), "first");
+      EXPECT_EQ(string_of(comm.recv(0, 1)), "second");
+      EXPECT_EQ(string_of(comm.recv(0, 1)), "third");
+    }
+  });
+}
+
+TEST(MiniMpi, TagMatchingSkipsOtherTags) {
+  run_world(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, bytes_of("tag1"));
+      comm.send(1, 2, bytes_of("tag2"));
+    } else {
+      // Receive tag 2 first even though tag 1 arrived earlier.
+      EXPECT_EQ(string_of(comm.recv(0, 2)), "tag2");
+      EXPECT_EQ(string_of(comm.recv(0, 1)), "tag1");
+    }
+  });
+}
+
+TEST(MiniMpi, AnyTagReceivesInArrivalOrder) {
+  run_world(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 5, bytes_of("a"));
+      comm.send(1, 9, bytes_of("b"));
+    } else {
+      EXPECT_EQ(string_of(comm.recv(0, kAnyTag)), "a");
+      EXPECT_EQ(string_of(comm.recv(0, kAnyTag)), "b");
+    }
+  });
+}
+
+TEST(MiniMpi, TypedSendRecv) {
+  run_world(2, [&](Comm& comm) {
+    struct Payload {
+      double x;
+      int n;
+    };
+    if (comm.rank() == 0) {
+      comm.send_value(1, 3, Payload{2.5, 7});
+    } else {
+      const auto p = comm.recv_value<Payload>(0, 3);
+      EXPECT_EQ(p.x, 2.5);
+      EXPECT_EQ(p.n, 7);
+    }
+  });
+}
+
+class MiniMpiCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(MiniMpiCollectives, BarrierSynchronizes) {
+  const int n = GetParam();
+  std::atomic<int> before{0};
+  run_world(n, [&](Comm& comm) {
+    ++before;
+    comm.barrier();
+    // Every rank must observe all arrivals that preceded the barrier.
+    EXPECT_EQ(before.load(), n);
+  });
+}
+
+TEST_P(MiniMpiCollectives, BroadcastFromEveryRoot) {
+  const int n = GetParam();
+  for (int root = 0; root < n; ++root) {
+    run_world(n, [&](Comm& comm) {
+      std::vector<std::uint8_t> data;
+      if (comm.rank() == root) data = bytes_of("from-root");
+      comm.broadcast(data, root);
+      EXPECT_EQ(string_of(data), "from-root");
+    });
+  }
+}
+
+TEST_P(MiniMpiCollectives, ReduceSumMatchesSequential) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& comm) {
+    const std::vector<double> in{double(comm.rank()), 1.0, double(comm.rank()) * 0.5};
+    std::vector<double> out(3);
+    comm.reduce(in, out, ReduceOp::kSum, 0);
+    if (comm.rank() == 0) {
+      const double rank_sum = double(n) * double(n - 1) / 2.0;
+      EXPECT_DOUBLE_EQ(out[0], rank_sum);
+      EXPECT_DOUBLE_EQ(out[1], double(n));
+      EXPECT_DOUBLE_EQ(out[2], rank_sum * 0.5);
+    }
+  });
+}
+
+TEST_P(MiniMpiCollectives, AllreduceMinMaxProd) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& comm) {
+    const double mine = double(comm.rank() + 1);
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(mine, ReduceOp::kMin), 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(mine, ReduceOp::kMax), double(n));
+    double prod = 1;
+    for (int r = 1; r <= n; ++r) prod *= r;
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(mine, ReduceOp::kProd), prod);
+  });
+}
+
+TEST_P(MiniMpiCollectives, GatherCollectsInRankOrder) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& comm) {
+    const std::string mine = "rank" + std::to_string(comm.rank());
+    const auto all = comm.gather(bytes_of(mine), 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(static_cast<int>(all.size()), n);
+      for (int r = 0; r < n; ++r)
+        EXPECT_EQ(string_of(all[static_cast<std::size_t>(r)]), "rank" + std::to_string(r));
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(MiniMpiCollectives, AllgatherVisibleEverywhere) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& comm) {
+    const auto all = comm.allgather(bytes_of(std::to_string(comm.rank() * 11)));
+    ASSERT_EQ(static_cast<int>(all.size()), n);
+    for (int r = 0; r < n; ++r)
+      EXPECT_EQ(string_of(all[static_cast<std::size_t>(r)]), std::to_string(r * 11));
+  });
+}
+
+TEST_P(MiniMpiCollectives, ScatterDistributesChunks) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& comm) {
+    std::vector<std::vector<std::uint8_t>> chunks;
+    if (comm.rank() == 0)
+      for (int r = 0; r < n; ++r) chunks.push_back(bytes_of("chunk" + std::to_string(r)));
+    const auto mine = comm.scatter(chunks, 0);
+    EXPECT_EQ(string_of(mine), "chunk" + std::to_string(comm.rank()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(CommSizes, MiniMpiCollectives, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(MiniMpi, SplitByParity) {
+  run_world(6, [&](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // The sub-communicator must work for collectives.
+    const double sum = sub.allreduce_scalar(double(comm.rank()), ReduceOp::kSum);
+    const double expected = comm.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5;
+    EXPECT_DOUBLE_EQ(sum, expected);
+  });
+}
+
+TEST(MiniMpi, SplitKeyOrdersNewRanks) {
+  run_world(4, [&](Comm& comm) {
+    // Reverse-key split: new rank order is reversed.
+    Comm sub = comm.split(0, -comm.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), 3 - comm.rank());
+  });
+}
+
+TEST(MiniMpi, RankExceptionPropagatesToCaller) {
+  EXPECT_THROW(run_world(3,
+                         [&](Comm& comm) {
+                           if (comm.rank() == 1) throw Error("rank 1 exploded");
+                           // Other ranks block; the abort must wake them.
+                           comm.barrier();
+                         }),
+               Error);
+}
+
+TEST(MiniMpi, RecvWakesUpWhenPeerDies) {
+  EXPECT_THROW(run_world(2,
+                         [&](Comm& comm) {
+                           if (comm.rank() == 0) throw Error("sender died");
+                           comm.recv(0, 1); // would block forever without abort
+                         }),
+               Error);
+}
+
+TEST(MiniMpi, InvalidArgumentsThrow) {
+  run_world(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send(5, 1, {}), Error);
+      EXPECT_THROW(comm.send(1, -3, {}), Error);
+      EXPECT_THROW(comm.recv(9), Error);
+    }
+    comm.barrier();
+  });
+}
+
+} // namespace
+} // namespace eth::mpi

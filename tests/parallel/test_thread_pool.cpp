@@ -1,0 +1,90 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace eth {
+namespace {
+
+TEST(ThreadPool, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturns) {
+  ThreadPool pool(1);
+  pool.wait_idle(); // must not hang
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  ThreadPool def;
+  EXPECT_GE(def.size(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ++count; });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+class ParallelForTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(GetParam());
+  std::vector<std::atomic<int>> touched(1000);
+  parallel_for(pool, 0, 1000, 16, [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) ++touched[static_cast<std::size_t>(i)];
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST_P(ParallelForTest, SumMatchesSequential) {
+  ThreadPool pool(GetParam());
+  std::atomic<long long> sum{0};
+  parallel_for(pool, 5, 500, 7, [&](Index b, Index e) {
+    long long local = 0;
+    for (Index i = b; i < e; ++i) local += i;
+    sum += local;
+  });
+  long long expected = 0;
+  for (Index i = 5; i < 500; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST_P(ParallelForTest, EmptyRangeDoesNothing) {
+  ThreadPool pool(GetParam());
+  int calls = 0;
+  parallel_for(pool, 10, 10, 1, [&](Index, Index) { ++calls; });
+  parallel_for(pool, 10, 5, 1, [&](Index, Index) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, ParallelForTest, ::testing::Values(1u, 2u, 4u));
+
+TEST(ParallelFor, RejectsNonPositiveGrain) {
+  ThreadPool pool(1);
+  EXPECT_THROW(parallel_for(pool, 0, 10, 0, [](Index, Index) {}), Error);
+}
+
+TEST(ParallelFor, GlobalPoolOverloadWorks) {
+  std::atomic<int> count{0};
+  parallel_for(0, 100, 10, [&](Index b, Index e) { count += int(e - b); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+} // namespace
+} // namespace eth

@@ -1,0 +1,119 @@
+#include "pipeline/algorithm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/point_set.hpp"
+
+namespace eth {
+namespace {
+
+/// Test filter: shifts every point by a configurable offset and counts
+/// executions.
+class ShiftFilter final : public Algorithm {
+public:
+  explicit ShiftFilter(Vec3f offset) : offset_(offset) {}
+
+  int executions() const { return executions_; }
+  void set_offset(Vec3f offset) {
+    offset_ = offset;
+    modified();
+  }
+
+protected:
+  std::unique_ptr<DataSet> execute(const DataSet* input,
+                                   cluster::PerfCounters& counters) override {
+    ++executions_;
+    const auto& ps = static_cast<const PointSet&>(*input);
+    auto out = std::make_unique<PointSet>(ps.num_points());
+    for (Index i = 0; i < ps.num_points(); ++i)
+      out->set_position(i, ps.position(i) + offset_);
+    counters.elements_processed += ps.num_points();
+    return out;
+  }
+
+private:
+  Vec3f offset_;
+  int executions_ = 0;
+};
+
+std::shared_ptr<PointSet> one_point(Vec3f p) {
+  auto ps = std::make_shared<PointSet>(1);
+  ps->set_position(0, p);
+  return ps;
+}
+
+TEST(Algorithm, ExecutesOnceAndCaches) {
+  auto filter = std::make_shared<ShiftFilter>(Vec3f{1, 0, 0});
+  filter->set_input(one_point({0, 0, 0}));
+  const auto out1 = filter->update();
+  const auto out2 = filter->update();
+  EXPECT_EQ(filter->executions(), 1);
+  EXPECT_EQ(out1, out2); // cached pointer
+  EXPECT_EQ(static_cast<const PointSet&>(*out1).position(0), (Vec3f{1, 0, 0}));
+}
+
+TEST(Algorithm, ModifiedTriggersReexecution) {
+  auto filter = std::make_shared<ShiftFilter>(Vec3f{1, 0, 0});
+  filter->set_input(one_point({0, 0, 0}));
+  filter->update();
+  filter->set_offset({0, 2, 0});
+  const auto out = filter->update();
+  EXPECT_EQ(filter->executions(), 2);
+  EXPECT_EQ(static_cast<const PointSet&>(*out).position(0), (Vec3f{0, 2, 0}));
+}
+
+TEST(Algorithm, ChainPullsUpstream) {
+  auto a = std::make_shared<ShiftFilter>(Vec3f{1, 0, 0});
+  auto b = std::make_shared<ShiftFilter>(Vec3f{0, 1, 0});
+  a->set_input(one_point({0, 0, 0}));
+  b->set_input_connection(a);
+  const auto out = b->update();
+  EXPECT_EQ(static_cast<const PointSet&>(*out).position(0), (Vec3f{1, 1, 0}));
+  EXPECT_EQ(a->executions(), 1);
+  EXPECT_EQ(b->executions(), 1);
+}
+
+TEST(Algorithm, UpstreamModificationPropagatesOnPull) {
+  auto a = std::make_shared<ShiftFilter>(Vec3f{1, 0, 0});
+  auto b = std::make_shared<ShiftFilter>(Vec3f{0, 1, 0});
+  a->set_input(one_point({0, 0, 0}));
+  b->set_input_connection(a);
+  b->update();
+  a->set_offset({5, 0, 0}); // dirty upstream only
+  const auto out = b->update();
+  EXPECT_EQ(b->executions(), 2); // downstream re-ran automatically
+  EXPECT_EQ(static_cast<const PointSet&>(*out).position(0), (Vec3f{5, 1, 0}));
+}
+
+TEST(Algorithm, DownstreamUnaffectedWhenNothingChanged) {
+  auto a = std::make_shared<ShiftFilter>(Vec3f{1, 0, 0});
+  auto b = std::make_shared<ShiftFilter>(Vec3f{0, 1, 0});
+  a->set_input(one_point({0, 0, 0}));
+  b->set_input_connection(a);
+  b->update();
+  b->update();
+  b->update();
+  EXPECT_EQ(a->executions(), 1);
+  EXPECT_EQ(b->executions(), 1);
+}
+
+TEST(Algorithm, CountersAccumulateAndReset) {
+  auto filter = std::make_shared<ShiftFilter>(Vec3f{1, 0, 0});
+  filter->set_input(one_point({0, 0, 0}));
+  filter->update();
+  EXPECT_EQ(filter->counters().elements_processed, 1);
+  EXPECT_GE(filter->counters().phases.get("extract"), 0.0);
+  filter->reset_counters();
+  EXPECT_EQ(filter->counters().elements_processed, 0);
+}
+
+TEST(Algorithm, ErrorsOnMisuse) {
+  auto filter = std::make_shared<ShiftFilter>(Vec3f{});
+  EXPECT_THROW(filter->update(), Error); // no input
+  EXPECT_THROW(filter->set_input(nullptr), Error);
+  EXPECT_THROW(filter->set_input_connection(nullptr), Error);
+  EXPECT_THROW(filter->set_input_connection(filter), Error); // self loop
+}
+
+} // namespace
+} // namespace eth

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+#include "data/structured_grid.hpp"
+#include "pipeline/gaussian_splatter.hpp"
+#include "pipeline/threshold.hpp"
+
+namespace eth {
+namespace {
+
+std::shared_ptr<PointSet> cluster_at(Vec3f center, Index n, Real spread) {
+  auto ps = std::make_shared<PointSet>();
+  Rng rng(9);
+  for (Index i = 0; i < n; ++i)
+    ps->push_back(center + rng.unit_vector() * Real(rng.uniform(0, spread)));
+  return ps;
+}
+
+TEST(GaussianSplatter, DensityPeaksAtTheCluster) {
+  auto ps = cluster_at({5, 5, 5}, 500, 0.5f);
+  // Spread a couple of far-away stragglers so the bounds are wide.
+  ps->push_back({0, 0, 0});
+  ps->push_back({10, 10, 10});
+
+  GaussianSplatterFilter splatter(32, 0.02f);
+  splatter.set_input(std::shared_ptr<const DataSet>(ps));
+  const auto out = splatter.update();
+  ASSERT_EQ(out->kind(), DataSetKind::kStructuredGrid);
+  const auto& grid = static_cast<const StructuredGrid&>(*out);
+  const Field& density = grid.point_fields().get("density");
+
+  EXPECT_GT(grid.sample(density, {5, 5, 5}), grid.sample(density, {2, 2, 2}));
+  EXPECT_GT(grid.sample(density, {5, 5, 5}), grid.sample(density, {8, 2, 8}));
+}
+
+TEST(GaussianSplatter, TotalMassScalesWithPointCount) {
+  const auto sum_density = [](const StructuredGrid& g) {
+    double sum = 0;
+    for (const Real v : g.point_fields().get("density").values()) sum += v;
+    return sum;
+  };
+  GaussianSplatterFilter splatter(24, 0.03f);
+  splatter.set_input(std::shared_ptr<const DataSet>(cluster_at({5, 5, 5}, 200, 2.0f)));
+  const double m200 = sum_density(static_cast<const StructuredGrid&>(*splatter.update()));
+  GaussianSplatterFilter splatter2(24, 0.03f);
+  splatter2.set_input(std::shared_ptr<const DataSet>(cluster_at({5, 5, 5}, 400, 2.0f)));
+  const double m400 = sum_density(static_cast<const StructuredGrid&>(*splatter2.update()));
+  EXPECT_NEAR(m400 / m200, 2.0, 0.3);
+}
+
+TEST(GaussianSplatter, GridDimMatchesRequest) {
+  GaussianSplatterFilter splatter(16, 0.05f);
+  splatter.set_input(std::shared_ptr<const DataSet>(cluster_at({0, 0, 0}, 50, 1)));
+  const auto& grid = static_cast<const StructuredGrid&>(*splatter.update());
+  EXPECT_EQ(grid.dims(), (Vec3i{16, 16, 16}));
+  // Bounds cover the data.
+  EXPECT_TRUE(grid.bounds().contains({0, 0, 0}));
+}
+
+TEST(GaussianSplatter, RejectsBadConfig) {
+  EXPECT_THROW(GaussianSplatterFilter(1, 0.1f), Error);
+  EXPECT_THROW(GaussianSplatterFilter(16, 0.0f), Error);
+  GaussianSplatterFilter splatter;
+  auto grid = std::make_shared<StructuredGrid>(Vec3i{2, 2, 2}, Vec3f{}, Vec3f{1, 1, 1});
+  splatter.set_input(std::shared_ptr<const DataSet>(grid));
+  EXPECT_THROW(splatter.update(), Error); // wrong kind
+}
+
+TEST(Threshold, KeepsOnlyInRangePoints) {
+  auto ps = std::make_shared<PointSet>(5);
+  Field f("speed", 5, 1);
+  const Real vals[5] = {1, 5, 10, 15, 20};
+  for (Index i = 0; i < 5; ++i) {
+    ps->set_position(i, {Real(i), 0, 0});
+    f.set(i, vals[i]);
+  }
+  ps->point_fields().add(std::move(f));
+
+  ThresholdFilter threshold("speed", 5, 15);
+  threshold.set_input(std::shared_ptr<const DataSet>(ps));
+  const auto& out = static_cast<const PointSet&>(*threshold.update());
+  ASSERT_EQ(out.num_points(), 3);
+  EXPECT_EQ(out.position(0).x, 1); // value 5
+  EXPECT_EQ(out.position(2).x, 3); // value 15
+  // Boundary values included.
+  EXPECT_EQ(out.point_fields().get("speed").get(0), 5);
+  EXPECT_EQ(out.point_fields().get("speed").get(2), 15);
+}
+
+TEST(Threshold, EmptyAndFullResults) {
+  auto ps = std::make_shared<PointSet>(3);
+  Field f("v", 3, 1);
+  for (Index i = 0; i < 3; ++i) f.set(i, Real(i));
+  ps->point_fields().add(std::move(f));
+
+  ThresholdFilter none("v", 100, 200);
+  none.set_input(std::shared_ptr<const DataSet>(ps));
+  EXPECT_EQ(static_cast<const PointSet&>(*none.update()).num_points(), 0);
+
+  ThresholdFilter all("v", -10, 10);
+  all.set_input(std::shared_ptr<const DataSet>(ps));
+  EXPECT_EQ(static_cast<const PointSet&>(*all.update()).num_points(), 3);
+}
+
+TEST(Threshold, RejectsInvertedRangeAndMissingField) {
+  EXPECT_THROW(ThresholdFilter("v", 5, 1), Error);
+  ThresholdFilter t("missing", 0, 1);
+  t.set_input(std::make_shared<PointSet>(2));
+  EXPECT_THROW(t.update(), Error);
+  ThresholdFilter u("v", 0, 1);
+  EXPECT_THROW(u.set_range(2, 1), Error);
+}
+
+} // namespace
+} // namespace eth

@@ -1,0 +1,158 @@
+#include "render/ray/bvh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace eth {
+namespace {
+
+std::vector<Vec3f> random_centers(Index n, std::uint64_t seed) {
+  std::vector<Vec3f> centers(static_cast<std::size_t>(n));
+  Rng rng(seed);
+  for (Vec3f& c : centers) c = rng.point_in_box({-10, -10, -10}, {10, 10, 10});
+  return centers;
+}
+
+/// Brute-force reference for nearest sphere hit.
+SphereHit brute_force(const Ray& ray, std::span<const Vec3f> centers, Real radius,
+                      Real tmin, Real tmax) {
+  SphereHit best;
+  Real closest = tmax;
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    const Real t = ray_sphere(ray, centers[i], radius, tmin, closest);
+    if (t > 0) {
+      closest = t;
+      best.t = t;
+      best.primitive = static_cast<Index>(i);
+      best.normal = normalize(ray.origin + ray.direction * t - centers[i]);
+    }
+  }
+  return best;
+}
+
+TEST(RaySphere, DirectHitAndMiss) {
+  const Ray ray{{0, 0, -10}, {0, 0, 1}};
+  const Real t = ray_sphere(ray, {0, 0, 0}, 1.0f, 0, 100);
+  EXPECT_NEAR(t, 9.0f, 1e-4);
+  EXPECT_LT(ray_sphere(ray, {5, 0, 0}, 1.0f, 0, 100), 0);
+  // Behind the origin: no hit.
+  EXPECT_LT(ray_sphere(ray, {0, 0, -20}, 1.0f, 0, 100), 0);
+}
+
+TEST(RaySphere, RayStartingInsideHitsExitPoint) {
+  const Ray ray{{0, 0, 0}, {0, 0, 1}};
+  const Real t = ray_sphere(ray, {0, 0, 0}, 2.0f, 0, 100);
+  EXPECT_NEAR(t, 2.0f, 1e-4);
+}
+
+TEST(SphereBVH, EmptyBuild) {
+  const SphereBVH bvh;
+  EXPECT_TRUE(bvh.empty());
+  cluster::PerfCounters counters;
+  const SphereHit hit = bvh.intersect({{0, 0, 0}, {0, 0, 1}}, 0, 100, counters);
+  EXPECT_FALSE(hit.valid());
+}
+
+TEST(SphereBVH, SingleSphere) {
+  const std::vector<Vec3f> centers{{0, 0, 5}};
+  const SphereBVH bvh(centers, 1.0f);
+  bvh.validate(centers);
+  cluster::PerfCounters counters;
+  const SphereHit hit = bvh.intersect({{0, 0, 0}, {0, 0, 1}}, 0.01f, 100, counters);
+  ASSERT_TRUE(hit.valid());
+  EXPECT_EQ(hit.primitive, 0);
+  EXPECT_NEAR(hit.t, 4.0f, 1e-4);
+  EXPECT_NEAR(hit.normal.z, -1.0f, 1e-4);
+}
+
+class BvhPropertyTest
+    : public ::testing::TestWithParam<std::tuple<Index, SphereBVH::SplitMethod, int>> {};
+
+TEST_P(BvhPropertyTest, StructuralInvariantsHold) {
+  const auto [n, split, leaf] = GetParam();
+  const auto centers = random_centers(n, 100 + static_cast<std::uint64_t>(n));
+  const SphereBVH bvh(centers, 0.3f, split, leaf);
+  EXPECT_EQ(bvh.num_primitives(), n);
+  bvh.validate(centers); // coverage + containment invariants
+  EXPECT_GE(bvh.max_depth(), 1);
+  EXPECT_LE(bvh.max_depth(), 64);
+}
+
+TEST_P(BvhPropertyTest, HitsMatchBruteForce) {
+  const auto [n, split, leaf] = GetParam();
+  const auto centers = random_centers(n, 5000 + static_cast<std::uint64_t>(n));
+  const Real radius = 0.4f;
+  const SphereBVH bvh(centers, radius, split, leaf);
+  Rng rng(321);
+  cluster::PerfCounters counters;
+  for (int trial = 0; trial < 100; ++trial) {
+    const Ray ray{rng.point_in_box({-15, -15, -15}, {15, 15, 15}), rng.unit_vector()};
+    const SphereHit fast = bvh.intersect(ray, 0.001f, 1000, counters);
+    const SphereHit slow = brute_force(ray, centers, radius, 0.001f, 1000);
+    ASSERT_EQ(fast.valid(), slow.valid());
+    if (fast.valid()) {
+      EXPECT_NEAR(fast.t, slow.t, 1e-3);
+      EXPECT_EQ(fast.primitive, slow.primitive);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesSplitsLeaves, BvhPropertyTest,
+    ::testing::Combine(::testing::Values<Index>(1, 2, 7, 64, 500),
+                       ::testing::Values(SphereBVH::SplitMethod::kBinnedSAH,
+                                         SphereBVH::SplitMethod::kMedian),
+                       ::testing::Values(1, 4, 16)));
+
+TEST(SphereBVH, DuplicateCentersHandled) {
+  // All centroids identical: the degenerate-split path must terminate.
+  std::vector<Vec3f> centers(50, Vec3f{1, 1, 1});
+  const SphereBVH bvh(centers, 0.5f, SphereBVH::SplitMethod::kBinnedSAH, 4);
+  bvh.validate(centers);
+  cluster::PerfCounters counters;
+  const SphereHit hit = bvh.intersect({{1, 1, -5}, {0, 0, 1}}, 0.01f, 100, counters);
+  EXPECT_TRUE(hit.valid());
+  EXPECT_NEAR(hit.t, 5.5f, 1e-3);
+}
+
+TEST(SphereBVH, TraversalIsSubLinear) {
+  // The paper's cost claim: per-ray work is sub-linear in particle
+  // count. Measure nodes visited per ray at two sizes.
+  const Real radius = 0.1f;
+  cluster::PerfCounters small_counters, large_counters;
+  const auto small = random_centers(1000, 1);
+  const auto large = random_centers(16000, 2);
+  const SphereBVH bvh_small(small, radius);
+  const SphereBVH bvh_large(large, radius);
+  Rng rng(9);
+  const int rays = 200;
+  for (int i = 0; i < rays; ++i) {
+    const Ray ray{rng.point_in_box({-15, -15, -15}, {-12, 15, 15}),
+                  normalize(Vec3f{1, Real(rng.uniform(-0.3, 0.3)),
+                                  Real(rng.uniform(-0.3, 0.3))})};
+    bvh_small.intersect(ray, 0.001f, 1000, small_counters);
+    bvh_large.intersect(ray, 0.001f, 1000, large_counters);
+  }
+  const double visits_small = double(small_counters.bvh_nodes_visited) / rays;
+  const double visits_large = double(large_counters.bvh_nodes_visited) / rays;
+  // 16x the primitives must NOT mean 16x the visits; logarithmic-ish.
+  EXPECT_LT(visits_large / visits_small, 6.0);
+}
+
+TEST(SphereBVH, CountersAccumulateVisits) {
+  const auto centers = random_centers(100, 77);
+  const SphereBVH bvh(centers, 0.5f);
+  cluster::PerfCounters counters;
+  bvh.intersect({{0, 0, -20}, {0, 0, 1}}, 0.01f, 100, counters);
+  EXPECT_GT(counters.bvh_nodes_visited, 0);
+}
+
+TEST(SphereBVH, RejectsBadParameters) {
+  const auto centers = random_centers(10, 3);
+  EXPECT_THROW(SphereBVH(centers, -1.0f), Error);
+  EXPECT_THROW(SphereBVH(centers, 1.0f, SphereBVH::SplitMethod::kBinnedSAH, 0), Error);
+}
+
+} // namespace
+} // namespace eth

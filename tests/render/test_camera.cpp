@@ -1,0 +1,86 @@
+#include "render/camera.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace eth {
+namespace {
+
+TEST(Camera, ConstructionValidation) {
+  EXPECT_NO_THROW(Camera({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 0.6f, 0.1f, 100));
+  EXPECT_THROW(Camera({0, 0, 0}, {0, 0, 0}, {0, 1, 0}, 0.6f, 0.1f, 100), Error);
+  EXPECT_THROW(Camera({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 0.0f, 0.1f, 100), Error);
+  EXPECT_THROW(Camera({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 0.6f, 1, 0.5f), Error);
+}
+
+TEST(Camera, CenterRayPointsAtLookTarget) {
+  const Camera cam({0, 0, 10}, {0, 0, 0}, {0, 1, 0}, 0.6f, 0.1f, 100);
+  const Ray ray = cam.generate_ray(50, 50, 101, 101); // center pixel of odd image
+  EXPECT_NEAR(ray.direction.x, 0, 1e-3);
+  EXPECT_NEAR(ray.direction.y, 0, 1e-3);
+  EXPECT_NEAR(ray.direction.z, -1, 1e-3);
+  EXPECT_EQ(ray.origin, (Vec3f{0, 0, 10}));
+}
+
+TEST(Camera, RaysAreUnitLength) {
+  const Camera cam({3, 4, 5}, {0, 1, 0}, {0, 1, 0}, 0.8f, 0.1f, 100);
+  for (Index py = 0; py < 16; py += 5)
+    for (Index px = 0; px < 16; px += 5)
+      EXPECT_NEAR(length(cam.generate_ray(px, py, 16, 16).direction), 1, 1e-5);
+}
+
+TEST(Camera, ImageYGrowsDownward) {
+  const Camera cam({0, 0, 10}, {0, 0, 0}, {0, 1, 0}, 0.6f, 0.1f, 100);
+  const Ray top = cam.generate_ray(50, 0, 101, 101);
+  const Ray bottom = cam.generate_ray(50, 100, 101, 101);
+  EXPECT_GT(top.direction.y, 0);
+  EXPECT_LT(bottom.direction.y, 0);
+}
+
+TEST(Camera, EyeDepthIsDistanceAlongViewAxis) {
+  const Camera cam({0, 0, 10}, {0, 0, 0}, {0, 1, 0}, 0.6f, 0.1f, 100);
+  EXPECT_NEAR(cam.eye_depth({0, 0, 0}), 10, 1e-5);
+  EXPECT_NEAR(cam.eye_depth({0, 0, 5}), 5, 1e-5);
+  EXPECT_NEAR(cam.eye_depth({3, 4, 0}), 10, 1e-4); // lateral offset: same depth
+}
+
+TEST(Camera, FramingContainsTheBox) {
+  const AABB box = AABB::of({-2, -1, 0}, {4, 3, 6});
+  const Camera cam = Camera::framing(box, {-1, -0.5f, -1});
+  // All 8 corners project inside the image.
+  const Mat4 vp = cam.view_projection(1.0f);
+  for (int c = 0; c < 8; ++c) {
+    const Vec3f p{(c & 1) ? box.hi.x : box.lo.x, (c & 2) ? box.hi.y : box.lo.y,
+                  (c & 4) ? box.hi.z : box.lo.z};
+    const Vec3f ndc = transform_point(vp, p);
+    EXPECT_GT(ndc.x, -1);
+    EXPECT_LT(ndc.x, 1);
+    EXPECT_GT(ndc.y, -1);
+    EXPECT_LT(ndc.y, 1);
+    EXPECT_GT(cam.eye_depth(p), cam.znear());
+    EXPECT_LT(cam.eye_depth(p), cam.zfar());
+  }
+  EXPECT_THROW(Camera::framing(AABB::empty(), {1, 0, 0}), Error);
+}
+
+TEST(Camera, OrbitKeepsDistanceAndTarget) {
+  const Camera cam({0, 0, 10}, {1, 2, 0}, {0, 1, 0}, 0.6f, 0.1f, 100);
+  const Real dist = length(cam.eye() - cam.center());
+  for (const Real angle : {0.3f, 1.2f, 3.0f}) {
+    const Camera orbited = cam.orbited(angle);
+    EXPECT_EQ(orbited.center(), cam.center());
+    EXPECT_NEAR(length(orbited.eye() - orbited.center()), dist, 1e-3);
+  }
+  // A full orbit returns (approximately) to the start.
+  const Camera full = cam.orbited(Real(6.283185307));
+  EXPECT_NEAR(length(full.eye() - cam.eye()), 0, 1e-3);
+}
+
+TEST(Camera, GenerateRayRejectsEmptyImage) {
+  const Camera cam({0, 0, 10}, {0, 0, 0}, {0, 1, 0}, 0.6f, 0.1f, 100);
+  EXPECT_THROW(cam.generate_ray(0, 0, 0, 10), Error);
+}
+
+} // namespace
+} // namespace eth

@@ -1,0 +1,75 @@
+#include "render/colormap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eth {
+namespace {
+
+TEST(TransferFunction, MapInterpolatesLinearly) {
+  const TransferFunction tf({{0.0f, {0, 0, 0, 0}}, {1.0f, {1, 1, 1, 1}}});
+  const Vec4f mid = tf.map(0.5f);
+  EXPECT_NEAR(mid.x, 0.5f, 1e-6);
+  EXPECT_NEAR(mid.w, 0.5f, 1e-6);
+  const Vec4f quarter = tf.map(0.25f);
+  EXPECT_NEAR(quarter.y, 0.25f, 1e-6);
+}
+
+TEST(TransferFunction, ClampsOutsideControlRange) {
+  const TransferFunction tf({{0.2f, {1, 0, 0, 1}}, {0.8f, {0, 0, 1, 1}}});
+  EXPECT_EQ(tf.map(0.0f), (Vec4f{1, 0, 0, 1}));
+  EXPECT_EQ(tf.map(1.0f), (Vec4f{0, 0, 1, 1}));
+}
+
+TEST(TransferFunction, ExactControlPointsReturned) {
+  const TransferFunction tf(
+      {{0.0f, {1, 0, 0, 1}}, {0.5f, {0, 1, 0, 1}}, {1.0f, {0, 0, 1, 1}}});
+  EXPECT_EQ(tf.map(0.0f), (Vec4f{1, 0, 0, 1}));
+  EXPECT_EQ(tf.map(0.5f), (Vec4f{0, 1, 0, 1}));
+  EXPECT_EQ(tf.map(1.0f), (Vec4f{0, 0, 1, 1}));
+}
+
+TEST(TransferFunction, RejectsBadConstruction) {
+  EXPECT_THROW(TransferFunction(std::vector<TransferFunction::ControlPoint>{}), Error);
+  EXPECT_THROW(TransferFunction(std::vector<TransferFunction::ControlPoint>{{1.0f, {}}, {0.0f, {}}}), Error); // unsorted
+}
+
+TEST(TransferFunction, RescaledPreservesShape) {
+  const TransferFunction tf = TransferFunction::grayscale().rescaled(10, 30);
+  EXPECT_EQ(tf.map(10.0f).x, 0.0f);
+  EXPECT_EQ(tf.map(30.0f).x, 1.0f);
+  EXPECT_NEAR(tf.map(20.0f).x, 0.5f, 1e-6);
+  EXPECT_THROW(tf.rescaled(5, 1), Error);
+}
+
+TEST(TransferFunction, RescaledDegenerateSourceRange) {
+  const TransferFunction single(std::vector<TransferFunction::ControlPoint>{{0.5f, {1, 0, 0, 1}}});
+  const TransferFunction r = single.rescaled(0, 1);
+  EXPECT_EQ(r.map(0.7f), (Vec4f{1, 0, 0, 1}));
+}
+
+TEST(TransferFunction, PresetsAreValidAndDistinct) {
+  const auto presets = {TransferFunction::grayscale(), TransferFunction::cool_warm(),
+                        TransferFunction::viridis(), TransferFunction::thermal(),
+                        TransferFunction::halo_density()};
+  for (const auto& tf : presets) {
+    EXPECT_GE(tf.points().size(), 2u);
+    // Values in [0, 1], colors in [0, 1].
+    for (const auto& cp : tf.points()) {
+      EXPECT_GE(cp.value, 0.0f);
+      EXPECT_LE(cp.value, 1.0f);
+      for (int c = 0; c < 4; ++c) {
+        EXPECT_GE(cp.rgba[c], 0.0f);
+        EXPECT_LE(cp.rgba[c], 1.0f);
+      }
+    }
+  }
+  // Viridis low end is dark purple-ish, high end bright yellow-ish.
+  const auto v = TransferFunction::viridis();
+  EXPECT_LT(v.map(0.0f).y, 0.1f);
+  EXPECT_GT(v.map(1.0f).x, 0.9f);
+  // Thermal starts transparent (volume rendering friendly).
+  EXPECT_EQ(TransferFunction::thermal().map(0.0f).w, 0.0f);
+}
+
+} // namespace
+} // namespace eth

@@ -1,0 +1,152 @@
+#include "render/compositor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace eth {
+namespace {
+
+ImageBuffer solid(Index w, Index h, Vec4f color, Real depth) {
+  ImageBuffer img(w, h);
+  img.clear();
+  for (Index y = 0; y < h; ++y)
+    for (Index x = 0; x < w; ++x) img.depth_test_set(x, y, color, depth);
+  return img;
+}
+
+TEST(Compositor, PairMergeKeepsNearest) {
+  ImageBuffer dst = solid(4, 4, {1, 0, 0, 1}, 5.0f);
+  const ImageBuffer near_img = solid(4, 4, {0, 1, 0, 1}, 2.0f);
+  cluster::PerfCounters counters;
+  depth_composite_pair(dst, near_img, counters);
+  EXPECT_EQ(dst.color(1, 1), (Vec4f{0, 1, 0, 1}));
+  EXPECT_EQ(dst.depth(1, 1), 2.0f);
+
+  const ImageBuffer far_img = solid(4, 4, {0, 0, 1, 1}, 9.0f);
+  depth_composite_pair(dst, far_img, counters);
+  EXPECT_EQ(dst.color(1, 1), (Vec4f{0, 1, 0, 1})); // unchanged
+}
+
+TEST(Compositor, DepthCompositeIsOrderIndependent) {
+  // Random per-pixel depths; composing in any order yields the same
+  // image (the core sort-last property).
+  Rng rng(12);
+  std::vector<ImageBuffer> partials;
+  for (int p = 0; p < 4; ++p) {
+    ImageBuffer img(8, 8);
+    img.clear();
+    for (Index y = 0; y < 8; ++y)
+      for (Index x = 0; x < 8; ++x)
+        if (rng.bernoulli(0.6))
+          img.depth_test_set(x, y, {Real(p) * 0.25f, 0.5f, 1.0f - Real(p) * 0.25f, 1},
+                             Real(rng.uniform(1, 20)));
+    partials.push_back(std::move(img));
+  }
+
+  cluster::PerfCounters counters;
+  ImageBuffer forward(8, 8);
+  forward.clear();
+  depth_composite(partials, forward, counters);
+
+  std::vector<ImageBuffer> reversed(partials.rbegin(), partials.rend());
+  ImageBuffer backward(8, 8);
+  backward.clear();
+  depth_composite(reversed, backward, counters);
+
+  for (Index y = 0; y < 8; ++y)
+    for (Index x = 0; x < 8; ++x) {
+      EXPECT_EQ(forward.color(x, y), backward.color(x, y));
+      EXPECT_EQ(forward.depth(x, y), backward.depth(x, y));
+    }
+}
+
+TEST(Compositor, SizeMismatchThrows) {
+  ImageBuffer a(4, 4), b(5, 4);
+  cluster::PerfCounters counters;
+  EXPECT_THROW(depth_composite_pair(a, b, counters), Error);
+}
+
+TEST(Compositor, AlphaCompositeRespectsOrder) {
+  // Front partial half-transparent red, back partial opaque blue.
+  ImageBuffer front(2, 2), back(2, 2);
+  front.clear({0, 0, 0, 0});
+  back.clear({0, 0, 0, 0});
+  for (Index y = 0; y < 2; ++y)
+    for (Index x = 0; x < 2; ++x) {
+      front.set_color(x, y, {1, 0, 0, 0.5f});
+      back.set_color(x, y, {0, 0, 1, 1.0f});
+    }
+  const std::vector<ImageBuffer> partials = [&] {
+    std::vector<ImageBuffer> v;
+    v.push_back(front);
+    v.push_back(back);
+    return v;
+  }();
+
+  cluster::PerfCounters counters;
+  ImageBuffer out(2, 2);
+  out.clear({0, 0, 0, 0});
+  const std::vector<std::size_t> order{0, 1}; // front first
+  alpha_composite(partials, order, out, counters);
+  const Vec4f c = out.color(0, 0);
+  EXPECT_NEAR(c.x, 0.5f, 1e-5);
+  EXPECT_NEAR(c.z, 0.5f, 1e-5);
+  EXPECT_NEAR(c.w, 1.0f, 1e-5);
+
+  // Reversed order: blue fully occludes red.
+  ImageBuffer out2(2, 2);
+  out2.clear({0, 0, 0, 0});
+  const std::vector<std::size_t> rev{1, 0};
+  alpha_composite(partials, rev, out2, counters);
+  EXPECT_NEAR(out2.color(0, 0).z, 1.0f, 1e-5);
+  EXPECT_NEAR(out2.color(0, 0).x, 0.0f, 1e-5);
+}
+
+TEST(Compositor, AlphaCompositeValidatesOrder) {
+  std::vector<ImageBuffer> partials;
+  partials.emplace_back(2, 2);
+  cluster::PerfCounters counters;
+  ImageBuffer out(2, 2);
+  const std::vector<std::size_t> bad_size{0, 0};
+  EXPECT_THROW(alpha_composite(partials, bad_size, out, counters), Error);
+  const std::vector<std::size_t> bad_index{7};
+  EXPECT_THROW(alpha_composite(partials, bad_index, out, counters), Error);
+}
+
+TEST(Compositor, PackUnpackRoundTrip) {
+  Rng rng(31);
+  ImageBuffer img(7, 5);
+  img.clear();
+  for (Index y = 0; y < 5; ++y)
+    for (Index x = 0; x < 7; ++x)
+      img.depth_test_set(x, y,
+                         {Real(rng.uniform()), Real(rng.uniform()),
+                          Real(rng.uniform()), 1},
+                         Real(rng.uniform(1, 50)));
+  const auto bytes = pack_image(img);
+  const ImageBuffer restored = unpack_image(bytes);
+  ASSERT_EQ(restored.width(), 7);
+  ASSERT_EQ(restored.height(), 5);
+  for (Index y = 0; y < 5; ++y)
+    for (Index x = 0; x < 7; ++x) {
+      EXPECT_EQ(restored.color(x, y), img.color(x, y));
+      EXPECT_EQ(restored.depth(x, y), img.depth(x, y));
+    }
+}
+
+TEST(Compositor, UnpackRejectsCorruptBuffers) {
+  auto bytes = pack_image(ImageBuffer(3, 3));
+  bytes.pop_back();
+  EXPECT_THROW(unpack_image(bytes), Error);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  EXPECT_THROW(unpack_image(bytes), Error);
+}
+
+} // namespace
+} // namespace eth

@@ -1,0 +1,230 @@
+#include "render/raster/rasterizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eth {
+namespace {
+
+Camera front_camera() {
+  return Camera({0, 0, 10}, {0, 0, 0}, {0, 1, 0}, 0.6f, 0.1f, 100);
+}
+
+Index count_nonbackground(const ImageBuffer& img) {
+  Index n = 0;
+  for (Index y = 0; y < img.height(); ++y)
+    for (Index x = 0; x < img.width(); ++x)
+      if (std::isfinite(img.depth(x, y))) ++n;
+  return n;
+}
+
+TEST(Rasterizer, TriangleCoversExpectedPixels) {
+  // A big triangle facing the camera fills a predictable image region.
+  TriangleMesh mesh;
+  mesh.add_vertex({-2, -2, 0});
+  mesh.add_vertex({2, -2, 0});
+  mesh.add_vertex({0, 2, 0});
+  mesh.add_triangle(0, 1, 2);
+
+  ImageBuffer img(64, 64);
+  img.clear();
+  cluster::PerfCounters counters;
+  RasterRenderer renderer;
+  renderer.render_mesh(mesh, front_camera(), img, {}, counters);
+
+  const Index covered = count_nonbackground(img);
+  EXPECT_GT(covered, 200);
+  // Image center is inside the triangle.
+  EXPECT_TRUE(std::isfinite(img.depth(32, 32)));
+  // Top corners are outside.
+  EXPECT_FALSE(std::isfinite(img.depth(2, 2)));
+  EXPECT_FALSE(std::isfinite(img.depth(61, 2)));
+  EXPECT_EQ(counters.primitives_emitted, 1);
+}
+
+TEST(Rasterizer, DepthBufferResolvesOcclusion) {
+  // Red triangle in front (z=2), blue behind (z=-2); front wins.
+  TriangleMesh front_tri, back_tri;
+  for (auto* mesh : {&front_tri, &back_tri}) {
+    const Real z = mesh == &front_tri ? 2.0f : -2.0f;
+    mesh->add_vertex({-3, -3, z});
+    mesh->add_vertex({3, -3, z});
+    mesh->add_vertex({0, 3, z});
+    mesh->add_triangle(0, 1, 2);
+  }
+  ImageBuffer img(32, 32);
+  img.clear();
+  cluster::PerfCounters counters;
+  RasterRenderer renderer;
+  MeshRenderOptions red;
+  red.uniform_color = {1, 0, 0, 1};
+  MeshRenderOptions blue;
+  blue.uniform_color = {0, 0, 1, 1};
+  // Draw back-to-front AND front-to-back: result must be identical.
+  renderer.render_mesh(back_tri, front_camera(), img, blue, counters);
+  renderer.render_mesh(front_tri, front_camera(), img, red, counters);
+  const Vec4f center = img.color(16, 16);
+  EXPECT_GT(center.x, center.z); // red on top
+
+  ImageBuffer img2(32, 32);
+  img2.clear();
+  renderer.render_mesh(front_tri, front_camera(), img2, red, counters);
+  renderer.render_mesh(back_tri, front_camera(), img2, blue, counters);
+  EXPECT_EQ(img.color(16, 16), img2.color(16, 16));
+}
+
+TEST(Rasterizer, ColormapColorsByScalarField) {
+  TriangleMesh mesh;
+  mesh.add_vertex({-3, -3, 0});
+  mesh.add_vertex({3, -3, 0});
+  mesh.add_vertex({0, 3, 0});
+  mesh.add_triangle(0, 1, 2);
+  Field scalar("scalar", 3, 1);
+  scalar.set(0, 0.0f);
+  scalar.set(1, 0.0f);
+  scalar.set(2, 1.0f);
+  mesh.point_fields().add(std::move(scalar));
+
+  const TransferFunction tf({{0.0f, {1, 0, 0, 1}}, {1.0f, {0, 0, 1, 1}}});
+  MeshRenderOptions options;
+  options.colormap = &tf;
+  options.ambient = 1.0f; // disable shading so colors are exact
+
+  ImageBuffer img(64, 64);
+  img.clear();
+  cluster::PerfCounters counters;
+  RasterRenderer renderer;
+  renderer.render_mesh(mesh, front_camera(), img, options, counters);
+  // Bottom edge is red-dominant, apex is blue-dominant.
+  Vec4f bottom{}, top{};
+  for (Index y = 0; y < 64; ++y)
+    for (Index x = 0; x < 64; ++x)
+      if (std::isfinite(img.depth(x, y))) {
+        top = img.color(x, y);
+        y = 64;
+        break;
+      }
+  for (Index y = 63; y >= 0; --y) {
+    bool found = false;
+    for (Index x = 0; x < 64; ++x)
+      if (std::isfinite(img.depth(x, y))) {
+        bottom = img.color(x, y);
+        found = true;
+        break;
+      }
+    if (found) break;
+  }
+  EXPECT_GT(bottom.x, bottom.z);
+  EXPECT_GT(top.z, top.x);
+}
+
+TEST(Rasterizer, EmptyMeshAndImageAreSafe) {
+  RasterRenderer renderer;
+  cluster::PerfCounters counters;
+  TriangleMesh empty;
+  ImageBuffer img(8, 8);
+  img.clear();
+  renderer.render_mesh(empty, front_camera(), img, {}, counters);
+  EXPECT_EQ(count_nonbackground(img), 0);
+  ImageBuffer zero(0, 0);
+  renderer.render_mesh(empty, front_camera(), zero, {}, counters);
+}
+
+TEST(Rasterizer, PointsRenderAtProjectedLocations) {
+  PointSet ps(1);
+  ps.set_position(0, {0, 0, 0});
+  ImageBuffer img(33, 33);
+  img.clear();
+  cluster::PerfCounters counters;
+  RasterRenderer renderer;
+  PointRenderOptions options;
+  options.point_size = 3;
+  renderer.render_points(ps, front_camera(), img, options, counters);
+  // A 3x3 block around the center.
+  EXPECT_EQ(count_nonbackground(img), 9);
+  EXPECT_TRUE(std::isfinite(img.depth(16, 16)));
+  EXPECT_NEAR(img.depth(16, 16), 10.0f, 1e-3);
+}
+
+TEST(Rasterizer, PointsOffscreenAreClipped) {
+  PointSet ps(2);
+  ps.set_position(0, {100, 0, 0}); // far off screen
+  ps.set_position(1, {0, 0, 20});  // behind the camera
+  ImageBuffer img(16, 16);
+  img.clear();
+  cluster::PerfCounters counters;
+  RasterRenderer renderer;
+  renderer.render_points(ps, front_camera(), img, {}, counters);
+  EXPECT_EQ(count_nonbackground(img), 0);
+}
+
+TEST(Rasterizer, SplatsProduceRoundFootprints) {
+  PointSet ps(1);
+  ps.set_position(0, {0, 0, 0});
+  ImageBuffer img(65, 65);
+  img.clear();
+  cluster::PerfCounters counters;
+  RasterRenderer renderer;
+  SplatRenderOptions options;
+  options.world_radius = 1.0f;
+  renderer.render_splats(ps, front_camera(), img, options, counters);
+
+  const Index covered = count_nonbackground(img);
+  EXPECT_GT(covered, 20);
+  EXPECT_TRUE(std::isfinite(img.depth(32, 32)));
+  // Footprint is round-ish: corners of its bounding square are empty.
+  // Find extent first.
+  Index min_x = 65, max_x = -1;
+  for (Index x = 0; x < 65; ++x)
+    if (std::isfinite(img.depth(x, 32))) {
+      min_x = std::min(min_x, x);
+      max_x = std::max(max_x, x);
+    }
+  const Index r = (max_x - min_x) / 2;
+  ASSERT_GT(r, 1);
+  EXPECT_FALSE(std::isfinite(img.depth(32 - r, 32 - r)));
+}
+
+TEST(Rasterizer, SplatDepthIsInFrontOfCenter) {
+  // The sphere impostor bulges toward the camera.
+  PointSet ps(1);
+  ps.set_position(0, {0, 0, 0});
+  ImageBuffer img(65, 65);
+  img.clear();
+  cluster::PerfCounters counters;
+  RasterRenderer renderer;
+  SplatRenderOptions options;
+  options.world_radius = 1.0f;
+  renderer.render_splats(ps, front_camera(), img, options, counters);
+  EXPECT_LT(img.depth(32, 32), 10.0f);
+  EXPECT_GT(img.depth(32, 32), 8.5f);
+}
+
+TEST(Rasterizer, SplatAutoRadiusFromBounds) {
+  PointSet ps(2);
+  ps.set_position(0, {-2, 0, 0});
+  ps.set_position(1, {2, 0, 0});
+  ImageBuffer img(64, 64);
+  img.clear();
+  cluster::PerfCounters counters;
+  RasterRenderer renderer;
+  renderer.render_splats(ps, front_camera(), img, {}, counters);
+  EXPECT_GT(count_nonbackground(img), 0);
+  EXPECT_EQ(counters.primitives_emitted, 2);
+}
+
+TEST(Rasterizer, CountersTrackWork) {
+  PointSet ps(100);
+  for (Index i = 0; i < 100; ++i)
+    ps.set_position(i, {Real(i % 10) - 5, Real(i / 10) - 5, 0});
+  ImageBuffer img(32, 32);
+  img.clear();
+  cluster::PerfCounters counters;
+  RasterRenderer renderer;
+  renderer.render_points(ps, front_camera(), img, {}, counters);
+  EXPECT_EQ(counters.elements_processed, 100);
+  EXPECT_EQ(counters.max_parallel_items, 100);
+  EXPECT_GT(counters.flop_estimate, 0);
+}
+
+} // namespace
+} // namespace eth

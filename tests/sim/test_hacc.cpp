@@ -1,0 +1,176 @@
+#include "sim/hacc_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/stats.hpp"
+
+namespace eth::sim {
+namespace {
+
+TEST(HaccGenerator, ProducesRequestedCountApproximately) {
+  HaccParams p;
+  p.num_particles = 10000;
+  const auto ps = generate_hacc(p);
+  EXPECT_EQ(ps->num_points(), 10000);
+}
+
+TEST(HaccGenerator, CarriesPaperFields) {
+  HaccParams p;
+  p.num_particles = 100;
+  const auto ps = generate_hacc(p);
+  // "Each particle's data is composed of its ID, position vector, and
+  // velocity vector."
+  EXPECT_TRUE(ps->point_fields().has("id"));
+  EXPECT_TRUE(ps->point_fields().has("velocity"));
+  EXPECT_TRUE(ps->point_fields().has("speed"));
+  EXPECT_EQ(ps->point_fields().get("velocity").components(), 3);
+  // Speed is the velocity magnitude.
+  const Field& vel = ps->point_fields().get("velocity");
+  const Field& speed = ps->point_fields().get("speed");
+  for (Index i = 0; i < ps->num_points(); ++i)
+    EXPECT_NEAR(speed.get(i), length(vel.get_vec3(i)), 1e-3);
+}
+
+TEST(HaccGenerator, IdsAreUniqueAndStable) {
+  HaccParams p;
+  p.num_particles = 5000;
+  const auto ps = generate_hacc(p);
+  const Field& id = ps->point_fields().get("id");
+  std::set<Real> ids;
+  for (Index i = 0; i < ps->num_points(); ++i) ids.insert(id.get(i));
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(ps->num_points()));
+}
+
+TEST(HaccGenerator, DeterministicForSeed) {
+  HaccParams p;
+  p.num_particles = 1000;
+  p.seed = 555;
+  const auto a = generate_hacc(p);
+  const auto b = generate_hacc(p);
+  ASSERT_EQ(a->num_points(), b->num_points());
+  for (Index i = 0; i < a->num_points(); ++i)
+    EXPECT_EQ(a->position(i), b->position(i));
+}
+
+TEST(HaccGenerator, StaysInsideTheBox) {
+  HaccParams p;
+  p.num_particles = 5000;
+  p.box_size = 50;
+  const auto ps = generate_hacc(p);
+  for (const Vec3f pos : ps->positions()) {
+    EXPECT_GE(pos.x, 0);
+    EXPECT_LT(pos.x, 50.001f);
+    EXPECT_GE(pos.y, 0);
+    EXPECT_LT(pos.y, 50.001f);
+    EXPECT_GE(pos.z, 0);
+    EXPECT_LT(pos.z, 50.001f);
+  }
+}
+
+TEST(HaccGenerator, ParticlesClusterIntoHalos) {
+  // Clustering signature: the variance of per-cell counts of a
+  // clustered distribution far exceeds a uniform one (Poisson).
+  HaccParams p;
+  p.num_particles = 20000;
+  p.num_halos = 16;
+  p.background_fraction = 0.2;
+  const auto ps = generate_hacc(p);
+
+  const int cells = 8;
+  std::vector<double> counts(cells * cells * cells, 0);
+  for (const Vec3f pos : ps->positions()) {
+    const auto cx = std::min<Index>(cells - 1, Index(pos.x / p.box_size * cells));
+    const auto cy = std::min<Index>(cells - 1, Index(pos.y / p.box_size * cells));
+    const auto cz = std::min<Index>(cells - 1, Index(pos.z / p.box_size * cells));
+    counts[static_cast<std::size_t>(cx + cells * (cy + cells * cz))] += 1;
+  }
+  RunningStats stats;
+  for (const double c : counts) stats.add(c);
+  // Poisson (uniform) would have variance ~ mean; halos push it way up.
+  EXPECT_GT(stats.variance(), 5.0 * stats.mean());
+}
+
+TEST(HaccGenerator, TimestepsEvolve) {
+  HaccParams p;
+  p.num_particles = 2000;
+  auto t0 = generate_hacc(p);
+  p.timestep = 3;
+  auto t3 = generate_hacc(p);
+  // Same count, different configuration.
+  EXPECT_EQ(t0->num_points(), t3->num_points());
+  Index moved = 0;
+  const Index n = std::min(t0->num_points(), t3->num_points());
+  for (Index i = 0; i < n; ++i)
+    if (!(t0->position(i) == t3->position(i))) ++moved;
+  EXPECT_GT(moved, n / 2);
+}
+
+TEST(HaccGenerator, RankSlabsPartitionTheBox) {
+  HaccParams p;
+  p.num_particles = 8000;
+  const int ranks = 4;
+  Index total = 0;
+  for (int r = 0; r < ranks; ++r) {
+    const auto slab = generate_hacc_rank(p, r, ranks);
+    total += slab->num_points();
+    const Real lo = p.box_size * Real(r) / ranks;
+    const Real hi = p.box_size * Real(r + 1) / ranks;
+    for (const Vec3f pos : slab->positions()) {
+      EXPECT_GE(pos.x, lo);
+      EXPECT_LT(pos.x, hi);
+    }
+  }
+  // Union over ranks is exactly the full box.
+  EXPECT_EQ(total, generate_hacc(p)->num_points());
+}
+
+TEST(HaccGenerator, ExtractSlabEqualsDirectGeneration) {
+  // The bulk pre-pass path (generate once, slice) must be bit-identical
+  // to per-rank generation, particle for particle, field for field.
+  HaccParams p;
+  p.num_particles = 5000;
+  p.timestep = 2;
+  const auto full = generate_hacc(p);
+  for (const int ranks : {1, 3, 4}) {
+    for (int r = 0; r < ranks; ++r) {
+      const PointSet sliced = extract_hacc_slab(*full, p.box_size, r, ranks);
+      const auto direct = generate_hacc_rank(p, r, ranks);
+      ASSERT_EQ(sliced.num_points(), direct->num_points())
+          << "rank " << r << "/" << ranks;
+      for (Index i = 0; i < sliced.num_points(); ++i) {
+        EXPECT_EQ(sliced.position(i), direct->position(i));
+        EXPECT_EQ(sliced.point_fields().get("id").get(i),
+                  direct->point_fields().get("id").get(i));
+        EXPECT_EQ(sliced.point_fields().get("speed").get(i),
+                  direct->point_fields().get("speed").get(i));
+      }
+    }
+  }
+}
+
+TEST(HaccGenerator, ExtractSlabRejectsBadArguments) {
+  const PointSet empty;
+  EXPECT_THROW(extract_hacc_slab(empty, 0.0f, 0, 1), Error);
+  EXPECT_THROW(extract_hacc_slab(empty, 10.0f, 2, 2), Error);
+  EXPECT_THROW(extract_hacc_slab(empty, 10.0f, 0, 0), Error);
+}
+
+TEST(HaccGenerator, RejectsBadParams) {
+  HaccParams p;
+  p.num_halos = 0;
+  EXPECT_THROW(generate_hacc(p), Error);
+  p = HaccParams{};
+  p.background_fraction = 1.5;
+  EXPECT_THROW(generate_hacc(p), Error);
+  p = HaccParams{};
+  p.box_size = 0;
+  EXPECT_THROW(generate_hacc(p), Error);
+  p = HaccParams{};
+  EXPECT_THROW(generate_hacc_rank(p, 4, 4), Error);
+}
+
+} // namespace
+} // namespace eth::sim

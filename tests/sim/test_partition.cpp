@@ -1,0 +1,113 @@
+#include "sim/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace eth::sim {
+namespace {
+
+PointSet random_points(Index n) {
+  PointSet ps(n);
+  Rng rng(8);
+  Field id("id", n, 1);
+  for (Index i = 0; i < n; ++i) {
+    ps.set_position(i, rng.point_in_box({0, 0, 0}, {10, 4, 4}));
+    id.set(i, Real(i));
+  }
+  ps.point_fields().add(std::move(id));
+  return ps;
+}
+
+TEST(PartitionPoints, BalancedCountsAndCompleteCoverage) {
+  const PointSet ps = random_points(1003);
+  const auto parts = partition_points(ps, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  Index total = 0;
+  std::set<Real> seen;
+  for (const PointSet& part : parts) {
+    total += part.num_points();
+    EXPECT_NEAR(double(part.num_points()), 1003.0 / 4, 2.0);
+    const Field& id = part.point_fields().get("id");
+    for (Index i = 0; i < part.num_points(); ++i) seen.insert(id.get(i));
+  }
+  EXPECT_EQ(total, 1003);
+  EXPECT_EQ(seen.size(), 1003u); // every particle exactly once
+}
+
+TEST(PartitionPoints, SlabsAreSpatiallyOrderedAlongLongestAxis) {
+  const PointSet ps = random_points(2000); // box is longest in x
+  const auto parts = partition_points(ps, 4);
+  for (std::size_t p = 0; p + 1 < parts.size(); ++p) {
+    const AABB a = parts[p].bounds();
+    const AABB b = parts[p + 1].bounds();
+    // Slab p's max x never exceeds slab p+1's max x (sorted split).
+    EXPECT_LE(a.hi.x, b.hi.x + 1e-5f);
+  }
+}
+
+TEST(PartitionPoints, SinglePartIsIdentityAndEmptyInputWorks) {
+  const PointSet ps = random_points(50);
+  const auto parts = partition_points(ps, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].num_points(), 50);
+
+  const PointSet empty;
+  const auto eparts = partition_points(empty, 3);
+  ASSERT_EQ(eparts.size(), 3u);
+  for (const auto& p : eparts) EXPECT_EQ(p.num_points(), 0);
+  EXPECT_THROW(partition_points(ps, 0), Error);
+}
+
+TEST(PartitionGrid, SlabsCoverWithSharedPlanes) {
+  StructuredGrid grid({6, 6, 13}, {0, 0, 0}, {1, 1, 1});
+  Field& f = grid.add_scalar_field("v");
+  for (Index i = 0; i < grid.num_points(); ++i) f.set(i, Real(i));
+
+  const auto parts = partition_grid(grid, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  Index z_sum = 0;
+  for (const auto& part : parts) z_sum += part.dims().z;
+  EXPECT_EQ(z_sum, 13 + 2); // two shared planes
+
+  // Values on shared planes agree.
+  const Field& f0 = parts[0].point_fields().get("v");
+  const Field& f1 = parts[1].point_fields().get("v");
+  const Index last_z = parts[0].dims().z - 1;
+  for (Index j = 0; j < 6; ++j)
+    for (Index i = 0; i < 6; ++i)
+      EXPECT_EQ(f0.get(parts[0].point_index(i, j, last_z)),
+                f1.get(parts[1].point_index(i, j, 0)));
+}
+
+TEST(PartitionGrid, TooManyRanksThrow) {
+  const StructuredGrid grid({4, 4, 4}, {0, 0, 0}, {1, 1, 1});
+  EXPECT_THROW(partition_grid(grid, 5), Error);
+}
+
+TEST(ViewOrder, SortsByDistanceToEye) {
+  std::vector<AABB> bounds{
+      AABB::of({10, 0, 0}, {11, 1, 1}), // far
+      AABB::of({0, 0, 0}, {1, 1, 1}),   // near
+      AABB::of({5, 0, 0}, {6, 1, 1}),   // middle
+  };
+  const auto order = view_order(bounds, {0, 0.5f, 0.5f});
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(PartitionBounds, MatchesPerPartBounds) {
+  const PointSet ps = random_points(100);
+  const auto parts = partition_points(ps, 2);
+  const auto bounds = partition_bounds(parts);
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_EQ(bounds[0].lo, parts[0].bounds().lo);
+  EXPECT_EQ(bounds[1].hi, parts[1].bounds().hi);
+}
+
+} // namespace
+} // namespace eth::sim

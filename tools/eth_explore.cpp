@@ -1,0 +1,89 @@
+// eth_explore: the design-space exploration CLI.
+//
+// Reads an experiment configuration file (see
+// core/spec_config.hpp), expands its sweep dimensions, runs every point
+// through the harness, and prints the metrics table — the paper's
+// "light-weight mechanism to quickly explore large parameter spaces"
+// as a single command:
+//
+//   eth_explore sweep.cfg [--csv out.csv] [--best energy|time]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/spec_config.hpp"
+
+namespace {
+
+int usage() {
+  std::printf("usage: eth_explore <config-file> [--csv <out.csv>] "
+              "[--best energy|time]\n\n%s",
+              eth::experiment_config_reference().c_str());
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace eth;
+  if (argc < 2) return usage();
+
+  std::string config_path;
+  std::string csv_path;
+  std::string best_metric;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--best") == 0 && i + 1 < argc) {
+      best_metric = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      return usage();
+    } else if (config_path.empty()) {
+      config_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (config_path.empty()) return usage();
+  if (!best_metric.empty() && best_metric != "energy" && best_metric != "time")
+    return usage();
+
+  try {
+    const auto points = load_experiment_config(config_path);
+    std::printf("%s: %zu experiment%s\n", config_path.c_str(), points.size(),
+                points.size() == 1 ? "" : "s");
+
+    const Harness harness;
+    const auto outcomes = run_sweep(harness, points, [](const SweepOutcome& o) {
+      std::printf("  done %-40s %8.3f s  %7.2f kW  %9.3f kJ\n", o.label.c_str(),
+                  o.result.exec_seconds, o.result.average_power / 1e3,
+                  o.result.energy / 1e3);
+    });
+
+    const ResultTable table = metrics_table("configuration", outcomes);
+    std::printf("\n%s", table.to_text().c_str());
+    if (!csv_path.empty()) {
+      table.save_csv(csv_path);
+      std::printf("(csv written to %s)\n", csv_path.c_str());
+    }
+
+    if (!best_metric.empty() && !outcomes.empty()) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < outcomes.size(); ++i) {
+        const double a = best_metric == "energy" ? outcomes[i].result.energy
+                                                 : outcomes[i].result.exec_seconds;
+        const double b = best_metric == "energy" ? outcomes[best].result.energy
+                                                 : outcomes[best].result.exec_seconds;
+        if (a < b) best = i;
+      }
+      std::printf("\nbest (%s): %s\n", best_metric.c_str(),
+                  outcomes[best].label.c_str());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "eth_explore: %s\n", e.what());
+    return 1;
+  }
+}
