@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bvh.dir/bench_ablation_bvh.cpp.o"
+  "CMakeFiles/bench_ablation_bvh.dir/bench_ablation_bvh.cpp.o.d"
+  "bench_ablation_bvh"
+  "bench_ablation_bvh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bvh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_compositing.dir/bench_ablation_compositing.cpp.o"
+  "CMakeFiles/bench_ablation_compositing.dir/bench_ablation_compositing.cpp.o.d"
+  "bench_ablation_compositing"
+  "bench_ablation_compositing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compositing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_costmodel.dir/bench_ablation_costmodel.cpp.o"
+  "CMakeFiles/bench_ablation_costmodel.dir/bench_ablation_costmodel.cpp.o.d"
+  "bench_ablation_costmodel"
+  "bench_ablation_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hacc_coupling.dir/bench_fig11_hacc_coupling.cpp.o"
+  "CMakeFiles/bench_fig11_hacc_coupling.dir/bench_fig11_hacc_coupling.cpp.o.d"
+  "bench_fig11_hacc_coupling"
+  "bench_fig11_hacc_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hacc_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_xrage_algorithms.dir/bench_fig12_xrage_algorithms.cpp.o"
+  "CMakeFiles/bench_fig12_xrage_algorithms.dir/bench_fig12_xrage_algorithms.cpp.o.d"
+  "bench_fig12_xrage_algorithms"
+  "bench_fig12_xrage_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_xrage_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_xrage_datasize_scaling.
+# This may be replaced when dependencies are built.

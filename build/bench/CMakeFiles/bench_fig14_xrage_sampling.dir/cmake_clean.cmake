@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_xrage_sampling.dir/bench_fig14_xrage_sampling.cpp.o"
+  "CMakeFiles/bench_fig14_xrage_sampling.dir/bench_fig14_xrage_sampling.cpp.o.d"
+  "bench_fig14_xrage_sampling"
+  "bench_fig14_xrage_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_xrage_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

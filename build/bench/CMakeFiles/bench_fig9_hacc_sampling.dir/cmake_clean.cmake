@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_hacc_sampling.dir/bench_fig9_hacc_sampling.cpp.o"
+  "CMakeFiles/bench_fig9_hacc_sampling.dir/bench_fig9_hacc_sampling.cpp.o.d"
+  "bench_fig9_hacc_sampling"
+  "bench_fig9_hacc_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_hacc_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

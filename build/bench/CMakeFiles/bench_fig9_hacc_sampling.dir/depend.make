@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_hacc_sampling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_accuracy_energy.dir/bench_table2_accuracy_energy.cpp.o"
+  "CMakeFiles/bench_table2_accuracy_energy.dir/bench_table2_accuracy_energy.cpp.o.d"
+  "bench_table2_accuracy_energy"
+  "bench_table2_accuracy_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_accuracy_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

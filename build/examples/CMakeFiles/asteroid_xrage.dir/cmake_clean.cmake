@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asteroid_xrage.dir/asteroid_xrage.cpp.o"
+  "CMakeFiles/asteroid_xrage.dir/asteroid_xrage.cpp.o.d"
+  "asteroid_xrage"
+  "asteroid_xrage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asteroid_xrage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for asteroid_xrage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmology_hacc.dir/cosmology_hacc.cpp.o"
+  "CMakeFiles/cosmology_hacc.dir/cosmology_hacc.cpp.o.d"
+  "cosmology_hacc"
+  "cosmology_hacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmology_hacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cosmology_hacc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for cosmology_hacc.
+# This may be replaced when dependencies are built.

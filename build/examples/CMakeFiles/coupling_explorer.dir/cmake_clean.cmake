@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling_explorer.dir/coupling_explorer.cpp.o"
+  "CMakeFiles/coupling_explorer.dir/coupling_explorer.cpp.o.d"
+  "coupling_explorer"
+  "coupling_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

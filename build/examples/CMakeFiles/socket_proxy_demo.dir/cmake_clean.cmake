@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_proxy_demo.dir/socket_proxy_demo.cpp.o"
+  "CMakeFiles/socket_proxy_demo.dir/socket_proxy_demo.cpp.o.d"
+  "socket_proxy_demo"
+  "socket_proxy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_proxy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

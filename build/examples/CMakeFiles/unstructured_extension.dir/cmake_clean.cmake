@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unstructured_extension.dir/unstructured_extension.cpp.o"
+  "CMakeFiles/unstructured_extension.dir/unstructured_extension.cpp.o.d"
+  "unstructured_extension"
+  "unstructured_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unstructured_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/counters.cpp" "src/cluster/CMakeFiles/eth_cluster.dir/counters.cpp.o" "gcc" "src/cluster/CMakeFiles/eth_cluster.dir/counters.cpp.o.d"
+  "/root/repo/src/cluster/interconnect.cpp" "src/cluster/CMakeFiles/eth_cluster.dir/interconnect.cpp.o" "gcc" "src/cluster/CMakeFiles/eth_cluster.dir/interconnect.cpp.o.d"
+  "/root/repo/src/cluster/job.cpp" "src/cluster/CMakeFiles/eth_cluster.dir/job.cpp.o" "gcc" "src/cluster/CMakeFiles/eth_cluster.dir/job.cpp.o.d"
+  "/root/repo/src/cluster/machine.cpp" "src/cluster/CMakeFiles/eth_cluster.dir/machine.cpp.o" "gcc" "src/cluster/CMakeFiles/eth_cluster.dir/machine.cpp.o.d"
+  "/root/repo/src/cluster/power.cpp" "src/cluster/CMakeFiles/eth_cluster.dir/power.cpp.o" "gcc" "src/cluster/CMakeFiles/eth_cluster.dir/power.cpp.o.d"
+  "/root/repo/src/cluster/timeline.cpp" "src/cluster/CMakeFiles/eth_cluster.dir/timeline.cpp.o" "gcc" "src/cluster/CMakeFiles/eth_cluster.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

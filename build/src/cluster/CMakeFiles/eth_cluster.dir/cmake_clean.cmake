@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_cluster.dir/counters.cpp.o"
+  "CMakeFiles/eth_cluster.dir/counters.cpp.o.d"
+  "CMakeFiles/eth_cluster.dir/interconnect.cpp.o"
+  "CMakeFiles/eth_cluster.dir/interconnect.cpp.o.d"
+  "CMakeFiles/eth_cluster.dir/job.cpp.o"
+  "CMakeFiles/eth_cluster.dir/job.cpp.o.d"
+  "CMakeFiles/eth_cluster.dir/machine.cpp.o"
+  "CMakeFiles/eth_cluster.dir/machine.cpp.o.d"
+  "CMakeFiles/eth_cluster.dir/power.cpp.o"
+  "CMakeFiles/eth_cluster.dir/power.cpp.o.d"
+  "CMakeFiles/eth_cluster.dir/timeline.cpp.o"
+  "CMakeFiles/eth_cluster.dir/timeline.cpp.o.d"
+  "libeth_cluster.a"
+  "libeth_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

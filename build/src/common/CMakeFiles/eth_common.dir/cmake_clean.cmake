@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_common.dir/error.cpp.o"
+  "CMakeFiles/eth_common.dir/error.cpp.o.d"
+  "CMakeFiles/eth_common.dir/log.cpp.o"
+  "CMakeFiles/eth_common.dir/log.cpp.o.d"
+  "CMakeFiles/eth_common.dir/stats.cpp.o"
+  "CMakeFiles/eth_common.dir/stats.cpp.o.d"
+  "CMakeFiles/eth_common.dir/string_util.cpp.o"
+  "CMakeFiles/eth_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/eth_common.dir/timer.cpp.o"
+  "CMakeFiles/eth_common.dir/timer.cpp.o.d"
+  "libeth_common.a"
+  "libeth_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

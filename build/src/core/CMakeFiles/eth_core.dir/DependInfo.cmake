@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/eth_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/eth_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/harness.cpp" "src/core/CMakeFiles/eth_core.dir/harness.cpp.o" "gcc" "src/core/CMakeFiles/eth_core.dir/harness.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/eth_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/eth_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/spec_config.cpp" "src/core/CMakeFiles/eth_core.dir/spec_config.cpp.o" "gcc" "src/core/CMakeFiles/eth_core.dir/spec_config.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/eth_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/eth_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/eth_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/eth_core.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/insitu/CMakeFiles/eth_insitu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/eth_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/eth_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eth_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/eth_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_core.dir/experiment.cpp.o"
+  "CMakeFiles/eth_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/eth_core.dir/harness.cpp.o"
+  "CMakeFiles/eth_core.dir/harness.cpp.o.d"
+  "CMakeFiles/eth_core.dir/model.cpp.o"
+  "CMakeFiles/eth_core.dir/model.cpp.o.d"
+  "CMakeFiles/eth_core.dir/spec_config.cpp.o"
+  "CMakeFiles/eth_core.dir/spec_config.cpp.o.d"
+  "CMakeFiles/eth_core.dir/sweep.cpp.o"
+  "CMakeFiles/eth_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/eth_core.dir/table.cpp.o"
+  "CMakeFiles/eth_core.dir/table.cpp.o.d"
+  "libeth_core.a"
+  "libeth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

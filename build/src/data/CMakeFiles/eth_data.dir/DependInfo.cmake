@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/compression.cpp" "src/data/CMakeFiles/eth_data.dir/compression.cpp.o" "gcc" "src/data/CMakeFiles/eth_data.dir/compression.cpp.o.d"
+  "/root/repo/src/data/field.cpp" "src/data/CMakeFiles/eth_data.dir/field.cpp.o" "gcc" "src/data/CMakeFiles/eth_data.dir/field.cpp.o.d"
+  "/root/repo/src/data/image.cpp" "src/data/CMakeFiles/eth_data.dir/image.cpp.o" "gcc" "src/data/CMakeFiles/eth_data.dir/image.cpp.o.d"
+  "/root/repo/src/data/point_set.cpp" "src/data/CMakeFiles/eth_data.dir/point_set.cpp.o" "gcc" "src/data/CMakeFiles/eth_data.dir/point_set.cpp.o.d"
+  "/root/repo/src/data/serialize.cpp" "src/data/CMakeFiles/eth_data.dir/serialize.cpp.o" "gcc" "src/data/CMakeFiles/eth_data.dir/serialize.cpp.o.d"
+  "/root/repo/src/data/structured_grid.cpp" "src/data/CMakeFiles/eth_data.dir/structured_grid.cpp.o" "gcc" "src/data/CMakeFiles/eth_data.dir/structured_grid.cpp.o.d"
+  "/root/repo/src/data/tet_mesh.cpp" "src/data/CMakeFiles/eth_data.dir/tet_mesh.cpp.o" "gcc" "src/data/CMakeFiles/eth_data.dir/tet_mesh.cpp.o.d"
+  "/root/repo/src/data/triangle_mesh.cpp" "src/data/CMakeFiles/eth_data.dir/triangle_mesh.cpp.o" "gcc" "src/data/CMakeFiles/eth_data.dir/triangle_mesh.cpp.o.d"
+  "/root/repo/src/data/vtk_io.cpp" "src/data/CMakeFiles/eth_data.dir/vtk_io.cpp.o" "gcc" "src/data/CMakeFiles/eth_data.dir/vtk_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_data.dir/compression.cpp.o"
+  "CMakeFiles/eth_data.dir/compression.cpp.o.d"
+  "CMakeFiles/eth_data.dir/field.cpp.o"
+  "CMakeFiles/eth_data.dir/field.cpp.o.d"
+  "CMakeFiles/eth_data.dir/image.cpp.o"
+  "CMakeFiles/eth_data.dir/image.cpp.o.d"
+  "CMakeFiles/eth_data.dir/point_set.cpp.o"
+  "CMakeFiles/eth_data.dir/point_set.cpp.o.d"
+  "CMakeFiles/eth_data.dir/serialize.cpp.o"
+  "CMakeFiles/eth_data.dir/serialize.cpp.o.d"
+  "CMakeFiles/eth_data.dir/structured_grid.cpp.o"
+  "CMakeFiles/eth_data.dir/structured_grid.cpp.o.d"
+  "CMakeFiles/eth_data.dir/tet_mesh.cpp.o"
+  "CMakeFiles/eth_data.dir/tet_mesh.cpp.o.d"
+  "CMakeFiles/eth_data.dir/triangle_mesh.cpp.o"
+  "CMakeFiles/eth_data.dir/triangle_mesh.cpp.o.d"
+  "CMakeFiles/eth_data.dir/vtk_io.cpp.o"
+  "CMakeFiles/eth_data.dir/vtk_io.cpp.o.d"
+  "libeth_data.a"
+  "libeth_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_insitu.dir/socket_transport.cpp.o"
+  "CMakeFiles/eth_insitu.dir/socket_transport.cpp.o.d"
+  "CMakeFiles/eth_insitu.dir/transport.cpp.o"
+  "CMakeFiles/eth_insitu.dir/transport.cpp.o.d"
+  "CMakeFiles/eth_insitu.dir/viz.cpp.o"
+  "CMakeFiles/eth_insitu.dir/viz.cpp.o.d"
+  "libeth_insitu.a"
+  "libeth_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

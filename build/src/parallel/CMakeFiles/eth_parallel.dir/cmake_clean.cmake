@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_parallel.dir/minimpi.cpp.o"
+  "CMakeFiles/eth_parallel.dir/minimpi.cpp.o.d"
+  "CMakeFiles/eth_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/eth_parallel.dir/thread_pool.cpp.o.d"
+  "libeth_parallel.a"
+  "libeth_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

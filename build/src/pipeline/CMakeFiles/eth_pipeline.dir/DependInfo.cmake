@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/algorithm.cpp" "src/pipeline/CMakeFiles/eth_pipeline.dir/algorithm.cpp.o" "gcc" "src/pipeline/CMakeFiles/eth_pipeline.dir/algorithm.cpp.o.d"
+  "/root/repo/src/pipeline/gaussian_splatter.cpp" "src/pipeline/CMakeFiles/eth_pipeline.dir/gaussian_splatter.cpp.o" "gcc" "src/pipeline/CMakeFiles/eth_pipeline.dir/gaussian_splatter.cpp.o.d"
+  "/root/repo/src/pipeline/halo_finder.cpp" "src/pipeline/CMakeFiles/eth_pipeline.dir/halo_finder.cpp.o" "gcc" "src/pipeline/CMakeFiles/eth_pipeline.dir/halo_finder.cpp.o.d"
+  "/root/repo/src/pipeline/isosurface.cpp" "src/pipeline/CMakeFiles/eth_pipeline.dir/isosurface.cpp.o" "gcc" "src/pipeline/CMakeFiles/eth_pipeline.dir/isosurface.cpp.o.d"
+  "/root/repo/src/pipeline/sampler.cpp" "src/pipeline/CMakeFiles/eth_pipeline.dir/sampler.cpp.o" "gcc" "src/pipeline/CMakeFiles/eth_pipeline.dir/sampler.cpp.o.d"
+  "/root/repo/src/pipeline/slice.cpp" "src/pipeline/CMakeFiles/eth_pipeline.dir/slice.cpp.o" "gcc" "src/pipeline/CMakeFiles/eth_pipeline.dir/slice.cpp.o.d"
+  "/root/repo/src/pipeline/threshold.cpp" "src/pipeline/CMakeFiles/eth_pipeline.dir/threshold.cpp.o" "gcc" "src/pipeline/CMakeFiles/eth_pipeline.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/eth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eth_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/eth_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

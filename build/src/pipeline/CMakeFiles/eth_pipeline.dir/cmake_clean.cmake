@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_pipeline.dir/algorithm.cpp.o"
+  "CMakeFiles/eth_pipeline.dir/algorithm.cpp.o.d"
+  "CMakeFiles/eth_pipeline.dir/gaussian_splatter.cpp.o"
+  "CMakeFiles/eth_pipeline.dir/gaussian_splatter.cpp.o.d"
+  "CMakeFiles/eth_pipeline.dir/halo_finder.cpp.o"
+  "CMakeFiles/eth_pipeline.dir/halo_finder.cpp.o.d"
+  "CMakeFiles/eth_pipeline.dir/isosurface.cpp.o"
+  "CMakeFiles/eth_pipeline.dir/isosurface.cpp.o.d"
+  "CMakeFiles/eth_pipeline.dir/sampler.cpp.o"
+  "CMakeFiles/eth_pipeline.dir/sampler.cpp.o.d"
+  "CMakeFiles/eth_pipeline.dir/slice.cpp.o"
+  "CMakeFiles/eth_pipeline.dir/slice.cpp.o.d"
+  "CMakeFiles/eth_pipeline.dir/threshold.cpp.o"
+  "CMakeFiles/eth_pipeline.dir/threshold.cpp.o.d"
+  "libeth_pipeline.a"
+  "libeth_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/camera.cpp" "src/render/CMakeFiles/eth_render.dir/camera.cpp.o" "gcc" "src/render/CMakeFiles/eth_render.dir/camera.cpp.o.d"
+  "/root/repo/src/render/colormap.cpp" "src/render/CMakeFiles/eth_render.dir/colormap.cpp.o" "gcc" "src/render/CMakeFiles/eth_render.dir/colormap.cpp.o.d"
+  "/root/repo/src/render/compositor.cpp" "src/render/CMakeFiles/eth_render.dir/compositor.cpp.o" "gcc" "src/render/CMakeFiles/eth_render.dir/compositor.cpp.o.d"
+  "/root/repo/src/render/raster/rasterizer.cpp" "src/render/CMakeFiles/eth_render.dir/raster/rasterizer.cpp.o" "gcc" "src/render/CMakeFiles/eth_render.dir/raster/rasterizer.cpp.o.d"
+  "/root/repo/src/render/ray/bvh.cpp" "src/render/CMakeFiles/eth_render.dir/ray/bvh.cpp.o" "gcc" "src/render/CMakeFiles/eth_render.dir/ray/bvh.cpp.o.d"
+  "/root/repo/src/render/ray/raycaster.cpp" "src/render/CMakeFiles/eth_render.dir/ray/raycaster.cpp.o" "gcc" "src/render/CMakeFiles/eth_render.dir/ray/raycaster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/eth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/eth_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/eth_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eth_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_render.dir/camera.cpp.o"
+  "CMakeFiles/eth_render.dir/camera.cpp.o.d"
+  "CMakeFiles/eth_render.dir/colormap.cpp.o"
+  "CMakeFiles/eth_render.dir/colormap.cpp.o.d"
+  "CMakeFiles/eth_render.dir/compositor.cpp.o"
+  "CMakeFiles/eth_render.dir/compositor.cpp.o.d"
+  "CMakeFiles/eth_render.dir/raster/rasterizer.cpp.o"
+  "CMakeFiles/eth_render.dir/raster/rasterizer.cpp.o.d"
+  "CMakeFiles/eth_render.dir/ray/bvh.cpp.o"
+  "CMakeFiles/eth_render.dir/ray/bvh.cpp.o.d"
+  "CMakeFiles/eth_render.dir/ray/raycaster.cpp.o"
+  "CMakeFiles/eth_render.dir/ray/raycaster.cpp.o.d"
+  "libeth_render.a"
+  "libeth_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeth_render.a"
+)

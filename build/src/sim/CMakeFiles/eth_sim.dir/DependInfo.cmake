@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dump.cpp" "src/sim/CMakeFiles/eth_sim.dir/dump.cpp.o" "gcc" "src/sim/CMakeFiles/eth_sim.dir/dump.cpp.o.d"
+  "/root/repo/src/sim/hacc_generator.cpp" "src/sim/CMakeFiles/eth_sim.dir/hacc_generator.cpp.o" "gcc" "src/sim/CMakeFiles/eth_sim.dir/hacc_generator.cpp.o.d"
+  "/root/repo/src/sim/partition.cpp" "src/sim/CMakeFiles/eth_sim.dir/partition.cpp.o" "gcc" "src/sim/CMakeFiles/eth_sim.dir/partition.cpp.o.d"
+  "/root/repo/src/sim/xrage_generator.cpp" "src/sim/CMakeFiles/eth_sim.dir/xrage_generator.cpp.o" "gcc" "src/sim/CMakeFiles/eth_sim.dir/xrage_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/eth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

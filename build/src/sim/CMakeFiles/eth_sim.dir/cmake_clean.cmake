@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_sim.dir/dump.cpp.o"
+  "CMakeFiles/eth_sim.dir/dump.cpp.o.d"
+  "CMakeFiles/eth_sim.dir/hacc_generator.cpp.o"
+  "CMakeFiles/eth_sim.dir/hacc_generator.cpp.o.d"
+  "CMakeFiles/eth_sim.dir/partition.cpp.o"
+  "CMakeFiles/eth_sim.dir/partition.cpp.o.d"
+  "CMakeFiles/eth_sim.dir/xrage_generator.cpp.o"
+  "CMakeFiles/eth_sim.dir/xrage_generator.cpp.o.d"
+  "libeth_sim.a"
+  "libeth_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

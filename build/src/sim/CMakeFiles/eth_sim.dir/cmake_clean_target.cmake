@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeth_sim.a"
+)

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_cluster_tests.dir/cluster/test_counters.cpp.o"
+  "CMakeFiles/eth_cluster_tests.dir/cluster/test_counters.cpp.o.d"
+  "CMakeFiles/eth_cluster_tests.dir/cluster/test_interconnect.cpp.o"
+  "CMakeFiles/eth_cluster_tests.dir/cluster/test_interconnect.cpp.o.d"
+  "CMakeFiles/eth_cluster_tests.dir/cluster/test_job.cpp.o"
+  "CMakeFiles/eth_cluster_tests.dir/cluster/test_job.cpp.o.d"
+  "CMakeFiles/eth_cluster_tests.dir/cluster/test_machine_power.cpp.o"
+  "CMakeFiles/eth_cluster_tests.dir/cluster/test_machine_power.cpp.o.d"
+  "CMakeFiles/eth_cluster_tests.dir/cluster/test_timeline.cpp.o"
+  "CMakeFiles/eth_cluster_tests.dir/cluster/test_timeline.cpp.o.d"
+  "eth_cluster_tests"
+  "eth_cluster_tests.pdb"
+  "eth_cluster_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_cluster_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

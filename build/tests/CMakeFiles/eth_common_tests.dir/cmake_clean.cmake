@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_common_tests.dir/common/test_aabb.cpp.o"
+  "CMakeFiles/eth_common_tests.dir/common/test_aabb.cpp.o.d"
+  "CMakeFiles/eth_common_tests.dir/common/test_mat.cpp.o"
+  "CMakeFiles/eth_common_tests.dir/common/test_mat.cpp.o.d"
+  "CMakeFiles/eth_common_tests.dir/common/test_rng.cpp.o"
+  "CMakeFiles/eth_common_tests.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/eth_common_tests.dir/common/test_stats.cpp.o"
+  "CMakeFiles/eth_common_tests.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/eth_common_tests.dir/common/test_string_util.cpp.o"
+  "CMakeFiles/eth_common_tests.dir/common/test_string_util.cpp.o.d"
+  "CMakeFiles/eth_common_tests.dir/common/test_timer_log_error.cpp.o"
+  "CMakeFiles/eth_common_tests.dir/common/test_timer_log_error.cpp.o.d"
+  "CMakeFiles/eth_common_tests.dir/common/test_vec.cpp.o"
+  "CMakeFiles/eth_common_tests.dir/common/test_vec.cpp.o.d"
+  "eth_common_tests"
+  "eth_common_tests.pdb"
+  "eth_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_core_tests.dir/core/test_experiment.cpp.o"
+  "CMakeFiles/eth_core_tests.dir/core/test_experiment.cpp.o.d"
+  "CMakeFiles/eth_core_tests.dir/core/test_harness.cpp.o"
+  "CMakeFiles/eth_core_tests.dir/core/test_harness.cpp.o.d"
+  "CMakeFiles/eth_core_tests.dir/core/test_model.cpp.o"
+  "CMakeFiles/eth_core_tests.dir/core/test_model.cpp.o.d"
+  "CMakeFiles/eth_core_tests.dir/core/test_spec_config.cpp.o"
+  "CMakeFiles/eth_core_tests.dir/core/test_spec_config.cpp.o.d"
+  "CMakeFiles/eth_core_tests.dir/core/test_table_sweep.cpp.o"
+  "CMakeFiles/eth_core_tests.dir/core/test_table_sweep.cpp.o.d"
+  "eth_core_tests"
+  "eth_core_tests.pdb"
+  "eth_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

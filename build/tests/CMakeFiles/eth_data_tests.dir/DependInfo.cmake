@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/test_compression.cpp" "tests/CMakeFiles/eth_data_tests.dir/data/test_compression.cpp.o" "gcc" "tests/CMakeFiles/eth_data_tests.dir/data/test_compression.cpp.o.d"
+  "/root/repo/tests/data/test_field.cpp" "tests/CMakeFiles/eth_data_tests.dir/data/test_field.cpp.o" "gcc" "tests/CMakeFiles/eth_data_tests.dir/data/test_field.cpp.o.d"
+  "/root/repo/tests/data/test_image.cpp" "tests/CMakeFiles/eth_data_tests.dir/data/test_image.cpp.o" "gcc" "tests/CMakeFiles/eth_data_tests.dir/data/test_image.cpp.o.d"
+  "/root/repo/tests/data/test_point_set.cpp" "tests/CMakeFiles/eth_data_tests.dir/data/test_point_set.cpp.o" "gcc" "tests/CMakeFiles/eth_data_tests.dir/data/test_point_set.cpp.o.d"
+  "/root/repo/tests/data/test_serialize.cpp" "tests/CMakeFiles/eth_data_tests.dir/data/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/eth_data_tests.dir/data/test_serialize.cpp.o.d"
+  "/root/repo/tests/data/test_structured_grid.cpp" "tests/CMakeFiles/eth_data_tests.dir/data/test_structured_grid.cpp.o" "gcc" "tests/CMakeFiles/eth_data_tests.dir/data/test_structured_grid.cpp.o.d"
+  "/root/repo/tests/data/test_tet_mesh.cpp" "tests/CMakeFiles/eth_data_tests.dir/data/test_tet_mesh.cpp.o" "gcc" "tests/CMakeFiles/eth_data_tests.dir/data/test_tet_mesh.cpp.o.d"
+  "/root/repo/tests/data/test_triangle_mesh.cpp" "tests/CMakeFiles/eth_data_tests.dir/data/test_triangle_mesh.cpp.o" "gcc" "tests/CMakeFiles/eth_data_tests.dir/data/test_triangle_mesh.cpp.o.d"
+  "/root/repo/tests/data/test_vtk_io.cpp" "tests/CMakeFiles/eth_data_tests.dir/data/test_vtk_io.cpp.o" "gcc" "tests/CMakeFiles/eth_data_tests.dir/data/test_vtk_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/insitu/CMakeFiles/eth_insitu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/eth_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/eth_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eth_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/eth_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

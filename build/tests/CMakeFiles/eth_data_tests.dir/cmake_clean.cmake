@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_data_tests.dir/data/test_compression.cpp.o"
+  "CMakeFiles/eth_data_tests.dir/data/test_compression.cpp.o.d"
+  "CMakeFiles/eth_data_tests.dir/data/test_field.cpp.o"
+  "CMakeFiles/eth_data_tests.dir/data/test_field.cpp.o.d"
+  "CMakeFiles/eth_data_tests.dir/data/test_image.cpp.o"
+  "CMakeFiles/eth_data_tests.dir/data/test_image.cpp.o.d"
+  "CMakeFiles/eth_data_tests.dir/data/test_point_set.cpp.o"
+  "CMakeFiles/eth_data_tests.dir/data/test_point_set.cpp.o.d"
+  "CMakeFiles/eth_data_tests.dir/data/test_serialize.cpp.o"
+  "CMakeFiles/eth_data_tests.dir/data/test_serialize.cpp.o.d"
+  "CMakeFiles/eth_data_tests.dir/data/test_structured_grid.cpp.o"
+  "CMakeFiles/eth_data_tests.dir/data/test_structured_grid.cpp.o.d"
+  "CMakeFiles/eth_data_tests.dir/data/test_tet_mesh.cpp.o"
+  "CMakeFiles/eth_data_tests.dir/data/test_tet_mesh.cpp.o.d"
+  "CMakeFiles/eth_data_tests.dir/data/test_triangle_mesh.cpp.o"
+  "CMakeFiles/eth_data_tests.dir/data/test_triangle_mesh.cpp.o.d"
+  "CMakeFiles/eth_data_tests.dir/data/test_vtk_io.cpp.o"
+  "CMakeFiles/eth_data_tests.dir/data/test_vtk_io.cpp.o.d"
+  "eth_data_tests"
+  "eth_data_tests.pdb"
+  "eth_data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

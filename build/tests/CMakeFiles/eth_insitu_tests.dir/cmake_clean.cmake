@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_insitu_tests.dir/insitu/test_socket.cpp.o"
+  "CMakeFiles/eth_insitu_tests.dir/insitu/test_socket.cpp.o.d"
+  "CMakeFiles/eth_insitu_tests.dir/insitu/test_transport.cpp.o"
+  "CMakeFiles/eth_insitu_tests.dir/insitu/test_transport.cpp.o.d"
+  "CMakeFiles/eth_insitu_tests.dir/insitu/test_viz.cpp.o"
+  "CMakeFiles/eth_insitu_tests.dir/insitu/test_viz.cpp.o.d"
+  "eth_insitu_tests"
+  "eth_insitu_tests.pdb"
+  "eth_insitu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_insitu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

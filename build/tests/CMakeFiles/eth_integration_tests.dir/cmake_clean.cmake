@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_integration_tests.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/eth_integration_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "eth_integration_tests"
+  "eth_integration_tests.pdb"
+  "eth_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_parallel_tests.dir/parallel/test_minimpi.cpp.o"
+  "CMakeFiles/eth_parallel_tests.dir/parallel/test_minimpi.cpp.o.d"
+  "CMakeFiles/eth_parallel_tests.dir/parallel/test_thread_pool.cpp.o"
+  "CMakeFiles/eth_parallel_tests.dir/parallel/test_thread_pool.cpp.o.d"
+  "eth_parallel_tests"
+  "eth_parallel_tests.pdb"
+  "eth_parallel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

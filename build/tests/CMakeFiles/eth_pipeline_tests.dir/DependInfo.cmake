@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline/test_algorithm.cpp" "tests/CMakeFiles/eth_pipeline_tests.dir/pipeline/test_algorithm.cpp.o" "gcc" "tests/CMakeFiles/eth_pipeline_tests.dir/pipeline/test_algorithm.cpp.o.d"
+  "/root/repo/tests/pipeline/test_halo_finder.cpp" "tests/CMakeFiles/eth_pipeline_tests.dir/pipeline/test_halo_finder.cpp.o" "gcc" "tests/CMakeFiles/eth_pipeline_tests.dir/pipeline/test_halo_finder.cpp.o.d"
+  "/root/repo/tests/pipeline/test_isosurface.cpp" "tests/CMakeFiles/eth_pipeline_tests.dir/pipeline/test_isosurface.cpp.o" "gcc" "tests/CMakeFiles/eth_pipeline_tests.dir/pipeline/test_isosurface.cpp.o.d"
+  "/root/repo/tests/pipeline/test_sampler.cpp" "tests/CMakeFiles/eth_pipeline_tests.dir/pipeline/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/eth_pipeline_tests.dir/pipeline/test_sampler.cpp.o.d"
+  "/root/repo/tests/pipeline/test_slice.cpp" "tests/CMakeFiles/eth_pipeline_tests.dir/pipeline/test_slice.cpp.o" "gcc" "tests/CMakeFiles/eth_pipeline_tests.dir/pipeline/test_slice.cpp.o.d"
+  "/root/repo/tests/pipeline/test_splatter_threshold.cpp" "tests/CMakeFiles/eth_pipeline_tests.dir/pipeline/test_splatter_threshold.cpp.o" "gcc" "tests/CMakeFiles/eth_pipeline_tests.dir/pipeline/test_splatter_threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/insitu/CMakeFiles/eth_insitu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/eth_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/eth_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eth_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/eth_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_pipeline_tests.dir/pipeline/test_algorithm.cpp.o"
+  "CMakeFiles/eth_pipeline_tests.dir/pipeline/test_algorithm.cpp.o.d"
+  "CMakeFiles/eth_pipeline_tests.dir/pipeline/test_halo_finder.cpp.o"
+  "CMakeFiles/eth_pipeline_tests.dir/pipeline/test_halo_finder.cpp.o.d"
+  "CMakeFiles/eth_pipeline_tests.dir/pipeline/test_isosurface.cpp.o"
+  "CMakeFiles/eth_pipeline_tests.dir/pipeline/test_isosurface.cpp.o.d"
+  "CMakeFiles/eth_pipeline_tests.dir/pipeline/test_sampler.cpp.o"
+  "CMakeFiles/eth_pipeline_tests.dir/pipeline/test_sampler.cpp.o.d"
+  "CMakeFiles/eth_pipeline_tests.dir/pipeline/test_slice.cpp.o"
+  "CMakeFiles/eth_pipeline_tests.dir/pipeline/test_slice.cpp.o.d"
+  "CMakeFiles/eth_pipeline_tests.dir/pipeline/test_splatter_threshold.cpp.o"
+  "CMakeFiles/eth_pipeline_tests.dir/pipeline/test_splatter_threshold.cpp.o.d"
+  "eth_pipeline_tests"
+  "eth_pipeline_tests.pdb"
+  "eth_pipeline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_pipeline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/render/test_bvh.cpp" "tests/CMakeFiles/eth_render_tests.dir/render/test_bvh.cpp.o" "gcc" "tests/CMakeFiles/eth_render_tests.dir/render/test_bvh.cpp.o.d"
+  "/root/repo/tests/render/test_camera.cpp" "tests/CMakeFiles/eth_render_tests.dir/render/test_camera.cpp.o" "gcc" "tests/CMakeFiles/eth_render_tests.dir/render/test_camera.cpp.o.d"
+  "/root/repo/tests/render/test_colormap.cpp" "tests/CMakeFiles/eth_render_tests.dir/render/test_colormap.cpp.o" "gcc" "tests/CMakeFiles/eth_render_tests.dir/render/test_colormap.cpp.o.d"
+  "/root/repo/tests/render/test_compositor.cpp" "tests/CMakeFiles/eth_render_tests.dir/render/test_compositor.cpp.o" "gcc" "tests/CMakeFiles/eth_render_tests.dir/render/test_compositor.cpp.o.d"
+  "/root/repo/tests/render/test_dvr.cpp" "tests/CMakeFiles/eth_render_tests.dir/render/test_dvr.cpp.o" "gcc" "tests/CMakeFiles/eth_render_tests.dir/render/test_dvr.cpp.o.d"
+  "/root/repo/tests/render/test_minmax_scene.cpp" "tests/CMakeFiles/eth_render_tests.dir/render/test_minmax_scene.cpp.o" "gcc" "tests/CMakeFiles/eth_render_tests.dir/render/test_minmax_scene.cpp.o.d"
+  "/root/repo/tests/render/test_rasterizer.cpp" "tests/CMakeFiles/eth_render_tests.dir/render/test_rasterizer.cpp.o" "gcc" "tests/CMakeFiles/eth_render_tests.dir/render/test_rasterizer.cpp.o.d"
+  "/root/repo/tests/render/test_raycaster.cpp" "tests/CMakeFiles/eth_render_tests.dir/render/test_raycaster.cpp.o" "gcc" "tests/CMakeFiles/eth_render_tests.dir/render/test_raycaster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/insitu/CMakeFiles/eth_insitu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/eth_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/eth_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eth_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/eth_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

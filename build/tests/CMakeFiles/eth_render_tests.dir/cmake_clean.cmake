@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_render_tests.dir/render/test_bvh.cpp.o"
+  "CMakeFiles/eth_render_tests.dir/render/test_bvh.cpp.o.d"
+  "CMakeFiles/eth_render_tests.dir/render/test_camera.cpp.o"
+  "CMakeFiles/eth_render_tests.dir/render/test_camera.cpp.o.d"
+  "CMakeFiles/eth_render_tests.dir/render/test_colormap.cpp.o"
+  "CMakeFiles/eth_render_tests.dir/render/test_colormap.cpp.o.d"
+  "CMakeFiles/eth_render_tests.dir/render/test_compositor.cpp.o"
+  "CMakeFiles/eth_render_tests.dir/render/test_compositor.cpp.o.d"
+  "CMakeFiles/eth_render_tests.dir/render/test_dvr.cpp.o"
+  "CMakeFiles/eth_render_tests.dir/render/test_dvr.cpp.o.d"
+  "CMakeFiles/eth_render_tests.dir/render/test_minmax_scene.cpp.o"
+  "CMakeFiles/eth_render_tests.dir/render/test_minmax_scene.cpp.o.d"
+  "CMakeFiles/eth_render_tests.dir/render/test_rasterizer.cpp.o"
+  "CMakeFiles/eth_render_tests.dir/render/test_rasterizer.cpp.o.d"
+  "CMakeFiles/eth_render_tests.dir/render/test_raycaster.cpp.o"
+  "CMakeFiles/eth_render_tests.dir/render/test_raycaster.cpp.o.d"
+  "eth_render_tests"
+  "eth_render_tests.pdb"
+  "eth_render_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_render_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

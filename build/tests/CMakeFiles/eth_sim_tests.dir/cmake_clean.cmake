@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_sim_tests.dir/sim/test_dump.cpp.o"
+  "CMakeFiles/eth_sim_tests.dir/sim/test_dump.cpp.o.d"
+  "CMakeFiles/eth_sim_tests.dir/sim/test_hacc.cpp.o"
+  "CMakeFiles/eth_sim_tests.dir/sim/test_hacc.cpp.o.d"
+  "CMakeFiles/eth_sim_tests.dir/sim/test_partition.cpp.o"
+  "CMakeFiles/eth_sim_tests.dir/sim/test_partition.cpp.o.d"
+  "CMakeFiles/eth_sim_tests.dir/sim/test_xrage.cpp.o"
+  "CMakeFiles/eth_sim_tests.dir/sim/test_xrage.cpp.o.d"
+  "eth_sim_tests"
+  "eth_sim_tests.pdb"
+  "eth_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

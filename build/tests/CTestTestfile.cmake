@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/eth_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/eth_data_tests[1]_include.cmake")
+include("/root/repo/build/tests/eth_parallel_tests[1]_include.cmake")
+include("/root/repo/build/tests/eth_cluster_tests[1]_include.cmake")
+include("/root/repo/build/tests/eth_pipeline_tests[1]_include.cmake")
+include("/root/repo/build/tests/eth_render_tests[1]_include.cmake")
+include("/root/repo/build/tests/eth_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/eth_insitu_tests[1]_include.cmake")
+include("/root/repo/build/tests/eth_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/eth_integration_tests[1]_include.cmake")

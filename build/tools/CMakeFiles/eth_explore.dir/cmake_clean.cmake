@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_explore.dir/eth_explore.cpp.o"
+  "CMakeFiles/eth_explore.dir/eth_explore.cpp.o.d"
+  "eth_explore"
+  "eth_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
