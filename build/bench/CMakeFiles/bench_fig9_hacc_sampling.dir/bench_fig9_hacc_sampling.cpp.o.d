@@ -223,10 +223,8 @@ bench/CMakeFiles/bench_fig9_hacc_sampling.dir/bench_fig9_hacc_sampling.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/insitu/viz.hpp \
- /root/repo/src/cluster/counters.hpp /root/repo/src/common/timer.hpp \
- /usr/include/c++/12/chrono /root/repo/src/pipeline/sampler.hpp \
- /root/repo/src/pipeline/algorithm.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/insitu/fault.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -256,15 +254,29 @@ bench/CMakeFiles/bench_fig9_hacc_sampling.dir/bench_fig9_hacc_sampling.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/data/dataset.hpp /root/repo/src/common/aabb.hpp \
- /root/repo/src/data/field.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/common/error.hpp \
- /root/repo/src/render/camera.hpp /root/repo/src/common/mat.hpp \
- /root/repo/src/sim/hacc_generator.hpp /root/repo/src/data/point_set.hpp \
- /root/repo/src/sim/xrage_generator.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/insitu/transport.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/data/dataset.hpp \
+ /root/repo/src/common/aabb.hpp /root/repo/src/data/field.hpp \
+ /root/repo/src/common/error.hpp /root/repo/src/insitu/viz.hpp \
+ /root/repo/src/cluster/counters.hpp /root/repo/src/common/timer.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/pipeline/sampler.hpp \
+ /root/repo/src/pipeline/algorithm.hpp /root/repo/src/render/camera.hpp \
+ /root/repo/src/common/mat.hpp /root/repo/src/sim/hacc_generator.hpp \
+ /root/repo/src/data/point_set.hpp /root/repo/src/sim/xrage_generator.hpp \
  /root/repo/src/data/structured_grid.hpp /root/repo/src/core/model.hpp \
- /root/repo/src/cluster/interconnect.hpp /root/repo/src/core/sweep.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/cluster/interconnect.hpp /root/repo/src/core/table.hpp \
+ /root/repo/src/core/sweep.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/core/table.hpp
+ /usr/include/c++/12/bits/unordered_map.h

@@ -206,14 +206,8 @@ examples/CMakeFiles/asteroid_xrage.dir/asteroid_xrage.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc /root/repo/src/insitu/viz.hpp \
- /root/repo/src/cluster/counters.hpp /root/repo/src/common/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/pipeline/sampler.hpp \
- /root/repo/src/pipeline/algorithm.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/ostream.tcc /root/repo/src/insitu/fault.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -249,9 +243,27 @@ examples/CMakeFiles/asteroid_xrage.dir/asteroid_xrage.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/common/rng.hpp /root/repo/src/insitu/transport.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/span \
  /root/repo/src/data/dataset.hpp /root/repo/src/common/aabb.hpp \
- /root/repo/src/data/field.hpp /usr/include/c++/12/span \
- /root/repo/src/common/error.hpp /root/repo/src/render/camera.hpp \
+ /root/repo/src/data/field.hpp /root/repo/src/common/error.hpp \
+ /root/repo/src/insitu/viz.hpp /root/repo/src/cluster/counters.hpp \
+ /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/pipeline/sampler.hpp \
+ /root/repo/src/pipeline/algorithm.hpp /root/repo/src/render/camera.hpp \
  /root/repo/src/common/mat.hpp /root/repo/src/sim/hacc_generator.hpp \
  /root/repo/src/data/point_set.hpp /root/repo/src/sim/xrage_generator.hpp \
  /root/repo/src/data/structured_grid.hpp /root/repo/src/core/model.hpp \

@@ -247,32 +247,32 @@ examples/CMakeFiles/socket_proxy_demo.dir/socket_proxy_demo.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/insitu/viz.hpp \
- /root/repo/src/cluster/counters.hpp /root/repo/src/common/timer.hpp \
- /usr/include/c++/12/chrono /root/repo/src/pipeline/sampler.hpp \
- /root/repo/src/pipeline/algorithm.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/insitu/fault.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/data/dataset.hpp /root/repo/src/common/aabb.hpp \
- /root/repo/src/data/field.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/common/error.hpp \
- /root/repo/src/render/camera.hpp /root/repo/src/common/mat.hpp \
- /root/repo/src/sim/hacc_generator.hpp /root/repo/src/data/point_set.hpp \
- /root/repo/src/sim/xrage_generator.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/insitu/transport.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/data/dataset.hpp \
+ /root/repo/src/common/aabb.hpp /root/repo/src/data/field.hpp \
+ /root/repo/src/common/error.hpp /root/repo/src/insitu/viz.hpp \
+ /root/repo/src/cluster/counters.hpp /root/repo/src/common/timer.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/pipeline/sampler.hpp \
+ /root/repo/src/pipeline/algorithm.hpp /root/repo/src/render/camera.hpp \
+ /root/repo/src/common/mat.hpp /root/repo/src/sim/hacc_generator.hpp \
+ /root/repo/src/data/point_set.hpp /root/repo/src/sim/xrage_generator.hpp \
  /root/repo/src/data/structured_grid.hpp /root/repo/src/core/model.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h \
- /root/repo/src/cluster/interconnect.hpp \
- /root/repo/src/insitu/socket_transport.hpp \
- /root/repo/src/insitu/transport.hpp \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/sim/dump.hpp
+ /root/repo/src/cluster/interconnect.hpp /root/repo/src/core/table.hpp \
+ /root/repo/src/insitu/socket_transport.hpp /root/repo/src/sim/dump.hpp

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/crc32.cpp" "src/common/CMakeFiles/eth_common.dir/crc32.cpp.o" "gcc" "src/common/CMakeFiles/eth_common.dir/crc32.cpp.o.d"
   "/root/repo/src/common/error.cpp" "src/common/CMakeFiles/eth_common.dir/error.cpp.o" "gcc" "src/common/CMakeFiles/eth_common.dir/error.cpp.o.d"
   "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/eth_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/eth_common.dir/log.cpp.o.d"
   "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/eth_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/eth_common.dir/stats.cpp.o.d"

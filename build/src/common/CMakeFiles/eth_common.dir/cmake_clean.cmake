@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/eth_common.dir/crc32.cpp.o"
+  "CMakeFiles/eth_common.dir/crc32.cpp.o.d"
   "CMakeFiles/eth_common.dir/error.cpp.o"
   "CMakeFiles/eth_common.dir/error.cpp.o.d"
   "CMakeFiles/eth_common.dir/log.cpp.o"

@@ -195,14 +195,8 @@ src/core/CMakeFiles/eth_core.dir/harness.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc /root/repo/src/insitu/viz.hpp \
- /root/repo/src/cluster/counters.hpp /root/repo/src/common/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/pipeline/sampler.hpp \
- /root/repo/src/pipeline/algorithm.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/ostream.tcc /root/repo/src/insitu/fault.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -240,21 +234,38 @@ src/core/CMakeFiles/eth_core.dir/harness.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/data/dataset.hpp /root/repo/src/common/aabb.hpp \
- /root/repo/src/data/field.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/common/error.hpp \
- /root/repo/src/render/camera.hpp /root/repo/src/common/mat.hpp \
- /root/repo/src/sim/hacc_generator.hpp /root/repo/src/data/point_set.hpp \
- /root/repo/src/sim/xrage_generator.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/insitu/transport.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/data/dataset.hpp \
+ /root/repo/src/common/aabb.hpp /root/repo/src/data/field.hpp \
+ /root/repo/src/common/error.hpp /root/repo/src/insitu/viz.hpp \
+ /root/repo/src/cluster/counters.hpp /root/repo/src/common/timer.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/pipeline/sampler.hpp \
+ /root/repo/src/pipeline/algorithm.hpp /root/repo/src/render/camera.hpp \
+ /root/repo/src/common/mat.hpp /root/repo/src/sim/hacc_generator.hpp \
+ /root/repo/src/data/point_set.hpp /root/repo/src/sim/xrage_generator.hpp \
  /root/repo/src/data/structured_grid.hpp /root/repo/src/core/model.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h \
- /root/repo/src/cluster/interconnect.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/cluster/interconnect.hpp /root/repo/src/core/table.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
@@ -267,18 +278,10 @@ src/core/CMakeFiles/eth_core.dir/harness.cpp.o: \
  /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /root/repo/src/common/string_util.hpp \
- /root/repo/src/data/compression.hpp /root/repo/src/insitu/transport.hpp \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/parallel/minimpi.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/data/compression.hpp /root/repo/src/data/serialize.hpp \
+ /root/repo/src/data/triangle_mesh.hpp \
+ /root/repo/src/parallel/minimpi.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \

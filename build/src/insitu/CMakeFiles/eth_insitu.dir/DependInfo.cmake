@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/insitu/fault.cpp" "src/insitu/CMakeFiles/eth_insitu.dir/fault.cpp.o" "gcc" "src/insitu/CMakeFiles/eth_insitu.dir/fault.cpp.o.d"
   "/root/repo/src/insitu/socket_transport.cpp" "src/insitu/CMakeFiles/eth_insitu.dir/socket_transport.cpp.o" "gcc" "src/insitu/CMakeFiles/eth_insitu.dir/socket_transport.cpp.o.d"
   "/root/repo/src/insitu/transport.cpp" "src/insitu/CMakeFiles/eth_insitu.dir/transport.cpp.o" "gcc" "src/insitu/CMakeFiles/eth_insitu.dir/transport.cpp.o.d"
   "/root/repo/src/insitu/viz.cpp" "src/insitu/CMakeFiles/eth_insitu.dir/viz.cpp.o" "gcc" "src/insitu/CMakeFiles/eth_insitu.dir/viz.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/eth_insitu.dir/fault.cpp.o"
+  "CMakeFiles/eth_insitu.dir/fault.cpp.o.d"
   "CMakeFiles/eth_insitu.dir/socket_transport.cpp.o"
   "CMakeFiles/eth_insitu.dir/socket_transport.cpp.o.d"
   "CMakeFiles/eth_insitu.dir/transport.cpp.o"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/insitu/test_fault.cpp" "tests/CMakeFiles/eth_insitu_tests.dir/insitu/test_fault.cpp.o" "gcc" "tests/CMakeFiles/eth_insitu_tests.dir/insitu/test_fault.cpp.o.d"
   "/root/repo/tests/insitu/test_socket.cpp" "tests/CMakeFiles/eth_insitu_tests.dir/insitu/test_socket.cpp.o" "gcc" "tests/CMakeFiles/eth_insitu_tests.dir/insitu/test_socket.cpp.o.d"
   "/root/repo/tests/insitu/test_transport.cpp" "tests/CMakeFiles/eth_insitu_tests.dir/insitu/test_transport.cpp.o" "gcc" "tests/CMakeFiles/eth_insitu_tests.dir/insitu/test_transport.cpp.o.d"
   "/root/repo/tests/insitu/test_viz.cpp" "tests/CMakeFiles/eth_insitu_tests.dir/insitu/test_viz.cpp.o" "gcc" "tests/CMakeFiles/eth_insitu_tests.dir/insitu/test_viz.cpp.o.d"

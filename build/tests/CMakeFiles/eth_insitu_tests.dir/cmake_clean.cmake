@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/eth_insitu_tests.dir/insitu/test_fault.cpp.o"
+  "CMakeFiles/eth_insitu_tests.dir/insitu/test_fault.cpp.o.d"
   "CMakeFiles/eth_insitu_tests.dir/insitu/test_socket.cpp.o"
   "CMakeFiles/eth_insitu_tests.dir/insitu/test_socket.cpp.o.d"
   "CMakeFiles/eth_insitu_tests.dir/insitu/test_transport.cpp.o"

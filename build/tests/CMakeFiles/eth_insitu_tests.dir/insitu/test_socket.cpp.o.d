@@ -209,9 +209,11 @@ tests/CMakeFiles/eth_insitu_tests.dir/insitu/test_socket.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/data/dataset.hpp \
- /root/repo/src/common/aabb.hpp /root/repo/src/common/vec.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/data/dataset.hpp /root/repo/src/common/aabb.hpp \
+ /root/repo/src/common/vec.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
@@ -239,9 +241,8 @@ tests/CMakeFiles/eth_insitu_tests.dir/insitu/test_socket.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/types.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/data/field.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/common/error.hpp /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/data/field.hpp /root/repo/src/common/error.hpp \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -206,7 +206,9 @@ tests/CMakeFiles/eth_insitu_tests.dir/insitu/test_transport.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/data/dataset.hpp \
  /root/repo/src/common/aabb.hpp /root/repo/src/common/vec.hpp \
@@ -238,9 +240,8 @@ tests/CMakeFiles/eth_insitu_tests.dir/insitu/test_transport.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/types.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/data/field.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/common/error.hpp /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/data/field.hpp /root/repo/src/common/error.hpp \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -305,8 +305,9 @@ tests/CMakeFiles/eth_integration_tests.dir/integration/test_end_to_end.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/core/harness.hpp /root/repo/src/core/experiment.hpp \
- /root/repo/src/cluster/job.hpp /root/repo/src/common/types.hpp \
+ /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/common/types.hpp /root/repo/src/core/harness.hpp \
+ /root/repo/src/core/experiment.hpp /root/repo/src/cluster/job.hpp \
  /root/repo/src/cluster/machine.hpp /root/repo/src/cluster/timeline.hpp \
  /root/repo/src/data/image.hpp /root/repo/src/common/vec.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
@@ -332,22 +333,22 @@ tests/CMakeFiles/eth_integration_tests.dir/integration/test_end_to_end.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/insitu/viz.hpp \
- /root/repo/src/cluster/counters.hpp /root/repo/src/common/timer.hpp \
- /usr/include/c++/12/chrono /root/repo/src/pipeline/sampler.hpp \
- /root/repo/src/pipeline/algorithm.hpp /root/repo/src/data/dataset.hpp \
- /root/repo/src/common/aabb.hpp /root/repo/src/data/field.hpp \
- /usr/include/c++/12/span /root/repo/src/common/error.hpp \
- /root/repo/src/render/camera.hpp /root/repo/src/common/mat.hpp \
- /root/repo/src/sim/hacc_generator.hpp /root/repo/src/data/point_set.hpp \
- /root/repo/src/sim/xrage_generator.hpp \
- /root/repo/src/data/structured_grid.hpp /root/repo/src/core/model.hpp \
- /root/repo/src/cluster/interconnect.hpp \
- /root/repo/src/insitu/socket_transport.hpp \
- /root/repo/src/insitu/transport.hpp \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/insitu/fault.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/insitu/transport.hpp \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/parallel/minimpi.hpp \
- /root/repo/src/render/compositor.hpp /root/repo/src/sim/dump.hpp \
- /root/repo/src/sim/partition.hpp
+ /usr/include/c++/12/mutex /usr/include/c++/12/span \
+ /root/repo/src/data/dataset.hpp /root/repo/src/common/aabb.hpp \
+ /root/repo/src/data/field.hpp /root/repo/src/common/error.hpp \
+ /root/repo/src/insitu/viz.hpp /root/repo/src/cluster/counters.hpp \
+ /root/repo/src/pipeline/sampler.hpp \
+ /root/repo/src/pipeline/algorithm.hpp /root/repo/src/render/camera.hpp \
+ /root/repo/src/common/mat.hpp /root/repo/src/sim/hacc_generator.hpp \
+ /root/repo/src/data/point_set.hpp /root/repo/src/sim/xrage_generator.hpp \
+ /root/repo/src/data/structured_grid.hpp /root/repo/src/core/model.hpp \
+ /root/repo/src/cluster/interconnect.hpp /root/repo/src/core/table.hpp \
+ /root/repo/src/data/serialize.hpp /root/repo/src/data/triangle_mesh.hpp \
+ /root/repo/src/insitu/socket_transport.hpp \
+ /root/repo/src/parallel/minimpi.hpp /root/repo/src/render/compositor.hpp \
+ /root/repo/src/sim/dump.hpp /root/repo/src/sim/partition.hpp

@@ -1,0 +1,61 @@
+#pragma once
+// Capped exponential backoff with deterministic jitter.
+//
+// The transport rendezvous loops (layout_file_wait, socket_connect,
+// socket_listen's accept poll) used to spin at a fixed interval; on a
+// contended machine that either burns CPU (interval too short) or adds
+// latency (too long), and synchronized retries from many ranks stampede
+// the peer. Backoff grows the wait geometrically up to a cap and
+// jitters each delay with the deterministic eth::Rng so retry storms
+// decorrelate while runs stay exactly reproducible for a fixed seed.
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace eth {
+
+class Backoff {
+public:
+  struct Options {
+    double initial_ms = 2.0;   ///< first delay
+    double max_ms = 200.0;     ///< cap on the grown delay
+    double multiplier = 2.0;   ///< geometric growth factor
+    double jitter = 0.25;      ///< +/- fraction applied to each delay
+    std::uint64_t seed = 0x0eb0ffull; ///< jitter stream (deterministic)
+  };
+
+  // Delegation (not a default argument) because GCC cannot use a nested
+  // class's member initializers in the enclosing class's default args.
+  Backoff() : Backoff(Options{}) {}
+
+  explicit Backoff(Options options)
+      : options_(options), rng_(options.seed), current_ms_(options.initial_ms) {}
+
+  /// The next delay in milliseconds (grows until the cap; jittered).
+  double next_delay_ms() {
+    const double base = current_ms_;
+    current_ms_ = std::min(options_.max_ms, current_ms_ * options_.multiplier);
+    const double spread = options_.jitter * base;
+    return std::max(0.0, base + rng_.uniform(-spread, spread));
+  }
+
+  /// Sleep for the next delay, but never past `remaining_seconds` from
+  /// now (so a retry loop wakes in time to observe its deadline).
+  void sleep(double remaining_seconds = 1e30) {
+    const double ms = std::min(next_delay_ms(), remaining_seconds * 1000.0);
+    if (ms <= 0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+
+  void reset() { current_ms_ = options_.initial_ms; }
+
+private:
+  Options options_;
+  Rng rng_;
+  double current_ms_;
+};
+
+} // namespace eth

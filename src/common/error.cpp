@@ -10,4 +10,24 @@ void require(bool condition, const std::string& message) {
 
 void fail(const std::string& message) { throw Error(message); }
 
+const char* to_string(TransportErrorCode code) {
+  switch (code) {
+    case TransportErrorCode::kConnectionRefused: return "connection-refused";
+    case TransportErrorCode::kConnectionClosed: return "connection-closed";
+    case TransportErrorCode::kTimeout: return "timeout";
+    case TransportErrorCode::kCorruptFrame: return "corrupt-frame";
+    case TransportErrorCode::kTruncated: return "truncated";
+    case TransportErrorCode::kMessageTooLarge: return "message-too-large";
+  }
+  return "?";
+}
+
+TransportError::TransportError(TransportErrorCode code, const std::string& what)
+    : Error(std::string("[") + to_string(code) + "] " + what), code_(code) {}
+
+void require_transport(bool condition, TransportErrorCode code,
+                       const std::string& message) {
+  if (!condition) throw TransportError(code, message);
+}
+
 } // namespace eth

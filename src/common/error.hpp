@@ -25,4 +25,34 @@ void require(bool condition, const std::string& message);
 /// unsupported enum values).
 [[noreturn]] void fail(const std::string& message);
 
+/// Failure taxonomy for the in-situ transport path (DESIGN.md §8).
+/// Every transport-layer failure is classified so callers can decide
+/// what is retryable (timeouts, corrupt frames) and what is fatal
+/// (oversized messages, i.e. protocol violations).
+enum class TransportErrorCode {
+  kConnectionRefused, ///< peer's port never accepted within the deadline
+  kConnectionClosed,  ///< peer closed the stream mid-message
+  kTimeout,           ///< recv deadline or rendezvous deadline elapsed
+  kCorruptFrame,      ///< frame CRC32 mismatch (payload bit damage)
+  kTruncated,         ///< frame shorter than its header promises
+  kMessageTooLarge,   ///< length prefix exceeds kMaxMessageBytes
+};
+const char* to_string(TransportErrorCode code);
+
+/// Exception thrown for classified transport failures. Derives from
+/// eth::Error so existing catch sites keep working; new code can switch
+/// on code() to pick a retry/drop/abort policy.
+class TransportError : public Error {
+public:
+  TransportError(TransportErrorCode code, const std::string& what);
+  TransportErrorCode code() const { return code_; }
+
+private:
+  TransportErrorCode code_;
+};
+
+/// Throw TransportError(code, message) when `condition` is false.
+void require_transport(bool condition, TransportErrorCode code,
+                       const std::string& message);
+
 } // namespace eth

@@ -29,6 +29,15 @@ void ExperimentSpec::validate() const {
           "ExperimentSpec: quantization bits must be 0 (off) or in [1, 24]");
   if (use_disk_proxy)
     require(!proxy_dir.empty(), "ExperimentSpec: disk proxy needs proxy_dir");
+  for (const double p : {fault.p_connect_refused, fault.p_recv_timeout,
+                         fault.p_truncate, fault.p_bit_flip, fault.p_delay})
+    require(p >= 0.0 && p <= 1.0,
+            "ExperimentSpec: fault probabilities must be in [0, 1]");
+  require(fault.delay_ms >= 0.0, "ExperimentSpec: fault delay must be >= 0");
+  require(transfer_retry.max_attempts >= 1,
+          "ExperimentSpec: transfer retry budget must be >= 1 attempt");
+  require(transfer_retry.recv_deadline_seconds > 0,
+          "ExperimentSpec: transfer recv deadline must be positive");
 }
 
 } // namespace eth

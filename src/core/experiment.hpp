@@ -15,6 +15,7 @@
 #include "cluster/machine.hpp"
 #include "cluster/timeline.hpp"
 #include "data/image.hpp"
+#include "insitu/fault.hpp"
 #include "insitu/viz.hpp"
 #include "sim/hacc_generator.hpp"
 #include "sim/xrage_generator.hpp"
@@ -56,6 +57,20 @@ struct ExperimentSpec {
   /// count and the reconstruction loss both show up in the metrics.
   int transport_quantization_bits = 0;
 
+  /// Seeded transport fault injection (DESIGN.md §8). All-zero
+  /// probabilities (the default) run the coupling unperturbed; any
+  /// non-zero probability wraps the coupling channel in a FaultInjector
+  /// whose schedule is a pure function of `fault.seed`, so two runs of
+  /// the same spec see identical faults and identical robustness
+  /// counters.
+  insitu::FaultConfig fault;
+
+  /// Delivery retry budget for the coupling hand-off: a frame whose
+  /// transfer still fails after this many attempts is dropped (the
+  /// timestep is skipped on every rank) and counted in
+  /// RunResult::robustness rather than crashing the run.
+  insitu::RetryPolicy transfer_retry;
+
   /// Route datasets through the on-disk dump/proxy cycle (Figure 3's
   /// faithful path) instead of generating in memory. Slower; used by
   /// integration tests and examples.
@@ -83,6 +98,11 @@ struct RunResult {
   double measured_cpu_seconds = 0;   ///< raw host-side kernel time
   cluster::PerfCounters counters;    ///< aggregated over all ranks
   Bytes bytes_transferred = 0;       ///< sim->viz payload (all ranks/steps)
+
+  // ----- robustness (frames sent/retried/dropped/corrupt across all
+  // ranks and timesteps; deterministic for a fixed fault seed)
+  insitu::RobustnessReport robustness;
+  Index timesteps_dropped = 0; ///< timesteps skipped after transfer loss
 
   // ----- artifacts
   /// Final composited image (last timestep, last camera) for quality

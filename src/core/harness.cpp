@@ -12,6 +12,7 @@
 #include "common/timer.hpp"
 #include "data/compression.hpp"
 #include "data/point_set.hpp"
+#include "data/serialize.hpp"
 #include "data/structured_grid.hpp"
 #include "insitu/transport.hpp"
 #include "parallel/minimpi.hpp"
@@ -139,12 +140,15 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
   std::vector<core::RankReport> reports(static_cast<std::size_t>(M));
   ImageBuffer final_image;
   Bytes transferred_total = 0;
+  insitu::RobustnessReport robustness_total;
+  Index timesteps_dropped_total = 0;
   std::mutex harness_mutex;
 
   mpi::run_world(M, [&](mpi::Comm& comm) {
     const int r = comm.rank();
     core::RankReport report;
     Bytes rank_transferred = 0;
+    insitu::RobustnessReport rank_robustness;
 
     for (Index t = 0; t < spec.timesteps; ++t) {
       // ---- 1. simulation proxy produces this modelled node's share:
@@ -188,20 +192,48 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
         // (optionally quantized: the paper's compression technique as
         // an in-situ parameter); CPU cost lands in the "transfer"
         // phase (informational) and the byte count feeds the
-        // interconnect model.
+        // interconnect model. With fault injection active, the channel
+        // ends are wrapped in FaultInjectors and delivery runs through
+        // the retry loop: a frame still failing after the budget is
+        // dropped — counted, never fatal.
         ThreadCpuTimer xfer_timer;
         auto [sim_end, viz_end] = insitu::make_inproc_channel();
-        if (spec.transport_quantization_bits > 0) {
-          sim_end->send(compress_dataset(*sim_data, spec.transport_quantization_bits));
-          viz_data = decompress_dataset(viz_end->recv());
-        } else {
-          sim_end->send_dataset(*sim_data);
-          viz_data = viz_end->recv_dataset();
+        if (spec.fault.any()) {
+          sim_end = std::make_unique<insitu::FaultInjector>(
+              std::move(sim_end), spec.fault, std::uint64_t(2 * r));
+          viz_end = std::make_unique<insitu::FaultInjector>(
+              std::move(viz_end), spec.fault, std::uint64_t(2 * r + 1));
+        }
+        const std::vector<std::uint8_t> payload =
+            spec.transport_quantization_bits > 0
+                ? compress_dataset(*sim_data, spec.transport_quantization_bits)
+                : serialize_dataset(*sim_data);
+        const auto delivered = insitu::transfer_with_retry(
+            *sim_end, *viz_end, payload, spec.transfer_retry, rank_robustness);
+        if (delivered.has_value()) {
+          viz_data = spec.transport_quantization_bits > 0
+                         ? decompress_dataset(*delivered)
+                         : deserialize_dataset(*delivered);
         }
         report.phases["transfer"].cpu_seconds += xfer_timer.elapsed();
         rank_transferred += sim_end->bytes_sent();
         report.dataset_bytes = std::max(report.dataset_bytes, Bytes(sim_end->bytes_sent()));
         sim_data.reset();
+
+        // Degrade gracefully and stay collective-consistent: if ANY
+        // rank lost this timestep's frame, every rank skips the
+        // timestep together (the viz/composite path below runs
+        // collectives, so a lone rank cannot drop out on its own).
+        const bool delivered_everywhere =
+            comm.allreduce_scalar(viz_data != nullptr ? 1.0 : 0.0,
+                                  mpi::ReduceOp::kMin) > 0.5;
+        if (!delivered_everywhere) {
+          if (r == 0) {
+            std::lock_guard<std::mutex> lock(harness_mutex);
+            ++timesteps_dropped_total;
+          }
+          continue;
+        }
       }
 
       // ---- 3. visualization proxy. All ranks must color on the same
@@ -330,11 +362,14 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
       std::lock_guard<std::mutex> lock(harness_mutex);
       reports[static_cast<std::size_t>(r)] = std::move(report);
       transferred_total += rank_transferred;
+      robustness_total.merge(rank_robustness);
     }
   });
 
   // ---- aggregate measurements and map onto the modelled machine.
   RunResult result;
+  result.robustness = robustness_total;
+  result.timesteps_dropped = timesteps_dropped_total;
   for (const core::RankReport& report : reports) {
     result.counters.merge(report.counters);
     for (const auto& [name, sample] : report.phases)
@@ -370,6 +405,21 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
   result.power_trace = power.trace;
   if (final_image.num_pixels() > 0) result.final_image = std::move(final_image);
   return result;
+}
+
+ResultTable robustness_table(const RunResult& result) {
+  ResultTable table({"frames_sent", "frames_delivered", "frames_retried",
+                     "frames_dropped", "frames_corrupt", "frames_timed_out",
+                     "timesteps_dropped"});
+  table.begin_row();
+  table.add_cell(result.robustness.frames_sent);
+  table.add_cell(result.robustness.frames_delivered);
+  table.add_cell(result.robustness.frames_retried);
+  table.add_cell(result.robustness.frames_dropped);
+  table.add_cell(result.robustness.frames_corrupt);
+  table.add_cell(result.robustness.frames_timed_out);
+  table.add_cell(result.timesteps_dropped);
+  return table;
 }
 
 } // namespace eth

@@ -18,6 +18,7 @@
 
 #include "core/experiment.hpp"
 #include "core/model.hpp"
+#include "core/table.hpp"
 
 namespace eth {
 
@@ -51,5 +52,11 @@ public:
 private:
   core::ModelOptions options_;
 };
+
+/// Tabulate a run's transport robustness counters (frames sent /
+/// delivered / retried / dropped / corrupt / timed-out plus dropped
+/// timesteps) as a one-row ResultTable — the per-run robustness report
+/// printed next to the paper's performance tables.
+ResultTable robustness_table(const RunResult& result);
 
 } // namespace eth

@@ -132,6 +132,35 @@ const std::map<std::string, Applier>& appliers() {
        [](const std::string& v, ExperimentSpec& s) {
          s.machine.host_core_speed_ratio = parse_double(v, "core_speed_ratio");
        }},
+      {"fault_seed",
+       [](const std::string& v, ExperimentSpec& s) {
+         s.fault.seed = static_cast<std::uint64_t>(parse_index(v, "fault_seed"));
+       }},
+      {"fault_bit_flip",
+       [](const std::string& v, ExperimentSpec& s) {
+         s.fault.p_bit_flip = parse_double(v, "fault_bit_flip");
+       }},
+      {"fault_truncate",
+       [](const std::string& v, ExperimentSpec& s) {
+         s.fault.p_truncate = parse_double(v, "fault_truncate");
+       }},
+      {"fault_recv_timeout",
+       [](const std::string& v, ExperimentSpec& s) {
+         s.fault.p_recv_timeout = parse_double(v, "fault_recv_timeout");
+       }},
+      {"fault_delay",
+       [](const std::string& v, ExperimentSpec& s) {
+         s.fault.p_delay = parse_double(v, "fault_delay");
+       }},
+      {"fault_delay_ms",
+       [](const std::string& v, ExperimentSpec& s) {
+         s.fault.delay_ms = parse_double(v, "fault_delay_ms");
+       }},
+      {"transfer_attempts",
+       [](const std::string& v, ExperimentSpec& s) {
+         s.transfer_retry.max_attempts =
+             static_cast<int>(parse_index(v, "transfer_attempts"));
+       }},
       {"artifact_dir",
        [](const std::string& v, ExperimentSpec& s) { s.artifact_dir = v; }},
       {"proxy_dir",
@@ -232,6 +261,13 @@ std::string experiment_config_reference() {
          "  data_scale <R>            paper/executed workload ratio\n"
          "  pixel_scale <R>\n"
          "  core_speed_ratio <R>      modelled-core / host-core speed\n"
+         "  fault_seed <N>            transport fault schedule seed\n"
+         "  fault_bit_flip <P...>     per-frame bit-flip probability\n"
+         "  fault_truncate <P...>     per-frame truncation probability\n"
+         "  fault_recv_timeout <P...> per-frame recv-timeout probability\n"
+         "  fault_delay <P>           per-frame injected-delay probability\n"
+         "  fault_delay_ms <R>        mean injected delay\n"
+         "  transfer_attempts <N>     coupling delivery retry budget\n"
          "  artifact_dir <path>       write composited PPMs\n"
          "  proxy_dir <path>          enable the disk dump/proxy cycle\n";
 }

@@ -29,4 +29,23 @@ ResultTable metrics_table(const std::string& label_column,
   return table;
 }
 
+ResultTable robustness_table(const std::string& label_column,
+                             const std::vector<SweepOutcome>& outcomes) {
+  ResultTable table({label_column, "frames_sent", "frames_delivered",
+                     "frames_retried", "frames_dropped", "frames_corrupt",
+                     "frames_timed_out", "timesteps_dropped"});
+  for (const SweepOutcome& o : outcomes) {
+    table.begin_row();
+    table.add_cell(o.label);
+    table.add_cell(o.result.robustness.frames_sent);
+    table.add_cell(o.result.robustness.frames_delivered);
+    table.add_cell(o.result.robustness.frames_retried);
+    table.add_cell(o.result.robustness.frames_dropped);
+    table.add_cell(o.result.robustness.frames_corrupt);
+    table.add_cell(o.result.robustness.frames_timed_out);
+    table.add_cell(o.result.timesteps_dropped);
+  }
+  return table;
+}
+
 } // namespace eth

@@ -52,4 +52,10 @@ std::vector<SweepPoint> sweep_over(const ExperimentSpec& base,
 ResultTable metrics_table(const std::string& label_column,
                           const std::vector<SweepOutcome>& outcomes);
 
+/// Transport robustness counters over sweep outcomes, one row per
+/// configuration (the sweep-level companion of the single-run
+/// robustness_table in core/harness.hpp).
+ResultTable robustness_table(const std::string& label_column,
+                             const std::vector<SweepOutcome>& outcomes);
+
 } // namespace eth

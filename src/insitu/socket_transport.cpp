@@ -4,14 +4,17 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <thread>
 
+#include "common/backoff.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "common/timer.hpp"
@@ -67,15 +70,59 @@ void write_all(int fd, const void* data, std::size_t n) {
   }
 }
 
-void read_all(int fd, void* data, std::size_t n) {
+/// Socket-specific writer: MSG_NOSIGNAL turns a write to a closed peer
+/// into EPIPE (classified below) instead of a process-killing SIGPIPE.
+void send_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET)
+        throw TransportError(TransportErrorCode::kConnectionClosed,
+                             "SocketTransport: peer closed the connection while writing");
+      fail(std::string("SocketTransport: send failed: ") + std::strerror(errno));
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+}
+
+/// Read exactly `n` bytes, honouring a wall-clock deadline started at
+/// `timer` construction; deadline <= 0 waits forever.
+void read_all_deadline(int fd, void* data, std::size_t n, const WallTimer& timer,
+                       double deadline_seconds) {
   char* p = static_cast<char*>(data);
   while (n > 0) {
+    if (deadline_seconds > 0) {
+      const double remaining = deadline_seconds - timer.elapsed();
+      require_transport(remaining > 0, TransportErrorCode::kTimeout,
+                        strprintf("SocketTransport: recv deadline of %.3fs elapsed "
+                                  "mid-message",
+                                  deadline_seconds));
+      pollfd pfd{fd, POLLIN, 0};
+      const int timeout_ms =
+          static_cast<int>(std::min(remaining * 1000.0 + 1.0, 3600.0 * 1000.0));
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        fail(std::string("SocketTransport: poll failed: ") + std::strerror(errno));
+      }
+      require_transport(ready > 0, TransportErrorCode::kTimeout,
+                        strprintf("SocketTransport: no data within the %.3fs recv "
+                                  "deadline",
+                                  deadline_seconds));
+    }
     const ssize_t got = ::read(fd, p, n);
     if (got < 0) {
       if (errno == EINTR) continue;
+      if (errno == ECONNRESET)
+        throw TransportError(TransportErrorCode::kConnectionClosed,
+                             "SocketTransport: connection reset mid-message");
       fail(std::string("SocketTransport: read failed: ") + std::strerror(errno));
     }
-    require(got != 0, "SocketTransport: peer closed the connection mid-message");
+    require_transport(got != 0, TransportErrorCode::kConnectionClosed,
+                      "SocketTransport: peer closed the connection mid-message");
     p += got;
     n -= static_cast<std::size_t>(got);
   }
@@ -89,31 +136,36 @@ public:
   }
 
   void send(std::vector<std::uint8_t> bytes) override {
+    check_message_length(bytes.size());
     std::uint64_t len = bytes.size();
     std::uint8_t header[8];
     for (int i = 0; i < 8; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
-    write_all(fd_.get(), header, sizeof header);
-    if (!bytes.empty()) write_all(fd_.get(), bytes.data(), bytes.size());
+    send_all(fd_.get(), header, sizeof header);
+    if (!bytes.empty()) send_all(fd_.get(), bytes.data(), bytes.size());
     sent_ += bytes.size();
   }
 
   std::vector<std::uint8_t> recv() override {
+    const WallTimer timer; // one deadline covers header + payload
     std::uint8_t header[8];
-    read_all(fd_.get(), header, sizeof header);
+    read_all_deadline(fd_.get(), header, sizeof header, timer, recv_deadline_);
     std::uint64_t len = 0;
     for (int i = 0; i < 8; ++i) len |= std::uint64_t(header[i]) << (8 * i);
-    require(len < (std::uint64_t(1) << 34),
-            "SocketTransport: implausible message length (corrupt stream?)");
+    check_message_length(len);
     std::vector<std::uint8_t> bytes(static_cast<std::size_t>(len));
-    if (len > 0) read_all(fd_.get(), bytes.data(), bytes.size());
+    if (len > 0)
+      read_all_deadline(fd_.get(), bytes.data(), bytes.size(), timer, recv_deadline_);
     return bytes;
   }
 
   Bytes bytes_sent() const override { return sent_; }
 
+  void set_recv_deadline(double seconds) override { recv_deadline_ = seconds; }
+
 private:
   Fd fd_;
   Bytes sent_ = 0;
+  double recv_deadline_ = kDefaultRecvDeadlineSeconds;
 };
 
 } // namespace
@@ -157,13 +209,17 @@ std::vector<LayoutEntry> layout_file_read(const std::string& path) {
 
 LayoutEntry layout_file_wait(const std::string& path, int rank, double timeout_seconds) {
   WallTimer timer;
-  while (timer.elapsed() < timeout_seconds) {
+  Backoff backoff({.initial_ms = 1.0, .max_ms = 50.0, .seed = 0xfee1 + std::uint64_t(rank)});
+  while (true) {
     for (const LayoutEntry& e : layout_file_read(path))
       if (e.rank == rank) return e;
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const double remaining = timeout_seconds - timer.elapsed();
+    require_transport(remaining > 0, TransportErrorCode::kTimeout,
+                      strprintf("layout_file_wait: rank %d never appeared in '%s' "
+                                "within %.1fs",
+                                rank, path.c_str(), timeout_seconds));
+    backoff.sleep(remaining);
   }
-  fail(strprintf("layout_file_wait: rank %d never appeared in '%s'", rank,
-                 path.c_str()));
 }
 
 std::unique_ptr<Transport> socket_listen(const std::string& layout_path, int rank,
@@ -187,11 +243,13 @@ std::unique_ptr<Transport> socket_listen(const std::string& layout_path, int ran
   layout_file_publish(layout_path,
                       LayoutEntry{rank, "127.0.0.1", ntohs(addr.sin_port)});
 
-  // Accept with timeout via non-blocking poll loop.
+  // Accept with timeout via non-blocking poll loop (backoff keeps the
+  // wait cheap without adding much accept latency).
   const int flags = ::fcntl(listener.get(), F_GETFL, 0);
   ::fcntl(listener.get(), F_SETFL, flags | O_NONBLOCK);
   WallTimer timer;
-  while (timer.elapsed() < timeout_seconds) {
+  Backoff backoff({.initial_ms = 0.5, .max_ms = 20.0, .seed = 0xacce + std::uint64_t(rank)});
+  while (true) {
     const int conn = ::accept(listener.get(), nullptr, nullptr);
     if (conn >= 0) {
       const int cflags = ::fcntl(conn, F_GETFL, 0);
@@ -200,17 +258,26 @@ std::unique_ptr<Transport> socket_listen(const std::string& layout_path, int ran
     }
     require(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR,
             std::string("socket_listen: accept failed: ") + std::strerror(errno));
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const double remaining = timeout_seconds - timer.elapsed();
+    require_transport(remaining > 0, TransportErrorCode::kTimeout,
+                      strprintf("socket_listen: rank %d timed out after %.1fs waiting "
+                                "for a connection",
+                                rank, timeout_seconds));
+    backoff.sleep(remaining);
   }
-  fail(strprintf("socket_listen: rank %d timed out waiting for a connection", rank));
 }
 
 std::unique_ptr<Transport> socket_connect(const std::string& layout_path, int rank,
                                           double timeout_seconds) {
+  WallTimer timer;
   const LayoutEntry entry = layout_file_wait(layout_path, rank, timeout_seconds);
 
-  WallTimer timer;
-  while (timer.elapsed() < timeout_seconds) {
+  // Capped exponential backoff with jitter between attempts: on a busy
+  // machine many viz ranks connect at once, and synchronized retries
+  // would stampede the listener's accept queue.
+  Backoff backoff({.initial_ms = 2.0, .max_ms = 200.0, .seed = 0xc0ec + std::uint64_t(rank)});
+  int last_errno = 0;
+  while (true) {
     Fd sock(::socket(AF_INET, SOCK_STREAM, 0));
     require(sock.valid(), "socket_connect: cannot create socket");
     sockaddr_in addr{};
@@ -220,10 +287,18 @@ std::unique_ptr<Transport> socket_connect(const std::string& layout_path, int ra
             "socket_connect: bad host '" + entry.host + "'");
     if (::connect(sock.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
       return std::make_unique<TcpTransport>(std::move(sock));
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    last_errno = errno;
+    const double remaining = timeout_seconds - timer.elapsed();
+    if (remaining <= 0) {
+      const auto code = last_errno == ECONNREFUSED
+                            ? TransportErrorCode::kConnectionRefused
+                            : TransportErrorCode::kTimeout;
+      throw TransportError(
+          code, strprintf("socket_connect: rank %d gave up after %.1fs (%s)", rank,
+                          timeout_seconds, std::strerror(last_errno)));
+    }
+    backoff.sleep(remaining);
   }
-  fail(strprintf("socket_connect: rank %d could not connect within %.1fs", rank,
-                 timeout_seconds));
 }
 
 } // namespace eth::insitu

@@ -13,9 +13,20 @@
 // This implementation binds loopback ephemeral ports, appends
 // "rank host port" lines to the layout file (O_APPEND, one line per
 // write, so concurrent ranks never interleave), and retries connection
-// until the peer's line appears.
+// until the peer's line appears. All rendezvous polling (layout-file
+// wait, connect retry, accept) uses capped exponential backoff with
+// deterministic jitter (common/backoff.hpp) instead of fixed-interval
+// spinning, and every deadline expiry or stream failure raises a
+// classified TransportError (common/error.hpp) rather than a hang or a
+// generic exception.
 //
-// Wire format: u64 little-endian length + payload, per message.
+// Wire format: u64 little-endian length + message bytes. Length
+// prefixes above kMaxMessageBytes are rejected as kMessageTooLarge —
+// an implausible length means a corrupt or desynchronized stream.
+// Integrity-checked traffic additionally wraps each message in the
+// CRC32 frame of transport.hpp (send_framed/send_dataset). Receives
+// observe the transport's recv deadline (set_recv_deadline) so a dead
+// peer raises kTimeout instead of blocking forever.
 
 #include <memory>
 #include <string>

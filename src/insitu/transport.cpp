@@ -1,16 +1,98 @@
 #include "insitu/transport.hpp"
 
+#include <chrono>
+
+#include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 #include "data/serialize.hpp"
 
 namespace eth::insitu {
 
-void Transport::send_dataset(const DataSet& ds) { send(serialize_dataset(ds)); }
+// ------------------------------------------------------------- framing
+
+void check_message_length(std::uint64_t length) {
+  require_transport(length <= kMaxMessageBytes, TransportErrorCode::kMessageTooLarge,
+                    strprintf("message length %llu exceeds kMaxMessageBytes (%llu)",
+                              static_cast<unsigned long long>(length),
+                              static_cast<unsigned long long>(kMaxMessageBytes)));
+}
+
+namespace {
+
+void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32_le(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(in[at + std::size_t(i)]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64_le(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(in[at + std::size_t(i)]) << (8 * i);
+  return v;
+}
+
+} // namespace
+
+std::vector<std::uint8_t> frame_encode(std::span<const std::uint8_t> payload) {
+  check_message_length(payload.size());
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  put_u32_le(frame, kFrameMagic);
+  put_u32_le(frame, crc32(payload));
+  put_u64_le(frame, payload.size());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::vector<std::uint8_t> frame_decode(std::span<const std::uint8_t> frame) {
+  require_transport(frame.size() >= kFrameHeaderBytes, TransportErrorCode::kTruncated,
+                    strprintf("frame of %zu bytes is shorter than the %zu-byte header",
+                              frame.size(), kFrameHeaderBytes));
+  require_transport(get_u32_le(frame, 0) == kFrameMagic,
+                    TransportErrorCode::kCorruptFrame, "frame magic mismatch");
+  const std::uint32_t expected_crc = get_u32_le(frame, 4);
+  const std::uint64_t length = get_u64_le(frame, 8);
+  check_message_length(length);
+  require_transport(frame.size() - kFrameHeaderBytes >= length,
+                    TransportErrorCode::kTruncated,
+                    strprintf("frame promises %llu payload bytes but carries %zu",
+                              static_cast<unsigned long long>(length),
+                              frame.size() - kFrameHeaderBytes));
+  require_transport(frame.size() - kFrameHeaderBytes == length,
+                    TransportErrorCode::kCorruptFrame,
+                    "frame carries trailing bytes past its declared payload");
+  const auto payload = frame.subspan(kFrameHeaderBytes, length);
+  require_transport(crc32(payload) == expected_crc, TransportErrorCode::kCorruptFrame,
+                    "frame CRC32 mismatch (payload damaged in transit)");
+  return std::vector<std::uint8_t>(payload.begin(), payload.end());
+}
+
+void Transport::send_framed(std::span<const std::uint8_t> payload) {
+  send(frame_encode(payload));
+}
+
+std::vector<std::uint8_t> Transport::recv_framed() { return frame_decode(recv()); }
+
+void Transport::send_dataset(const DataSet& ds) {
+  const std::vector<std::uint8_t> bytes = serialize_dataset(ds);
+  send_framed(bytes);
+}
 
 std::unique_ptr<DataSet> Transport::recv_dataset() {
-  const std::vector<std::uint8_t> bytes = recv();
+  const std::vector<std::uint8_t> bytes = recv_framed();
   return deserialize_dataset(bytes);
 }
+
+// ----------------------------------------------------- in-proc channel
 
 namespace {
 
@@ -29,10 +111,21 @@ struct Pipe {
     arrived.notify_one();
   }
 
-  std::vector<std::uint8_t> pop() {
+  std::vector<std::uint8_t> pop(double deadline_seconds) {
     std::unique_lock<std::mutex> lock(mutex);
-    arrived.wait(lock, [this] { return !queue.empty() || closed; });
-    require(!queue.empty(), "InProcChannel: peer endpoint destroyed while receiving");
+    const auto ready = [this] { return !queue.empty() || closed; };
+    if (deadline_seconds > 0) {
+      const bool woke = arrived.wait_for(
+          lock, std::chrono::duration<double>(deadline_seconds), ready);
+      require_transport(woke, TransportErrorCode::kTimeout,
+                        strprintf("InProcChannel: no message within the %.3fs "
+                                  "recv deadline",
+                                  deadline_seconds));
+    } else {
+      arrived.wait(lock, ready);
+    }
+    require_transport(!queue.empty(), TransportErrorCode::kConnectionClosed,
+                      "InProcChannel: peer endpoint destroyed while receiving");
     std::vector<std::uint8_t> bytes = std::move(queue.front());
     queue.pop_front();
     return bytes;
@@ -61,14 +154,17 @@ public:
     out_->push(std::move(bytes));
   }
 
-  std::vector<std::uint8_t> recv() override { return in_->pop(); }
+  std::vector<std::uint8_t> recv() override { return in_->pop(recv_deadline_); }
 
   Bytes bytes_sent() const override { return sent_; }
+
+  void set_recv_deadline(double seconds) override { recv_deadline_ = seconds; }
 
 private:
   std::shared_ptr<Pipe> out_;
   std::shared_ptr<Pipe> in_;
   Bytes sent_ = 0;
+  double recv_deadline_ = kDefaultRecvDeadlineSeconds;
 };
 
 } // namespace

@@ -11,20 +11,61 @@
 //                      layout file, opens its port and waits; the
 //                      visualization proxy polls the layout file, then
 //                      connects (socket_transport.hpp).
+//  * FaultInjector   - a decorator over either, injecting a seeded,
+//                      reproducible schedule of transport faults
+//                      (fault.hpp).
 //
-// Both move the same length-prefixed serialized-dataset messages, so
-// coupling strategy is a pure configuration switch.
+// Both endpoints move the same length-prefixed messages, so coupling
+// strategy is a pure configuration switch. Message integrity is handled
+// one layer up: send_framed()/recv_framed() wrap every payload in a
+// CRC32-checksummed frame (see kFrameMagic below), so corruption on
+// EITHER transport is detected at the framing layer and classified as
+// TransportError{kCorruptFrame} instead of surfacing as a crash inside
+// the deserializer. Raw send()/recv() stay available for callers that
+// do their own integrity handling (and for fault injection, which must
+// damage bytes BELOW the checksum).
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "data/dataset.hpp"
 
 namespace eth::insitu {
+
+// ------------------------------------------------------------- framing
+
+/// Upper bound on a single message's payload (16 GiB). A length prefix
+/// above this is a protocol violation — almost certainly a corrupt or
+/// desynchronized stream — and is rejected as
+/// TransportError{kMessageTooLarge} before any allocation is attempted.
+/// The largest legitimate payload (a full-node HACC share with every
+/// field) is two orders of magnitude below this.
+inline constexpr std::uint64_t kMaxMessageBytes = std::uint64_t(1) << 34;
+
+/// Frame header magic ("ETHF", little-endian).
+inline constexpr std::uint32_t kFrameMagic = 0x46485445u;
+
+/// Frame layout: u32 magic | u32 crc32(payload) | u64 payload length |
+/// payload bytes.
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// Throw TransportError{kMessageTooLarge} when a length prefix exceeds
+/// kMaxMessageBytes (lengths equal to the limit are accepted).
+void check_message_length(std::uint64_t length);
+
+/// Wrap `payload` in a checksummed frame.
+std::vector<std::uint8_t> frame_encode(std::span<const std::uint8_t> payload);
+
+/// Validate and strip the frame header. Throws TransportError:
+/// kTruncated when the buffer is shorter than the header promises,
+/// kCorruptFrame on magic/CRC mismatch, kMessageTooLarge on an
+/// implausible length.
+std::vector<std::uint8_t> frame_decode(std::span<const std::uint8_t> frame);
 
 /// Bidirectional message endpoint.
 class Transport {
@@ -34,13 +75,26 @@ public:
   /// Send a raw message (blocking until enqueued/written).
   virtual void send(std::vector<std::uint8_t> bytes) = 0;
 
-  /// Receive the next message (blocking).
+  /// Receive the next message (blocking, subject to the recv deadline).
   virtual std::vector<std::uint8_t> recv() = 0;
 
-  /// Total payload bytes moved through send() on this endpoint.
+  /// Total wire bytes moved through send() on this endpoint (includes
+  /// frame headers for framed traffic).
   virtual Bytes bytes_sent() const = 0;
 
-  // Dataset convenience wrappers over data/serialize.
+  /// Cap how long recv() may block before raising
+  /// TransportError{kTimeout}; <= 0 means wait forever. Transports
+  /// start with kDefaultRecvDeadlineSeconds so a dead peer can never
+  /// hang a run indefinitely.
+  virtual void set_recv_deadline(double seconds) = 0;
+
+  static constexpr double kDefaultRecvDeadlineSeconds = 60.0;
+
+  // CRC-framed wrappers over the raw byte interface.
+  void send_framed(std::span<const std::uint8_t> payload);
+  std::vector<std::uint8_t> recv_framed();
+
+  // Dataset convenience wrappers over data/serialize (framed).
   void send_dataset(const DataSet& ds);
   std::unique_ptr<DataSet> recv_dataset();
 };

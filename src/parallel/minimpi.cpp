@@ -1,6 +1,7 @@
 #include "parallel/minimpi.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -36,20 +37,26 @@ public:
   explicit Barrier(int parties) : parties_(parties) {}
 
   /// Returns false when the group was aborted while waiting.
-  bool arrive_and_wait(const bool& aborted) {
+  bool arrive_and_wait(const std::atomic<bool>& aborted) {
     std::unique_lock<std::mutex> lock(mutex_);
     const long gen = generation_;
     if (++waiting_ == parties_) {
       waiting_ = 0;
       ++generation_;
       released_.notify_all();
-      return !aborted;
+      return !aborted.load();
     }
-    released_.wait(lock, [&] { return generation_ != gen || aborted; });
-    return !aborted;
+    released_.wait(lock, [&] { return generation_ != gen || aborted.load(); });
+    return !aborted.load();
   }
 
-  void wake_all() { released_.notify_all(); }
+  void wake_all() {
+    // Lock-then-notify: a waiter between its predicate check and the
+    // wait still holds the mutex, so acquiring it here guarantees the
+    // notification cannot slip into that window and be lost.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    released_.notify_all();
+  }
 
 private:
   std::mutex mutex_;
@@ -79,12 +86,18 @@ public:
   }
 
   void abort() {
-    aborted_ = true;
-    for (auto& inbox : inboxes_) inbox->arrived.notify_all();
+    aborted_.store(true);
+    // Same lock-then-notify handshake as Barrier::wake_all: a receiver
+    // that has tested the flag but not yet entered wait holds its inbox
+    // mutex, so briefly taking it orders this store before the wait.
+    for (auto& inbox : inboxes_) {
+      { std::lock_guard<std::mutex> lock(inbox->mutex); }
+      inbox->arrived.notify_all();
+    }
     barrier_.wake_all();
   }
 
-  bool aborted() const { return aborted_; }
+  bool aborted() const { return aborted_.load(); }
 
   void deliver(bool internal, int src, int dst, int tag,
                std::span<const std::uint8_t> bytes) {
@@ -142,7 +155,7 @@ private:
   int size_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   Barrier barrier_;
-  bool aborted_ = false;
+  std::atomic<bool> aborted_{false};
 
   std::mutex split_mutex_;
   std::map<std::pair<long, int>, std::shared_ptr<GroupState>> split_groups_;

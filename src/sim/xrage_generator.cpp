@@ -153,9 +153,14 @@ std::unique_ptr<StructuredGrid> generate_xrage_block(const XrageParams& p, Vec3i
   const Vec3f origin{spacing_val * Real(lo.x), spacing_val * Real(lo.y),
                      spacing_val * Real(lo.z)};
   auto grid = std::make_unique<StructuredGrid>(dims, origin, spacing);
-  Field& temperature = grid->add_scalar_field("temperature");
-  Field& density = grid->add_scalar_field("density");
-  Field& pressure = grid->add_scalar_field("pressure");
+  // Add all fields before taking references: each add may reallocate
+  // the collection's storage, invalidating references taken earlier.
+  grid->add_scalar_field("temperature");
+  grid->add_scalar_field("density");
+  grid->add_scalar_field("pressure");
+  Field& temperature = grid->point_fields().get("temperature");
+  Field& density = grid->point_fields().get("density");
+  Field& pressure = grid->point_fields().get("pressure");
 
   // Impact geometry: strike point on the "ground" (y = 0 plane) at the
   // domain's x/z center. The shock radius grows with sqrt(t) (Sedov-

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
+#include "insitu/transport.hpp"
 
 namespace eth {
 namespace {
@@ -134,6 +136,98 @@ TEST(SerializeDataset, TriangleMeshWithoutNormals) {
   const auto bytes = serialize_dataset(m);
   const auto restored = deserialize_dataset(bytes);
   EXPECT_FALSE(static_cast<const TriangleMesh&>(*restored).has_normals());
+}
+
+// ---------------------------------------------------- property tests
+// Randomized round trips: serialize(deserialize(bytes)) must reproduce
+// `bytes` exactly for arbitrary datasets, and any single-byte damage to
+// a framed message must be caught by the transport frame checksum.
+
+Field random_field(Rng& rng, const std::string& name, Index tuples) {
+  const int components = 1 + int(rng.uniform_index(3));
+  Field f(name, tuples, components);
+  for (Index t = 0; t < tuples; ++t)
+    for (int c = 0; c < components; ++c) f.set(t, c, Real(rng.uniform(-1e6, 1e6)));
+  return f;
+}
+
+TEST(SerializeProperty, RandomPointSetsRoundTripByteExact) {
+  Rng rng(1001);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Index n = 1 + Index(rng.uniform_index(64));
+    PointSet ps(n);
+    for (Index i = 0; i < n; ++i)
+      ps.set_position(i, rng.point_in_box({-5, -5, -5}, {5, 5, 5}));
+    const int num_fields = int(rng.uniform_index(3));
+    for (int f = 0; f < num_fields; ++f)
+      ps.point_fields().add(random_field(rng, "f" + std::to_string(f), n));
+
+    const auto bytes = serialize_dataset(ps);
+    const auto restored = deserialize_dataset(bytes);
+    EXPECT_EQ(serialize_dataset(*restored), bytes) << "trial " << trial;
+  }
+}
+
+TEST(SerializeProperty, RandomStructuredGridsRoundTripByteExact) {
+  Rng rng(1002);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec3i dims{Index(1 + rng.uniform_index(6)), Index(1 + rng.uniform_index(6)),
+                     Index(1 + rng.uniform_index(6))};
+    StructuredGrid g(dims, rng.point_in_box({-2, -2, -2}, {2, 2, 2}),
+                     rng.point_in_box({0.1f, 0.1f, 0.1f}, {2, 2, 2}));
+    const int num_fields = 1 + int(rng.uniform_index(2));
+    for (int f = 0; f < num_fields; ++f)
+      g.point_fields().add(random_field(rng, "f" + std::to_string(f), g.num_points()));
+
+    const auto bytes = serialize_dataset(g);
+    const auto restored = deserialize_dataset(bytes);
+    EXPECT_EQ(serialize_dataset(*restored), bytes) << "trial " << trial;
+  }
+}
+
+TEST(SerializeProperty, RandomTriangleMeshesRoundTripByteExact) {
+  Rng rng(1003);
+  for (int trial = 0; trial < 20; ++trial) {
+    TriangleMesh m;
+    const Index verts = 3 + Index(rng.uniform_index(40));
+    const bool with_normals = rng.bernoulli(0.5);
+    for (Index v = 0; v < verts; ++v) {
+      const Vec3f p = rng.point_in_box({-1, -1, -1}, {1, 1, 1});
+      if (with_normals)
+        m.add_vertex(p, rng.unit_vector());
+      else
+        m.add_vertex(p);
+    }
+    const Index tris = 1 + Index(rng.uniform_index(60));
+    for (Index t = 0; t < tris; ++t)
+      m.add_triangle(Index(rng.uniform_index(std::uint64_t(verts))),
+                     Index(rng.uniform_index(std::uint64_t(verts))),
+                     Index(rng.uniform_index(std::uint64_t(verts))));
+    if (rng.bernoulli(0.5))
+      m.point_fields().add(random_field(rng, "scalar", verts));
+
+    const auto bytes = serialize_dataset(m);
+    const auto restored = deserialize_dataset(bytes);
+    EXPECT_EQ(serialize_dataset(*restored), bytes) << "trial " << trial;
+  }
+}
+
+TEST(SerializeProperty, AnySingleByteCorruptionIsCaughtByFrameChecksum) {
+  // Frame a serialized dataset and damage one byte anywhere — header or
+  // payload, any bit pattern. The framing layer must always classify
+  // the damage as a TransportError; it never hands corrupt bytes to the
+  // deserializer.
+  const auto payload = serialize_dataset(make_point_set());
+  const auto frame = insitu::frame_encode(payload);
+  ASSERT_EQ(insitu::frame_decode(frame), payload); // intact frame passes
+  Rng rng(1004);
+  for (int trial = 0; trial < 128; ++trial) {
+    auto damaged = frame;
+    const std::size_t pos = std::size_t(rng.uniform_index(damaged.size()));
+    damaged[pos] ^= std::uint8_t(1 + rng.uniform_index(255));
+    EXPECT_THROW(insitu::frame_decode(damaged), TransportError)
+        << "corruption at byte " << pos << " escaped the checksum";
+  }
 }
 
 TEST(SerializeDataset, CorruptMagicThrows) {

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <thread>
+#include <unistd.h>
 
 #include "common/error.hpp"
 #include "data/point_set.hpp"
@@ -14,7 +15,10 @@ namespace {
 class SocketTest : public ::testing::Test {
 protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "eth_socket_test";
+    // Per-process directory: ctest runs each test as its own process,
+    // possibly in parallel, so a shared path would race with TearDown.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("eth_socket_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
     layout_ = (dir_ / "layout.txt").string();
     std::filesystem::remove(layout_);

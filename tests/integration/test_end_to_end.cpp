@@ -8,9 +8,13 @@
 
 #include <filesystem>
 #include <thread>
+#include <unistd.h>
 
+#include "common/timer.hpp"
 #include "core/harness.hpp"
 #include "data/point_set.hpp"
+#include "data/serialize.hpp"
+#include "insitu/fault.hpp"
 #include "insitu/socket_transport.hpp"
 #include "insitu/viz.hpp"
 #include "parallel/minimpi.hpp"
@@ -26,7 +30,10 @@ namespace {
 class EndToEndTest : public ::testing::Test {
 protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "eth_e2e";
+    // Per-process directory: ctest runs each test as its own process,
+    // possibly in parallel, so a shared path would race with TearDown.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("eth_e2e_" + std::to_string(::getpid()));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }
@@ -111,6 +118,54 @@ TEST_F(EndToEndTest, InternodeSocketPipelineMatchesInProcess) {
 
   const auto direct = insitu::run_viz_rank(*data, cfg, camera);
   EXPECT_DOUBLE_EQ(image_rmse(via_socket, direct.images[0]), 0.0);
+}
+
+TEST_F(EndToEndTest, InternodeSocketSurvivesCorruptFrameAndDisconnect) {
+  // Robustness over the real TCP path: the sim proxy streams one good
+  // frame, one bit-damaged frame, then disconnects mid-run. The viz
+  // side must finish the run — the good frame delivered, the corrupt
+  // frame counted dropped, the disconnect classified — with no hang.
+  const std::string layout_path = (dir_ / "layout.txt").string();
+  sim::HaccParams params;
+  params.num_particles = 500;
+  const auto data = sim::generate_hacc(params);
+  const auto payload = serialize_dataset(*data);
+
+  const WallTimer timer;
+  std::thread sim_proxy([&] {
+    auto transport = insitu::socket_listen(layout_path, 0, 15.0);
+    transport->send_framed(payload);
+    auto corrupt = insitu::frame_encode(payload);
+    corrupt[insitu::kFrameHeaderBytes + 3] ^= 0x40; // damage below the CRC
+    transport->send(std::move(corrupt));
+    // Destroying the transport here is the mid-run disconnect: the
+    // receiver still expects more timesteps.
+  });
+
+  insitu::RobustnessReport report;
+  Index datasets_received = 0;
+  std::thread viz_proxy([&] {
+    auto transport = insitu::socket_connect(layout_path, 0, 15.0);
+    transport->set_recv_deadline(10.0);
+    bool closed = false;
+    while (!closed) {
+      const auto frame = insitu::recv_framed_tolerant(*transport, report, &closed);
+      if (!frame.has_value()) continue;
+      const auto restored = deserialize_dataset(*frame);
+      ASSERT_EQ(restored->kind(), DataSetKind::kPointSet);
+      EXPECT_EQ(static_cast<const PointSet&>(*restored).num_points(),
+                data->num_points());
+      ++datasets_received;
+    }
+  });
+  sim_proxy.join();
+  viz_proxy.join();
+
+  EXPECT_EQ(datasets_received, 1);
+  EXPECT_EQ(report.frames_delivered, 1);
+  EXPECT_EQ(report.frames_corrupt, 1);
+  EXPECT_EQ(report.frames_dropped, 2); // the corrupt frame + the disconnect
+  EXPECT_LT(timer.elapsed(), 15.0);    // survived, and without hanging
 }
 
 TEST_F(EndToEndTest, CouplingStrategiesAgreeOnTheImage) {

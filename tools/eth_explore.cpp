@@ -64,6 +64,19 @@ int main(int argc, char** argv) {
 
     const ResultTable table = metrics_table("configuration", outcomes);
     std::printf("\n%s", table.to_text().c_str());
+
+    // A faulted run that silently dropped frames must not look like a
+    // clean one: surface the robustness counters whenever faults were
+    // configured or any frame needed more than one attempt.
+    bool show_robustness = false;
+    for (std::size_t i = 0; i < points.size() && i < outcomes.size(); ++i) {
+      const auto& r = outcomes[i].result.robustness;
+      if (points[i].spec.fault.any() || r.frames_retried > 0 ||
+          r.frames_dropped > 0 || r.frames_corrupt > 0 || r.frames_timed_out > 0)
+        show_robustness = true;
+    }
+    if (show_robustness)
+      std::printf("\n%s", robustness_table("configuration", outcomes).to_text().c_str());
     if (!csv_path.empty()) {
       table.save_csv(csv_path);
       std::printf("(csv written to %s)\n", csv_path.c_str());
