@@ -9,6 +9,7 @@
 // and mergeable across ranks.
 
 #include <string>
+#include <vector>
 
 #include "common/timer.hpp"
 #include "common/types.hpp"
@@ -42,6 +43,29 @@ struct PerfCounters {
 
   /// Multi-line human-readable dump ("counter: value" per line).
   std::string summary() const;
+};
+
+/// Per-worker counter slots for parallel kernels. Each chunk of a
+/// parallel_for_chunks loop accumulates into its own slot (no sharing,
+/// so no data races for TSan to flag); merge_into() folds the slots
+/// into the kernel's aggregate in ascending chunk order at the join,
+/// which keeps the aggregate bit-identical at every thread count.
+class CounterShards {
+public:
+  explicit CounterShards(Index n_chunks)
+      : shards_(static_cast<std::size_t>(n_chunks)) {}
+
+  PerfCounters& at(Index chunk) {
+    return shards_[static_cast<std::size_t>(chunk)];
+  }
+
+  /// Fold every shard into `into`, in slot order.
+  void merge_into(PerfCounters& into) const {
+    for (const PerfCounters& shard : shards_) into.merge(shard);
+  }
+
+private:
+  std::vector<PerfCounters> shards_;
 };
 
 } // namespace eth::cluster

@@ -16,6 +16,7 @@
 #include "data/structured_grid.hpp"
 #include "insitu/transport.hpp"
 #include "parallel/minimpi.hpp"
+#include "parallel/thread_pool.hpp"
 #include "render/compositor.hpp"
 #include "sim/dump.hpp"
 
@@ -307,8 +308,13 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
           view_order_indices.resize(static_cast<std::size_t>(M));
           std::iota(view_order_indices.begin(), view_order_indices.end(),
                     std::size_t(0));
+          // Equal view distances (symmetric partitions) tie-break on
+          // rank so the blend order — and therefore the composited
+          // image — never depends on the sort implementation.
           std::sort(view_order_indices.begin(), view_order_indices.end(),
-                    [&](std::size_t a, std::size_t b) { return dists[a] < dists[b]; });
+                    [&](std::size_t a, std::size_t b) {
+                      return dists[a] != dists[b] ? dists[a] < dists[b] : a < b;
+                    });
         }
       }
 
@@ -319,7 +325,9 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
         report.counters.bytes_communicated += packed.size();
         if (r != 0) continue;
 
-        ThreadCpuTimer comp_timer;
+        // KernelTimer: the compositors fan out over the thread pool, and
+        // rank 0 must be charged for the worker-executed pixel chunks.
+        KernelTimer comp_timer;
         ImageBuffer merged;
         if (ordered_alpha) {
           std::vector<ImageBuffer> partials;
@@ -332,12 +340,16 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
           alpha_composite_premultiplied(partials, view_order_indices, merged,
                                         report.counters);
         } else {
-          merged = std::move(viz_out.images[img]);
-          for (int src = 1; src < M; ++src) {
-            const ImageBuffer partial =
-                unpack_image(gathered[static_cast<std::size_t>(src)]);
-            depth_composite_pair(merged, partial, report.counters);
-          }
+          // Pairwise reduction tree in ascending rank order: bit-
+          // identical to the sequential rank-order fold (ties resolve
+          // to the lower rank) but with log2(M) parallel levels.
+          std::vector<ImageBuffer> partials;
+          partials.reserve(static_cast<std::size_t>(M));
+          partials.push_back(std::move(viz_out.images[img]));
+          for (int src = 1; src < M; ++src)
+            partials.push_back(unpack_image(gathered[static_cast<std::size_t>(src)]));
+          depth_composite_tree(partials, report.counters);
+          merged = std::move(partials[0]);
         }
         auto& comp_phase = report.phases["composite"];
         comp_phase.cpu_seconds += comp_timer.elapsed();

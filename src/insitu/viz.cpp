@@ -7,6 +7,7 @@
 #include "data/point_set.hpp"
 #include "data/structured_grid.hpp"
 #include "data/triangle_mesh.hpp"
+#include "parallel/thread_pool.hpp"
 #include "pipeline/isosurface.hpp"
 #include "pipeline/slice.hpp"
 #include "render/colormap.hpp"
@@ -108,7 +109,10 @@ VizRankOutput run_particle(const DataSet& data, const VizConfig& cfg,
     ImageBuffer image(cfg.image_width, cfg.image_height);
     image.clear();
 
-    ThreadCpuTimer timer;
+    // KernelTimer, not ThreadCpuTimer: the renderers below fan out over
+    // the pool, and cycles their chunks burn on worker threads must be
+    // charged to this rank's "render" phase.
+    KernelTimer timer;
     switch (cfg.algorithm) {
       case VizAlgorithm::kRaycastSpheres:
         raycaster.render_spheres(points, camera, image, ray_opts, out.counters);
@@ -219,7 +223,8 @@ VizRankOutput run_volume(const DataSet& data, const VizConfig& cfg,
     ImageBuffer image(cfg.image_width, cfg.image_height);
     image.clear();
 
-    ThreadCpuTimer render_timer;
+    // KernelTimer: charge worker-executed render chunks to this rank.
+    KernelTimer render_timer;
     if (cfg.algorithm == VizAlgorithm::kVtkGeometry) {
       MeshRenderOptions iso_opts;
       iso_opts.colormap = nullptr;

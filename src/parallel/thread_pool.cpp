@@ -1,16 +1,37 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 
 namespace eth {
 
+namespace {
+
+// Identifies the pool (if any) whose worker is running the current
+// thread, so nested parallel loops degrade to inline execution instead
+// of deadlocking on submit-and-wait from inside a worker.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+// CPU seconds workers executed on behalf of this thread (see
+// borrowed_cpu_seconds() in the header). Written only by the owning
+// thread, after its loops join.
+thread_local double t_borrowed_cpu = 0;
+
+} // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  if (threads == 0) threads = default_thread_count();
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this] {
+      t_worker_pool = this;
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -37,6 +58,8 @@ void ThreadPool::wait_idle() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
+
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
@@ -55,10 +78,83 @@ void ThreadPool::worker_loop() {
   }
 }
 
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("ETH_THREADS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n > 0 && n <= 4096)
+      return static_cast<unsigned>(n);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+namespace {
+std::atomic<ThreadPool*> g_pool_override{nullptr};
+} // namespace
+
 ThreadPool& global_pool() {
+  if (ThreadPool* override_pool = g_pool_override.load(std::memory_order_acquire))
+    return *override_pool;
   static ThreadPool pool;
   return pool;
 }
+
+void set_global_pool(ThreadPool* pool) {
+  g_pool_override.store(pool, std::memory_order_release);
+}
+
+double borrowed_cpu_seconds() { return t_borrowed_cpu; }
+
+KernelTimer::KernelTimer()
+    : cpu_start_(ThreadCpuTimer::now()), borrowed_start_(t_borrowed_cpu) {}
+
+double KernelTimer::elapsed() const {
+  return (ThreadCpuTimer::now() - cpu_start_) + (t_borrowed_cpu - borrowed_start_);
+}
+
+namespace {
+
+/// Shared fan-out/join for both loop flavors: runs `chunks` tasks on the
+/// pool, collects the lowest-index exception and the tasks' summed
+/// thread-CPU seconds, blocks until all finish, and credits the CPU
+/// seconds to the caller's borrowed-CPU accumulator. `run(c)` executes
+/// chunk c's body.
+void run_chunks_on_pool(ThreadPool& pool, Index chunks,
+                        const std::function<void(Index)>& run) {
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  Index remaining = chunks;
+  double cpu_total = 0;
+  std::exception_ptr first_error;
+  Index first_error_chunk = -1;
+  for (Index c = 0; c < chunks; ++c) {
+    pool.submit([&, c] {
+      const ThreadCpuTimer chunk_timer;
+      std::exception_ptr error;
+      try {
+        run(c);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const double chunk_cpu = chunk_timer.elapsed();
+      std::lock_guard<std::mutex> lock(done_mutex);
+      cpu_total += chunk_cpu;
+      if (error && (first_error_chunk < 0 || c < first_error_chunk)) {
+        first_error = error;
+        first_error_chunk = c;
+      }
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  t_borrowed_cpu += cpu_total;
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+} // namespace
 
 void parallel_for(ThreadPool& pool, Index begin, Index end, Index grain,
                   const std::function<void(Index, Index)>& fn) {
@@ -67,34 +163,54 @@ void parallel_for(ThreadPool& pool, Index begin, Index end, Index grain,
 
   const Index n = end - begin;
   const Index workers = static_cast<Index>(pool.size());
-  // Inline when chunking cannot help: tiny range or single worker.
-  if (workers <= 1 || n <= grain) {
+  // Inline when chunking cannot help (tiny range, single worker) or
+  // must not happen (already on a worker of this pool: a nested
+  // submit-and-wait could deadlock with every worker blocked waiting).
+  if (workers <= 1 || n <= grain || pool.on_worker_thread()) {
     fn(begin, end);
     return;
   }
 
   const Index chunks = std::min(workers * 4, (n + grain - 1) / grain);
   const Index chunk_size = (n + chunks - 1) / chunks;
+  const Index live_chunks = (n + chunk_size - 1) / chunk_size;
 
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  Index remaining = 0;
-  for (Index c = 0; c < chunks; ++c) {
+  run_chunks_on_pool(pool, live_chunks, [&](Index c) {
     const Index b = begin + c * chunk_size;
-    if (b >= end) break;
     const Index e = std::min(b + chunk_size, end);
-    {
-      std::lock_guard<std::mutex> lock(done_mutex);
-      ++remaining;
+    fn(b, e);
+  });
+}
+
+Index plan_chunks(Index n, Index grain, Index max_chunks) {
+  require(grain > 0, "plan_chunks: grain must be positive");
+  require(max_chunks > 0, "plan_chunks: max_chunks must be positive");
+  if (n <= 0) return 1;
+  return std::min(max_chunks, (n + grain - 1) / grain);
+}
+
+void parallel_for_chunks(ThreadPool& pool, Index begin, Index end, Index n_chunks,
+                         const std::function<void(Index, Index, Index)>& fn) {
+  require(n_chunks > 0, "parallel_for_chunks: n_chunks must be positive");
+  if (begin >= end) return;
+  const Index n = end - begin;
+
+  // Chunk c covers [begin + n*c/n_chunks, begin + n*(c+1)/n_chunks) — a
+  // pure function of the range, identical at every thread count.
+  const auto chunk_begin = [&](Index c) { return begin + n * c / n_chunks; };
+
+  if (pool.size() <= 1 || pool.on_worker_thread()) {
+    for (Index c = 0; c < n_chunks; ++c) {
+      const Index b = chunk_begin(c), e = chunk_begin(c + 1);
+      if (b < e) fn(c, b, e);
     }
-    pool.submit([&, b, e] {
-      fn(b, e);
-      std::lock_guard<std::mutex> lock(done_mutex);
-      if (--remaining == 0) done_cv.notify_one();
-    });
+    return;
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining == 0; });
+
+  run_chunks_on_pool(pool, n_chunks, [&](Index c) {
+    const Index b = chunk_begin(c), e = chunk_begin(c + 1);
+    if (b < e) fn(c, b, e);
+  });
 }
 
 } // namespace eth

@@ -1,7 +1,7 @@
 #include "pipeline/algorithm.hpp"
 
 #include "common/error.hpp"
-#include "common/timer.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace eth {
 
@@ -37,7 +37,10 @@ std::shared_ptr<const DataSet> Algorithm::update() {
     require(input != nullptr, "Algorithm::update: filter has no input connected");
 
   if (dirty_) {
-    ThreadCpuTimer timer;
+    // KernelTimer: filters fan their cell/point loops out over the
+    // thread pool; worker-executed chunks must still be charged to this
+    // rank's phase.
+    KernelTimer timer;
     output_ = execute(input.get(), counters_);
     require(output_ != nullptr, "Algorithm::execute returned null output");
     counters_.phases.add(phase_name(), timer.elapsed());

@@ -1,9 +1,11 @@
 #include "pipeline/gaussian_splatter.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "data/point_set.hpp"
 #include "data/structured_grid.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace eth {
 
@@ -46,32 +48,77 @@ std::unique_ptr<DataSet> GaussianSplatterFilter::execute(
   const Real cutoff = 3 * sigma; // truncate the footprint at 3 sigma
   const Real inv_2s2 = Real(1) / (2 * sigma * sigma);
 
+  // Voxel range the truncated kernel touches. The floor/ceil result is
+  // clamped in FLOATING POINT before the integer cast: a point far
+  // outside the grid (or a huge cutoff) produces values beyond the
+  // representable Index range, and float->int conversion of such values
+  // is undefined behavior. Clamping to [0, d-1] first keeps the cast
+  // in-range for any finite input.
+  const auto lo_i = [&](Real x, Real o, Real s, Index d) {
+    const Real t = std::floor((x - cutoff - o) / s);
+    return static_cast<Index>(clamp(t, Real(0), Real(d - 1)));
+  };
+  const auto hi_i = [&](Real x, Real o, Real s, Index d) {
+    const Real t = std::ceil((x + cutoff - o) / s);
+    return static_cast<Index>(clamp(t, Real(0), Real(d - 1)));
+  };
+
+  // Point-parallel scatter through per-chunk accumulation grids: every
+  // chunk splats its contiguous point range into a private density
+  // array (no write sharing), and the chunks are reduced per voxel in
+  // ascending chunk order afterwards. The chunk count is a pure
+  // function of the input size — never the thread count — so the
+  // float-addition order, and therefore the output field, is
+  // bit-identical at any thread count. Chunk count is also capped so
+  // the private grids stay within ~128 MB.
+  const Index n = ps.num_points();
+  const std::size_t n_voxels = static_cast<std::size_t>(grid->num_points());
+  const Index max_grids = std::max<Index>(
+      1, Index(32) * 1024 * 1024 / std::max<Index>(1, grid->num_points()));
+  const Index n_chunks = plan_chunks(n, 1024, std::min<Index>(16, max_grids));
+  std::vector<std::vector<Real>> partial(static_cast<std::size_t>(n_chunks));
+  std::vector<Index> chunk_updates(static_cast<std::size_t>(n_chunks), 0);
+
+  parallel_for_chunks(0, n, n_chunks, [&](Index c, Index b, Index e) {
+    std::vector<Real>& acc = partial[static_cast<std::size_t>(c)];
+    acc.assign(n_voxels, Real(0));
+    Index updates = 0;
+    for (Index pi = b; pi < e; ++pi) {
+      const Vec3f p = ps.position(pi);
+      const Index i0 = lo_i(p.x, box.lo.x, spacing.x, dims.x);
+      const Index i1 = hi_i(p.x, box.lo.x, spacing.x, dims.x);
+      const Index j0 = lo_i(p.y, box.lo.y, spacing.y, dims.y);
+      const Index j1 = hi_i(p.y, box.lo.y, spacing.y, dims.y);
+      const Index k0 = lo_i(p.z, box.lo.z, spacing.z, dims.z);
+      const Index k1 = hi_i(p.z, box.lo.z, spacing.z, dims.z);
+      for (Index k = k0; k <= k1; ++k)
+        for (Index j = j0; j <= j1; ++j)
+          for (Index i = i0; i <= i1; ++i) {
+            const Vec3f g = grid->point_position(i, j, k);
+            const Real d2 = length2(g - p);
+            if (d2 > cutoff * cutoff) continue;
+            const Index idx = grid->point_index(i, j, k);
+            acc[static_cast<std::size_t>(idx)] += std::exp(-d2 * inv_2s2);
+            ++updates;
+          }
+    }
+    chunk_updates[static_cast<std::size_t>(c)] = updates;
+  });
+
+  // Voxel-parallel ordered reduction: each voxel sums its chunk
+  // contributions in ascending chunk order, independent of how the
+  // voxel range itself is partitioned across threads.
+  parallel_for(0, grid->num_points(), 8192, [&](Index v0, Index v1) {
+    for (Index v = v0; v < v1; ++v) {
+      Real sum = 0;
+      for (Index c = 0; c < n_chunks; ++c)
+        sum += partial[static_cast<std::size_t>(c)][static_cast<std::size_t>(v)];
+      density.set(v, sum);
+    }
+  });
+
   Index voxel_updates = 0;
-  for (const Vec3f p : ps.positions()) {
-    // Voxel range the truncated kernel touches.
-    const auto lo_i = [&](Real x, Real o, Real s, Index d) {
-      return clamp<Index>(static_cast<Index>(std::floor((x - cutoff - o) / s)), 0, d - 1);
-    };
-    const auto hi_i = [&](Real x, Real o, Real s, Index d) {
-      return clamp<Index>(static_cast<Index>(std::ceil((x + cutoff - o) / s)), 0, d - 1);
-    };
-    const Index i0 = lo_i(p.x, box.lo.x, spacing.x, dims.x);
-    const Index i1 = hi_i(p.x, box.lo.x, spacing.x, dims.x);
-    const Index j0 = lo_i(p.y, box.lo.y, spacing.y, dims.y);
-    const Index j1 = hi_i(p.y, box.lo.y, spacing.y, dims.y);
-    const Index k0 = lo_i(p.z, box.lo.z, spacing.z, dims.z);
-    const Index k1 = hi_i(p.z, box.lo.z, spacing.z, dims.z);
-    for (Index k = k0; k <= k1; ++k)
-      for (Index j = j0; j <= j1; ++j)
-        for (Index i = i0; i <= i1; ++i) {
-          const Vec3f g = grid->point_position(i, j, k);
-          const Real d2 = length2(g - p);
-          if (d2 > cutoff * cutoff) continue;
-          const Index idx = grid->point_index(i, j, k);
-          density.set(idx, density.get(idx) + std::exp(-d2 * inv_2s2));
-          ++voxel_updates;
-        }
-  }
+  for (const Index u : chunk_updates) voxel_updates += u;
 
   counters.elements_processed += ps.num_points();
   counters.bytes_read += ps.byte_size();

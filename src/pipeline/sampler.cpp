@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "data/point_set.hpp"
 #include "data/structured_grid.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace eth {
 
@@ -130,20 +131,28 @@ std::unique_ptr<DataSet> SpatialSampler::sample_grid(
   const Vec3f nspacing = grid.spacing() * Real(stride);
   auto out = std::make_unique<StructuredGrid>(nd, grid.origin(), nspacing);
 
+  // Slab-parallel gather: every output point is written by exactly one
+  // k-slab chunk and its value is independent of the partition, so the
+  // downsampled grid is bit-identical at any thread count. (Point
+  // sampling above stays serial: Bernoulli/stratified modes consume a
+  // sequential RNG stream whose draws cannot be split without changing
+  // which points are selected.)
   for (std::size_t f = 0; f < grid.point_fields().size(); ++f) {
     const Field& src = grid.point_fields().at(f);
     Field& dst = out->point_fields().add(
         Field(src.name(), out->num_points(), src.components(), src.association()));
-    for (Index k = 0; k < nd.z; ++k)
-      for (Index j = 0; j < nd.y; ++j)
-        for (Index i = 0; i < nd.x; ++i) {
-          const Index si = std::min(i * stride, d.x - 1);
-          const Index sj = std::min(j * stride, d.y - 1);
-          const Index sk = std::min(k * stride, d.z - 1);
-          const Index s = grid.point_index(si, sj, sk);
-          const Index dsti = out->point_index(i, j, k);
-          for (int c = 0; c < src.components(); ++c) dst.set(dsti, c, src.get(s, c));
-        }
+    parallel_for(0, nd.z, 1, [&](Index k0, Index k1) {
+      for (Index k = k0; k < k1; ++k)
+        for (Index j = 0; j < nd.y; ++j)
+          for (Index i = 0; i < nd.x; ++i) {
+            const Index si = std::min(i * stride, d.x - 1);
+            const Index sj = std::min(j * stride, d.y - 1);
+            const Index sk = std::min(k * stride, d.z - 1);
+            const Index s = grid.point_index(si, sj, sk);
+            const Index dsti = out->point_index(i, j, k);
+            for (int c = 0; c < src.components(); ++c) dst.set(dsti, c, src.get(s, c));
+          }
+    });
   }
 
   counters.elements_processed += grid.num_points();

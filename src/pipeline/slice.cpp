@@ -1,9 +1,11 @@
 #include "pipeline/slice.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "data/structured_grid.hpp"
 #include "data/triangle_mesh.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace eth {
 
@@ -90,18 +92,39 @@ std::unique_ptr<DataSet> SlicePlaneExtractor::execute(const DataSet* input,
 
   // Vertex lattice: positions on the plane, kept when inside the
   // (slightly inflated) box; quads with all 4 corners kept are emitted.
+  // The field sampling — the hot part — is row-parallel: each chunk of
+  // lattice rows collects its kept vertices into a private list, and
+  // the lists are appended to the mesh in ascending chunk order, which
+  // reproduces the exact vertex ids the serial row-major loop assigns.
   const AABB keep_box = box.inflated(step * Real(0.5));
   std::vector<Index> vertex_id(static_cast<std::size_t>(nu * nv), -1);
-  for (Index jv = 0; jv < nv; ++jv)
-    for (Index iu = 0; iu < nu; ++iu) {
-      const Real pu = ulo + (uhi - ulo) * Real(iu) / Real(nu - 1);
-      const Real pv = vlo + (vhi - vlo) * Real(jv) / Real(nv - 1);
-      const Vec3f p = plane_center + u * pu + v * pv;
-      if (!keep_box.contains(p)) continue;
-      const Index id = mesh->add_vertex(p, normal_);
+
+  struct LatticeVertex {
+    Index flat;  ///< jv * nu + iu
+    Vec3f p;
+    Real scalar;
+  };
+  const Index n_rows = nv;
+  const Index n_chunks = plan_chunks(n_rows, 4);
+  std::vector<std::vector<LatticeVertex>> chunk_verts(
+      static_cast<std::size_t>(n_chunks));
+  parallel_for_chunks(0, n_rows, n_chunks, [&](Index c, Index jv0, Index jv1) {
+    std::vector<LatticeVertex>& verts = chunk_verts[static_cast<std::size_t>(c)];
+    for (Index jv = jv0; jv < jv1; ++jv)
+      for (Index iu = 0; iu < nu; ++iu) {
+        const Real pu = ulo + (uhi - ulo) * Real(iu) / Real(nu - 1);
+        const Real pv = vlo + (vhi - vlo) * Real(jv) / Real(nv - 1);
+        const Vec3f p = plane_center + u * pu + v * pv;
+        if (!keep_box.contains(p)) continue;
+        verts.push_back({jv * nu + iu, p, grid.sample(field, p)});
+      }
+  });
+  for (const auto& verts : chunk_verts)
+    for (const LatticeVertex& lv : verts) {
+      const Index id = mesh->add_vertex(lv.p, normal_);
       scalars.resize(id + 1);
-      scalars.set(id, grid.sample(field, p));
-      vertex_id[static_cast<std::size_t>(jv * nu + iu)] = id;
+      scalars.set(id, lv.scalar);
+      vertex_id[static_cast<std::size_t>(lv.flat)] = id;
     }
 
   for (Index jv = 0; jv + 1 < nv; ++jv)

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "data/point_set.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace eth {
 
@@ -25,12 +26,21 @@ std::unique_ptr<DataSet> ThresholdFilter::execute(const DataSet* input,
   const auto& ps = static_cast<const PointSet&>(*input);
   const Field& field = ps.point_fields().get(field_name_);
 
-  std::vector<Index> keep;
+  // Chunk-parallel predicate evaluation; per-chunk keep lists are
+  // concatenated in ascending chunk order, reproducing the serial scan
+  // exactly (chunks are contiguous ascending index ranges).
   const Index n = ps.num_points();
-  for (Index i = 0; i < n; ++i) {
-    const Real v = field.get(i);
-    if (v >= lower_ && v <= upper_) keep.push_back(i);
-  }
+  const Index n_chunks = plan_chunks(n, 4096);
+  std::vector<std::vector<Index>> chunk_keep(static_cast<std::size_t>(n_chunks));
+  parallel_for_chunks(0, n, n_chunks, [&](Index c, Index b, Index e) {
+    std::vector<Index>& local = chunk_keep[static_cast<std::size_t>(c)];
+    for (Index i = b; i < e; ++i) {
+      const Real v = field.get(i);
+      if (v >= lower_ && v <= upper_) local.push_back(i);
+    }
+  });
+  std::vector<Index> keep;
+  for (const auto& local : chunk_keep) keep.insert(keep.end(), local.begin(), local.end());
 
   counters.elements_processed += n;
   counters.bytes_read += ps.byte_size();

@@ -16,12 +16,29 @@
 
 namespace eth {
 
-/// Depth-composite `partials` into `out` (all same size). Order
-/// independent. `out` should start cleared to the background.
+/// Depth-composite `partials` into `out` (all same size). `out` should
+/// start cleared to the background. Tie-breaking is deterministic:
+/// where several partials share the winning depth, the LOWEST partial
+/// index wins (ranks composite in rank order, so lower rank wins) — the
+/// same pixel therefore resolves identically regardless of schedule or
+/// thread count.
 void depth_composite(std::span<const ImageBuffer> partials, ImageBuffer& out,
                      cluster::PerfCounters& counters);
 
+/// Pairwise-reduction-tree variant: merges `partials` down to
+/// `partials[0]` in ceil(log2 N) levels, with the pair merges of each
+/// level running in parallel on the thread pool. The merge operation
+/// (nearest depth wins, tie -> lower partial index) is associative, and
+/// every pair merge keeps the lower-index side on the destination, so
+/// the tree composites bit-identically to the sequential fold — and to
+/// itself under any worker schedule. `partials` is consumed (merged in
+/// place) to avoid copying full framebuffers at every level.
+void depth_composite_tree(std::vector<ImageBuffer>& partials,
+                          cluster::PerfCounters& counters);
+
 /// Merge `src` into `dst` in place by depth test (binary-swap step).
+/// Equal depths keep `dst`: callers must keep the lower rank/index on
+/// the destination side so ties resolve to the lower rank everywhere.
 void depth_composite_pair(ImageBuffer& dst, const ImageBuffer& src,
                           cluster::PerfCounters& counters);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace eth {
 
@@ -39,6 +40,80 @@ Vec4f shade(Vec3f normal, Vec3f to_eye, Vec4f base, Real ambient, bool two_sided
   return {base.x * lit, base.y * lit, base.z * lit, base.w};
 }
 
+// ---------------------------------------------------------------------------
+// Tiled rasterization scaffolding.
+//
+// All three raster paths (triangles, point blocks, splats) share the
+// same parallel structure: (1) a primitive-parallel projection pass
+// writing each primitive's screen footprint into its own slot, (2) a
+// cheap serial binning pass that assigns primitive indices to the
+// screen tiles their footprint overlaps — ascending primitive order is
+// preserved per tile — and (3) a tile-parallel fill pass where every
+// tile owns a disjoint pixel rectangle of the shared framebuffer (its
+// slice of the z-buffer). Because pixel ownership is exclusive and each
+// tile replays its primitives in the same ascending order the serial
+// loop used, every per-pixel depth-test sequence is identical to the
+// serial one, and the image is bit-identical at any thread count.
+
+constexpr Index kTileSize = 64;
+
+struct ScreenTiling {
+  Index width = 0, height = 0, tiles_x = 0, tiles_y = 0;
+
+  ScreenTiling(Index w, Index h)
+      : width(w), height(h), tiles_x((w + kTileSize - 1) / kTileSize),
+        tiles_y((h + kTileSize - 1) / kTileSize) {}
+
+  Index num_tiles() const { return tiles_x * tiles_y; }
+  Index x_begin(Index tile) const { return (tile % tiles_x) * kTileSize; }
+  Index y_begin(Index tile) const { return (tile / tiles_x) * kTileSize; }
+  Index x_end(Index tile) const { return std::min(width, x_begin(tile) + kTileSize); }
+  Index y_end(Index tile) const { return std::min(height, y_begin(tile) + kTileSize); }
+};
+
+/// Bin primitives into tiles by their clamped screen bounding rectangle
+/// [x_lo, x_hi] x [y_lo, y_hi]. `bounds(i)` returns false to skip a
+/// primitive (culled / invalid). Serial on purpose: the pass is a few
+/// pushes per primitive and keeping it single-threaded preserves
+/// ascending primitive order within every bin for free.
+template <typename BoundsFn>
+std::vector<std::vector<Index>> bin_primitives(const ScreenTiling& tiling, Index n,
+                                               BoundsFn&& bounds) {
+  std::vector<std::vector<Index>> bins(static_cast<std::size_t>(tiling.num_tiles()));
+  Index x_lo, x_hi, y_lo, y_hi;
+  for (Index i = 0; i < n; ++i) {
+    if (!bounds(i, x_lo, x_hi, y_lo, y_hi)) continue;
+    const Index tx0 = x_lo / kTileSize, tx1 = x_hi / kTileSize;
+    const Index ty0 = y_lo / kTileSize, ty1 = y_hi / kTileSize;
+    for (Index ty = ty0; ty <= ty1; ++ty)
+      for (Index tx = tx0; tx <= tx1; ++tx)
+        bins[static_cast<std::size_t>(ty * tiling.tiles_x + tx)].push_back(i);
+  }
+  return bins;
+}
+
+/// Run `fill(tile, x0, x1, y0, y1)` over all tiles on the pool, chunked
+/// deterministically. The fill's pixel writes are confined to the
+/// tile's rectangle, so tiles never alias.
+template <typename FillFn>
+void for_each_tile(const ScreenTiling& tiling, FillFn&& fill) {
+  const Index n_tiles = tiling.num_tiles();
+  const Index n_chunks = plan_chunks(n_tiles, 1);
+  parallel_for_chunks(0, n_tiles, n_chunks, [&](Index, Index t0, Index t1) {
+    for (Index tile = t0; tile < t1; ++tile)
+      fill(tile, tiling.x_begin(tile), tiling.x_end(tile), tiling.y_begin(tile),
+           tiling.y_end(tile));
+  });
+}
+
+struct ProjectedTriangle {
+  ScreenVertex a, b, c;
+  Vec3f pa, pb, pc; ///< world positions (headlight shading)
+  Real inv_area = 0;
+  Index x_lo = 0, x_hi = 0, y_lo = 0, y_hi = 0;
+  bool valid = false;
+};
+
 } // namespace
 
 void RasterRenderer::render_mesh(const TriangleMesh& mesh, const Camera& camera,
@@ -56,66 +131,107 @@ void RasterRenderer::render_mesh(const TriangleMesh& mesh, const Camera& camera,
     return scalars != nullptr ? scalars->get(v) : Real(0);
   };
   const bool smooth = mesh.has_normals();
-
   const Index nt = mesh.num_triangles();
-  Index pixels_shaded = 0;
-  for (Index t = 0; t < nt; ++t) {
-    Index ia, ib, ic;
-    mesh.triangle(t, ia, ib, ic);
-    const Vec3f pa = mesh.vertices()[static_cast<std::size_t>(ia)];
-    const Vec3f pb = mesh.vertices()[static_cast<std::size_t>(ib)];
-    const Vec3f pc = mesh.vertices()[static_cast<std::size_t>(ic)];
-    const Vec3f face_n = smooth ? Vec3f{} : mesh.face_normal(t);
-    const Vec3f na = smooth ? mesh.normals()[static_cast<std::size_t>(ia)] : face_n;
-    const Vec3f nb = smooth ? mesh.normals()[static_cast<std::size_t>(ib)] : face_n;
-    const Vec3f nc = smooth ? mesh.normals()[static_cast<std::size_t>(ic)] : face_n;
 
-    const ScreenVertex a =
-        project_vertex(camera, view_proj, pa, na, vertex_scalar(ia), width, height);
-    const ScreenVertex b =
-        project_vertex(camera, view_proj, pb, nb, vertex_scalar(ib), width, height);
-    const ScreenVertex c =
-        project_vertex(camera, view_proj, pc, nc, vertex_scalar(ic), width, height);
-    // Near-plane clipping is not implemented; triangles crossing the
-    // near plane are dropped (framed experiment cameras keep data well
-    // inside the frustum).
-    if (!a.valid || !b.valid || !c.valid) continue;
+  // Pass 1: primitive-parallel projection into per-triangle slots.
+  std::vector<ProjectedTriangle> tris(static_cast<std::size_t>(nt));
+  parallel_for(0, nt, 512, [&](Index t_begin, Index t_end) {
+    for (Index t = t_begin; t < t_end; ++t) {
+      ProjectedTriangle& pt = tris[static_cast<std::size_t>(t)];
+      Index ia, ib, ic;
+      mesh.triangle(t, ia, ib, ic);
+      pt.pa = mesh.vertices()[static_cast<std::size_t>(ia)];
+      pt.pb = mesh.vertices()[static_cast<std::size_t>(ib)];
+      pt.pc = mesh.vertices()[static_cast<std::size_t>(ic)];
+      const Vec3f face_n = smooth ? Vec3f{} : mesh.face_normal(t);
+      const Vec3f na = smooth ? mesh.normals()[static_cast<std::size_t>(ia)] : face_n;
+      const Vec3f nb = smooth ? mesh.normals()[static_cast<std::size_t>(ib)] : face_n;
+      const Vec3f nc = smooth ? mesh.normals()[static_cast<std::size_t>(ic)] : face_n;
 
-    // Signed doubled area of the screen triangle; degenerate -> skip.
-    const Real area = (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
-    if (std::abs(area) < Real(1e-12)) continue;
-    const Real inv_area = Real(1) / area;
+      pt.a = project_vertex(camera, view_proj, pt.pa, na, vertex_scalar(ia), width,
+                            height);
+      pt.b = project_vertex(camera, view_proj, pt.pb, nb, vertex_scalar(ib), width,
+                            height);
+      pt.c = project_vertex(camera, view_proj, pt.pc, nc, vertex_scalar(ic), width,
+                            height);
+      // Near-plane clipping is not implemented; triangles crossing the
+      // near plane are dropped (framed experiment cameras keep data well
+      // inside the frustum).
+      if (!pt.a.valid || !pt.b.valid || !pt.c.valid) continue;
 
-    const auto x_lo = std::max<Index>(0, static_cast<Index>(std::floor(std::min({a.x, b.x, c.x}))));
-    const auto x_hi = std::min<Index>(width - 1, static_cast<Index>(std::ceil(std::max({a.x, b.x, c.x}))));
-    const auto y_lo = std::max<Index>(0, static_cast<Index>(std::floor(std::min({a.y, b.y, c.y}))));
-    const auto y_hi = std::min<Index>(height - 1, static_cast<Index>(std::ceil(std::max({a.y, b.y, c.y}))));
+      // Signed doubled area of the screen triangle; degenerate -> skip.
+      const Real area = (pt.b.x - pt.a.x) * (pt.c.y - pt.a.y) -
+                        (pt.c.x - pt.a.x) * (pt.b.y - pt.a.y);
+      if (std::abs(area) < Real(1e-12)) continue;
+      pt.inv_area = Real(1) / area;
 
-    for (Index py = y_lo; py <= y_hi; ++py) {
-      for (Index px = x_lo; px <= x_hi; ++px) {
-        const Real fx = Real(px) + Real(0.5), fy = Real(py) + Real(0.5);
-        // Barycentric weights via edge functions.
-        const Real w0 = ((b.x - fx) * (c.y - fy) - (c.x - fx) * (b.y - fy)) * inv_area;
-        const Real w1 = ((c.x - fx) * (a.y - fy) - (a.x - fx) * (c.y - fy)) * inv_area;
-        const Real w2 = Real(1) - w0 - w1;
-        if (w0 < 0 || w1 < 0 || w2 < 0) continue;
+      pt.x_lo = std::max<Index>(
+          0, static_cast<Index>(std::floor(std::min({pt.a.x, pt.b.x, pt.c.x}))));
+      pt.x_hi = std::min<Index>(
+          width - 1, static_cast<Index>(std::ceil(std::max({pt.a.x, pt.b.x, pt.c.x}))));
+      pt.y_lo = std::max<Index>(
+          0, static_cast<Index>(std::floor(std::min({pt.a.y, pt.b.y, pt.c.y}))));
+      pt.y_hi = std::min<Index>(
+          height - 1, static_cast<Index>(std::ceil(std::max({pt.a.y, pt.b.y, pt.c.y}))));
+      pt.valid = pt.x_lo <= pt.x_hi && pt.y_lo <= pt.y_hi;
+    }
+  });
 
-        const Real depth = w0 * a.depth + w1 * b.depth + w2 * c.depth;
-        const Vec3f normal = a.normal * w0 + b.normal * w1 + c.normal * w2;
-        Vec4f base = options.uniform_color;
-        if (scalars != nullptr) {
-          const Real s = w0 * a.scalar + w1 * b.scalar + w2 * c.scalar;
-          base = options.colormap->map(s);
+  // Pass 2: serial binning (ascending triangle order per tile).
+  const ScreenTiling tiling(width, height);
+  const auto bins = bin_primitives(
+      tiling, nt, [&](Index t, Index& x_lo, Index& x_hi, Index& y_lo, Index& y_hi) {
+        const ProjectedTriangle& pt = tris[static_cast<std::size_t>(t)];
+        if (!pt.valid) return false;
+        x_lo = pt.x_lo;
+        x_hi = pt.x_hi;
+        y_lo = pt.y_lo;
+        y_hi = pt.y_hi;
+        return true;
+      });
+
+  // Pass 3: tile-parallel fill with per-tile shaded-pixel tallies.
+  std::vector<Index> tile_shaded(static_cast<std::size_t>(tiling.num_tiles()), 0);
+  for_each_tile(tiling, [&](Index tile, Index tx0, Index tx1, Index ty0, Index ty1) {
+    Index shaded = 0;
+    for (const Index t : bins[static_cast<std::size_t>(tile)]) {
+      const ProjectedTriangle& pt = tris[static_cast<std::size_t>(t)];
+      const ScreenVertex &a = pt.a, &b = pt.b, &c = pt.c;
+      const Real inv_area = pt.inv_area;
+      const Index py_lo = std::max(pt.y_lo, ty0), py_hi = std::min(pt.y_hi, ty1 - 1);
+      const Index px_lo = std::max(pt.x_lo, tx0), px_hi = std::min(pt.x_hi, tx1 - 1);
+      for (Index py = py_lo; py <= py_hi; ++py) {
+        for (Index px = px_lo; px <= px_hi; ++px) {
+          const Real fx = Real(px) + Real(0.5), fy = Real(py) + Real(0.5);
+          // Barycentric weights via edge functions.
+          const Real w0 =
+              ((b.x - fx) * (c.y - fy) - (c.x - fx) * (b.y - fy)) * inv_area;
+          const Real w1 =
+              ((c.x - fx) * (a.y - fy) - (a.x - fx) * (c.y - fy)) * inv_area;
+          const Real w2 = Real(1) - w0 - w1;
+          if (w0 < 0 || w1 < 0 || w2 < 0) continue;
+
+          const Real depth = w0 * a.depth + w1 * b.depth + w2 * c.depth;
+          const Vec3f normal = a.normal * w0 + b.normal * w1 + c.normal * w2;
+          Vec4f base = options.uniform_color;
+          if (scalars != nullptr) {
+            const Real s = w0 * a.scalar + w1 * b.scalar + w2 * c.scalar;
+            base = options.colormap->map(s);
+          }
+          // Headlight shading: light from the eye.
+          const Vec3f world =
+              pt.pa * w0 + pt.pb * w1 + pt.pc * w2; // affine approx, fine at these fovs
+          const Vec4f color = shade(normal, camera.eye() - world, base,
+                                    options.ambient, options.two_sided);
+          if (image.depth_test_set(px, py, color, depth)) ++shaded;
         }
-        // Headlight shading: light from the eye.
-        const Vec3f world =
-            pa * w0 + pb * w1 + pc * w2; // affine approx, fine at these fovs
-        const Vec4f color =
-            shade(normal, camera.eye() - world, base, options.ambient, options.two_sided);
-        if (image.depth_test_set(px, py, color, depth)) ++pixels_shaded;
       }
     }
-  }
+    tile_shaded[static_cast<std::size_t>(tile)] = shaded;
+  });
+
+  Index pixels_shaded = 0;
+  for (const Index s : tile_shaded) pixels_shaded += s;
 
   counters.primitives_emitted += nt;
   counters.elements_processed += nt;
@@ -123,6 +239,17 @@ void RasterRenderer::render_mesh(const TriangleMesh& mesh, const Camera& camera,
   counters.flop_estimate += double(nt) * 90.0 + double(pixels_shaded) * 25.0;
   counters.max_parallel_items = std::max(counters.max_parallel_items, nt);
 }
+
+namespace {
+
+struct ProjectedPoint {
+  Vec4f color;
+  Real depth = 0;
+  Index x_lo = 0, x_hi = 0, y_lo = 0, y_hi = 0;
+  bool valid = false;
+};
+
+} // namespace
 
 void RasterRenderer::render_points(const PointSet& points, const Camera& camera,
                                    ImageBuffer& image, const PointRenderOptions& options,
@@ -139,37 +266,61 @@ void RasterRenderer::render_points(const PointSet& points, const Camera& camera,
 
   const int half_lo = options.point_size / 2;
   const int half_hi = (options.point_size - 1) / 2;
-
   const Index n = points.num_points();
-  for (Index i = 0; i < n; ++i) {
-    const Vec3f p = points.position(i);
-    const Vec4f clip = view_proj * Vec4f{p.x, p.y, p.z, 1};
-    if (clip.w <= Real(0)) continue;
-    const Real inv_w = Real(1) / clip.w;
-    const Real sx = (clip.x * inv_w * Real(0.5) + Real(0.5)) * Real(width);
-    const Real sy = (Real(0.5) - clip.y * inv_w * Real(0.5)) * Real(height);
-    const Real depth = camera.eye_depth(p);
-    if (depth <= camera.znear()) continue;
 
-    // The straightforward generic-mapper path: the fixed-size block is
-    // written pixel by pixel through the depth test, resolving the
-    // scalar through the lookup table per fragment — the per-element
-    // overhead VTK's generic point pipeline carries, and the
-    // "implementation quality" gap the paper observes between this
-    // method and the optimized splatter (Finding 1's discussion).
-    const auto cx = static_cast<Index>(sx);
-    const auto cy = static_cast<Index>(sy);
-    for (Index py = cy - half_lo; py <= cy + half_hi; ++py) {
-      if (py < 0 || py >= height) continue;
-      for (Index px = cx - half_lo; px <= cx + half_hi; ++px) {
-        if (px < 0 || px >= width) continue;
-        const Vec4f color = scalars != nullptr
-                                ? options.colormap->map(scalars->get(i))
-                                : options.uniform_color;
-        image.depth_test_set(px, py, color, depth);
-      }
+  // The straightforward generic-mapper path: the fixed-size block is
+  // written pixel by pixel through the depth test, resolving the
+  // scalar through the lookup table per element — the per-element
+  // overhead VTK's generic point pipeline carries, and the
+  // "implementation quality" gap the paper observes between this
+  // method and the optimized splatter (Finding 1's discussion).
+  std::vector<ProjectedPoint> pts(static_cast<std::size_t>(n));
+  parallel_for(0, n, 2048, [&](Index i_begin, Index i_end) {
+    for (Index i = i_begin; i < i_end; ++i) {
+      ProjectedPoint& pp = pts[static_cast<std::size_t>(i)];
+      const Vec3f p = points.position(i);
+      const Vec4f clip = view_proj * Vec4f{p.x, p.y, p.z, 1};
+      if (clip.w <= Real(0)) continue;
+      const Real inv_w = Real(1) / clip.w;
+      const Real sx = (clip.x * inv_w * Real(0.5) + Real(0.5)) * Real(width);
+      const Real sy = (Real(0.5) - clip.y * inv_w * Real(0.5)) * Real(height);
+      pp.depth = camera.eye_depth(p);
+      if (pp.depth <= camera.znear()) continue;
+
+      const auto cx = static_cast<Index>(sx);
+      const auto cy = static_cast<Index>(sy);
+      pp.x_lo = std::max<Index>(0, cx - half_lo);
+      pp.x_hi = std::min<Index>(width - 1, cx + half_hi);
+      pp.y_lo = std::max<Index>(0, cy - half_lo);
+      pp.y_hi = std::min<Index>(height - 1, cy + half_hi);
+      pp.color = scalars != nullptr ? options.colormap->map(scalars->get(i))
+                                    : options.uniform_color;
+      pp.valid = pp.x_lo <= pp.x_hi && pp.y_lo <= pp.y_hi;
     }
-  }
+  });
+
+  const ScreenTiling tiling(width, height);
+  const auto bins = bin_primitives(
+      tiling, n, [&](Index i, Index& x_lo, Index& x_hi, Index& y_lo, Index& y_hi) {
+        const ProjectedPoint& pp = pts[static_cast<std::size_t>(i)];
+        if (!pp.valid) return false;
+        x_lo = pp.x_lo;
+        x_hi = pp.x_hi;
+        y_lo = pp.y_lo;
+        y_hi = pp.y_hi;
+        return true;
+      });
+
+  for_each_tile(tiling, [&](Index tile, Index tx0, Index tx1, Index ty0, Index ty1) {
+    for (const Index i : bins[static_cast<std::size_t>(tile)]) {
+      const ProjectedPoint& pp = pts[static_cast<std::size_t>(i)];
+      const Index py_lo = std::max(pp.y_lo, ty0), py_hi = std::min(pp.y_hi, ty1 - 1);
+      const Index px_lo = std::max(pp.x_lo, tx0), px_hi = std::min(pp.x_hi, tx1 - 1);
+      for (Index py = py_lo; py <= py_hi; ++py)
+        for (Index px = px_lo; px <= px_hi; ++px)
+          image.depth_test_set(px, py, pp.color, pp.depth);
+    }
+  });
 
   counters.elements_processed += n;
   counters.primitives_emitted += n;
@@ -177,6 +328,17 @@ void RasterRenderer::render_points(const PointSet& points, const Camera& camera,
   counters.flop_estimate += double(n) * 40.0;
   counters.max_parallel_items = std::max(counters.max_parallel_items, n);
 }
+
+namespace {
+
+struct ProjectedSplat {
+  Vec4f base;
+  Real sx = 0, sy = 0, depth = 0, inv_radius = 0;
+  Index x_lo = 0, x_hi = 0, y_lo = 0, y_hi = 0;
+  bool valid = false;
+};
+
+} // namespace
 
 void RasterRenderer::render_splats(const PointSet& points, const Camera& camera,
                                    ImageBuffer& image, const SplatRenderOptions& options,
@@ -208,58 +370,88 @@ void RasterRenderer::render_splats(const PointSet& points, const Camera& camera,
 
   // World-radius to pixel-radius conversion at unit depth.
   const Real proj_scale = Real(height) / (2 * std::tan(camera.fovy() / 2));
-
   const Index n = points.num_points();
-  Index pixels_shaded = 0;
-  for (Index i = 0; i < n; ++i) {
-    const Vec3f p = points.position(i);
-    const Vec4f clip = view_proj * Vec4f{p.x, p.y, p.z, 1};
-    if (clip.w <= Real(0)) continue;
-    const Real inv_w = Real(1) / clip.w;
-    const Real sx = (clip.x * inv_w * Real(0.5) + Real(0.5)) * Real(width);
-    const Real sy = (Real(0.5) - clip.y * inv_w * Real(0.5)) * Real(height);
-    const Real depth = camera.eye_depth(p);
-    if (depth <= camera.znear()) continue;
 
-    // Perspective-correct pixel radius, clamped.
-    int pix_radius = static_cast<int>(radius * proj_scale / depth);
-    pix_radius = std::min(pix_radius, options.max_pixel_radius);
-    if (pix_radius < 1) pix_radius = 1;
-    const Real inv_radius = Real(1) / Real(pix_radius);
+  std::vector<ProjectedSplat> splats(static_cast<std::size_t>(n));
+  parallel_for(0, n, 2048, [&](Index i_begin, Index i_end) {
+    for (Index i = i_begin; i < i_end; ++i) {
+      ProjectedSplat& sp = splats[static_cast<std::size_t>(i)];
+      const Vec3f p = points.position(i);
+      const Vec4f clip = view_proj * Vec4f{p.x, p.y, p.z, 1};
+      if (clip.w <= Real(0)) continue;
+      const Real inv_w = Real(1) / clip.w;
+      sp.sx = (clip.x * inv_w * Real(0.5) + Real(0.5)) * Real(width);
+      sp.sy = (Real(0.5) - clip.y * inv_w * Real(0.5)) * Real(height);
+      sp.depth = camera.eye_depth(p);
+      if (sp.depth <= camera.znear()) continue;
 
-    // Per-point color computed once; the inner loop only scales it.
-    const Vec4f base = scalars != nullptr ? options.colormap->map(scalars->get(i))
-                                          : options.uniform_color;
+      // Perspective-correct pixel radius, clamped.
+      int pix_radius = static_cast<int>(radius * proj_scale / sp.depth);
+      pix_radius = std::min(pix_radius, options.max_pixel_radius);
+      if (pix_radius < 1) pix_radius = 1;
+      sp.inv_radius = Real(1) / Real(pix_radius);
 
-    const auto cx = static_cast<Index>(sx);
-    const auto cy = static_cast<Index>(sy);
-    const Index y0 = std::max<Index>(0, cy - pix_radius);
-    const Index y1 = std::min<Index>(height - 1, cy + pix_radius);
-    const Index x0 = std::max<Index>(0, cx - pix_radius);
-    const Index x1 = std::min<Index>(width - 1, cx + pix_radius);
+      // Per-point color computed once; the inner loop only scales it.
+      sp.base = scalars != nullptr ? options.colormap->map(scalars->get(i))
+                                   : options.uniform_color;
 
-    for (Index py = y0; py <= y1; ++py) {
-      const Real dy = (Real(py) - sy) * inv_radius;
-      for (Index px = x0; px <= x1; ++px) {
-        const Real dx = (Real(px) - sx) * inv_radius;
-        const Real r2 = dx * dx + dy * dy;
-        if (r2 >= Real(1)) continue;
-        const int slot = std::min(kProfileSize - 1,
-                                  static_cast<int>(std::sqrt(r2) * kProfileSize));
-        const Real nz = nz_profile[static_cast<std::size_t>(slot)];
-        // Sphere-impostor shading: normal (dx, -dy, nz) lit from the
-        // eye; Gaussian softens the rim.
-        const Real lit = options.ambient + (1 - options.ambient) * nz;
-        const Real g = gauss_profile[static_cast<std::size_t>(slot)];
-        const Vec4f color{base.x * lit * g + base.x * (1 - g) * options.ambient,
-                          base.y * lit * g + base.y * (1 - g) * options.ambient,
-                          base.z * lit * g + base.z * (1 - g) * options.ambient,
-                          base.w};
-        const Real pixel_depth = depth - nz * radius;
-        if (image.depth_test_set(px, py, color, pixel_depth)) ++pixels_shaded;
+      const auto cx = static_cast<Index>(sp.sx);
+      const auto cy = static_cast<Index>(sp.sy);
+      sp.y_lo = std::max<Index>(0, cy - pix_radius);
+      sp.y_hi = std::min<Index>(height - 1, cy + pix_radius);
+      sp.x_lo = std::max<Index>(0, cx - pix_radius);
+      sp.x_hi = std::min<Index>(width - 1, cx + pix_radius);
+      sp.valid = sp.x_lo <= sp.x_hi && sp.y_lo <= sp.y_hi;
+    }
+  });
+
+  const ScreenTiling tiling(width, height);
+  const auto bins = bin_primitives(
+      tiling, n, [&](Index i, Index& x_lo, Index& x_hi, Index& y_lo, Index& y_hi) {
+        const ProjectedSplat& sp = splats[static_cast<std::size_t>(i)];
+        if (!sp.valid) return false;
+        x_lo = sp.x_lo;
+        x_hi = sp.x_hi;
+        y_lo = sp.y_lo;
+        y_hi = sp.y_hi;
+        return true;
+      });
+
+  std::vector<Index> tile_shaded(static_cast<std::size_t>(tiling.num_tiles()), 0);
+  for_each_tile(tiling, [&](Index tile, Index tx0, Index tx1, Index ty0, Index ty1) {
+    Index shaded = 0;
+    for (const Index i : bins[static_cast<std::size_t>(tile)]) {
+      const ProjectedSplat& sp = splats[static_cast<std::size_t>(i)];
+      const Index py_lo = std::max(sp.y_lo, ty0), py_hi = std::min(sp.y_hi, ty1 - 1);
+      const Index px_lo = std::max(sp.x_lo, tx0), px_hi = std::min(sp.x_hi, tx1 - 1);
+      for (Index py = py_lo; py <= py_hi; ++py) {
+        const Real dy = (Real(py) - sp.sy) * sp.inv_radius;
+        for (Index px = px_lo; px <= px_hi; ++px) {
+          const Real dx = (Real(px) - sp.sx) * sp.inv_radius;
+          const Real r2 = dx * dx + dy * dy;
+          if (r2 >= Real(1)) continue;
+          const int slot = std::min(kProfileSize - 1,
+                                    static_cast<int>(std::sqrt(r2) * kProfileSize));
+          const Real nz = nz_profile[static_cast<std::size_t>(slot)];
+          // Sphere-impostor shading: normal (dx, -dy, nz) lit from the
+          // eye; Gaussian softens the rim.
+          const Real lit = options.ambient + (1 - options.ambient) * nz;
+          const Real g = gauss_profile[static_cast<std::size_t>(slot)];
+          const Vec4f color{
+              sp.base.x * lit * g + sp.base.x * (1 - g) * options.ambient,
+              sp.base.y * lit * g + sp.base.y * (1 - g) * options.ambient,
+              sp.base.z * lit * g + sp.base.z * (1 - g) * options.ambient,
+              sp.base.w};
+          const Real pixel_depth = sp.depth - nz * radius;
+          if (image.depth_test_set(px, py, color, pixel_depth)) ++shaded;
+        }
       }
     }
-  }
+    tile_shaded[static_cast<std::size_t>(tile)] = shaded;
+  });
+
+  Index pixels_shaded = 0;
+  for (const Index s : tile_shaded) pixels_shaded += s;
 
   counters.elements_processed += n;
   counters.primitives_emitted += n;

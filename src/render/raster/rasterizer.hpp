@@ -22,8 +22,13 @@
 //                    "superior implementation" the paper credits for
 //                    this method outrunning VTK Points (Finding 1).
 //
-// Kernels are single-threaded by design: each minimpi rank owns one
-// renderer instance, and per-rank ThreadCpuTimer measurements feed the
+// Kernels are tile-parallel on the thread pool: primitives are
+// projected in parallel, binned serially in primitive order, then each
+// screen tile replays its bin against a privately owned pixel rect —
+// the per-pixel depth-test sequence matches the serial loop exactly, so
+// output is bit-identical at any thread count (DESIGN.md "Threading
+// model"). Each minimpi rank owns one renderer instance; per-rank
+// KernelTimer measurements (caller + borrowed worker CPU) feed the
 // cluster model (DESIGN.md §4.1).
 
 #include <string>

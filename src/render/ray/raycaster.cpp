@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace eth {
 
@@ -16,6 +17,14 @@ Vec4f shade_headlight(Vec3f normal, Vec3f ray_dir, Vec4f base, Real ambient) {
   const Real lit = ambient + (Real(1) - ambient) * clamp(ndotl, Real(0), Real(1));
   return {base.x * lit, base.y * lit, base.z * lit, base.w};
 }
+
+// Rays are tile-parallel over row bands: every pixel is computed
+// independently and written only by its owning chunk, so the image is
+// bit-identical to a serial traversal at any thread count. Each chunk
+// accumulates its counters into a private shard, merged in chunk order
+// at the join (the race-free aggregation contract of
+// cluster::CounterShards).
+constexpr Index kRowGrain = 4;
 
 } // namespace
 
@@ -124,28 +133,34 @@ void RaycastRenderer::render_spheres(const PointSet& points, const Camera& camer
       points.point_fields().has(options.scalar_field))
     scalars = &points.point_fields().get(options.scalar_field);
 
-  Index rays = 0;
-  for (Index py = 0; py < height; ++py) {
-    for (Index px = 0; px < width; ++px) {
-      const Ray ray = camera.generate_ray(px, py, width, height);
-      ++rays;
-      if (bvh_.empty()) continue;
-      const SphereHit hit =
-          bvh_.intersect(ray, camera.znear(), camera.zfar(), counters);
-      if (!hit.valid()) continue;
-      const Vec4f base = scalars != nullptr
-                             ? options.colormap->map(scalars->get(hit.primitive))
-                             : options.uniform_color;
-      const Vec4f color = shade_headlight(hit.normal, ray.direction, base, options.ambient);
-      const Vec3f p = ray.origin + ray.direction * hit.t;
-      image.depth_test_set(px, py, color, camera.eye_depth(p));
+  const Index n_chunks = plan_chunks(height, kRowGrain);
+  cluster::CounterShards shards(n_chunks);
+  parallel_for_chunks(0, height, n_chunks, [&](Index chunk, Index y0, Index y1) {
+    cluster::PerfCounters& local = shards.at(chunk);
+    for (Index py = y0; py < y1; ++py) {
+      for (Index px = 0; px < width; ++px) {
+        const Ray ray = camera.generate_ray(px, py, width, height);
+        ++local.rays_cast;
+        if (bvh_.empty()) continue;
+        const SphereHit hit =
+            bvh_.intersect(ray, camera.znear(), camera.zfar(), local);
+        if (!hit.valid()) continue;
+        const Vec4f base = scalars != nullptr
+                               ? options.colormap->map(scalars->get(hit.primitive))
+                               : options.uniform_color;
+        const Vec4f color =
+            shade_headlight(hit.normal, ray.direction, base, options.ambient);
+        const Vec3f p = ray.origin + ray.direction * hit.t;
+        image.depth_test_set(px, py, color, camera.eye_depth(p));
+      }
     }
-  }
+  });
 
-  counters.rays_cast += rays;
-  counters.flop_estimate += double(rays) * 40.0;
-  counters.max_parallel_items =
-      std::max(counters.max_parallel_items, width * height);
+  cluster::PerfCounters kernel;
+  shards.merge_into(kernel);
+  kernel.flop_estimate += double(kernel.rays_cast) * 40.0;
+  kernel.max_parallel_items = std::max(kernel.max_parallel_items, width * height);
+  counters.merge(kernel);
 }
 
 namespace {
@@ -251,57 +266,62 @@ void RaycastRenderer::render_volume_scene(const StructuredGrid& grid,
     slice_normals.push_back(normalize(slice.plane_normal));
 
   const CameraFrame frame = camera.frame(width, height);
-  Index rays = 0;
-  Index steps_total = 0;
-  for (Index py = 0; py < height; ++py) {
-    for (Index px = 0; px < width; ++px) {
-      const Ray ray = frame.ray(px, py);
-      ++rays;
-      Real t0, t1;
-      if (!clip_ray_to_box(ray, box, camera.znear(), camera.zfar(), t0, t1)) continue;
+  const Index n_chunks = plan_chunks(height, kRowGrain);
+  cluster::CounterShards shards(n_chunks);
+  parallel_for_chunks(0, height, n_chunks, [&](Index chunk, Index y0, Index y1) {
+    cluster::PerfCounters& local = shards.at(chunk);
+    for (Index py = y0; py < y1; ++py) {
+      for (Index px = 0; px < width; ++px) {
+        const Ray ray = frame.ray(px, py);
+        ++local.rays_cast;
+        Real t0, t1;
+        if (!clip_ray_to_box(ray, box, camera.znear(), camera.zfar(), t0, t1))
+          continue;
 
-      // Nearest slice hit (if any); the isosurface march is then
-      // bounded by it — anything behind is occluded.
-      Real nearest = t1;
-      int nearest_slice = -1;
-      for (std::size_t s = 0; s < slices.size(); ++s) {
-        const Vec3f n = slice_normals[s];
-        const Real denom = dot(ray.direction, n);
-        if (std::abs(denom) < Real(1e-9)) continue;
-        const Real t = dot(slices[s].plane_origin - ray.origin, n) / denom;
-        if (t > t0 - Real(1e-4) && t < nearest) {
-          nearest = t;
-          nearest_slice = static_cast<int>(s);
+        // Nearest slice hit (if any); the isosurface march is then
+        // bounded by it — anything behind is occluded.
+        Real nearest = t1;
+        int nearest_slice = -1;
+        for (std::size_t s = 0; s < slices.size(); ++s) {
+          const Vec3f n = slice_normals[s];
+          const Real denom = dot(ray.direction, n);
+          if (std::abs(denom) < Real(1e-9)) continue;
+          const Real t = dot(slices[s].plane_origin - ray.origin, n) / denom;
+          if (t > t0 - Real(1e-4) && t < nearest) {
+            nearest = t;
+            nearest_slice = static_cast<int>(s);
+          }
+        }
+
+        const Real hit_t = march_iso(grid, field, minmax_, ray, t0, nearest, step,
+                                     iso_options, local.ray_steps);
+        if (hit_t > 0) {
+          const Vec3f p = ray.origin + ray.direction * hit_t;
+          const Vec3f normal = normalize(grid.gradient(field, p));
+          const Vec4f color =
+              shade_headlight(normal, ray.direction, iso_base, iso_options.ambient);
+          image.depth_test_set(px, py, color, camera.eye_depth(p));
+        } else if (nearest_slice >= 0) {
+          const Vec3f p = ray.origin + ray.direction * nearest;
+          const SliceRaycastOptions& slice =
+              slices[static_cast<std::size_t>(nearest_slice)];
+          const Real v = grid.sample(field, p);
+          const Vec4f color =
+              shade_headlight(slice_normals[static_cast<std::size_t>(nearest_slice)],
+                              ray.direction, slice.colormap->map(v), slice.ambient);
+          image.depth_test_set(px, py, color, camera.eye_depth(p));
         }
       }
-
-      const Real hit_t =
-          march_iso(grid, field, minmax_, ray, t0, nearest, step, iso_options,
-                    steps_total);
-      if (hit_t > 0) {
-        const Vec3f p = ray.origin + ray.direction * hit_t;
-        const Vec3f normal = normalize(grid.gradient(field, p));
-        const Vec4f color =
-            shade_headlight(normal, ray.direction, iso_base, iso_options.ambient);
-        image.depth_test_set(px, py, color, camera.eye_depth(p));
-      } else if (nearest_slice >= 0) {
-        const Vec3f p = ray.origin + ray.direction * nearest;
-        const SliceRaycastOptions& slice = slices[static_cast<std::size_t>(nearest_slice)];
-        const Real v = grid.sample(field, p);
-        const Vec4f color =
-            shade_headlight(slice_normals[static_cast<std::size_t>(nearest_slice)],
-                            ray.direction, slice.colormap->map(v), slice.ambient);
-        image.depth_test_set(px, py, color, camera.eye_depth(p));
-      }
     }
-  }
+  });
 
-  counters.rays_cast += rays;
-  counters.ray_steps += steps_total;
-  counters.bytes_read += grid.byte_size();
-  counters.flop_estimate += double(steps_total) * 30.0 + double(rays) * 20.0;
-  counters.max_parallel_items =
-      std::max(counters.max_parallel_items, width * height);
+  cluster::PerfCounters kernel;
+  shards.merge_into(kernel);
+  kernel.bytes_read += grid.byte_size();
+  kernel.flop_estimate +=
+      double(kernel.ray_steps) * 30.0 + double(kernel.rays_cast) * 20.0;
+  kernel.max_parallel_items = std::max(kernel.max_parallel_items, width * height);
+  counters.merge(kernel);
 }
 
 void RaycastRenderer::render_volume_slice(const StructuredGrid& grid,
@@ -317,31 +337,36 @@ void RaycastRenderer::render_volume_slice(const StructuredGrid& grid,
   require(options.colormap != nullptr, "render_volume_slice: colormap required");
   const Vec3f n = normalize(options.plane_normal);
 
-  Index rays = 0;
-  for (Index py = 0; py < height; ++py) {
-    for (Index px = 0; px < width; ++px) {
-      const Ray ray = camera.generate_ray(px, py, width, height);
-      ++rays;
-      // O(1) plane intersection.
-      const Real denom = dot(ray.direction, n);
-      if (std::abs(denom) < Real(1e-9)) continue;
-      const Real t = dot(options.plane_origin - ray.origin, n) / denom;
-      if (t <= camera.znear() || t >= camera.zfar()) continue;
-      const Vec3f p = ray.origin + ray.direction * t;
-      if (!box.contains(p)) continue;
-      // O(1) trilinear lookup.
-      const Real v = grid.sample(field, p);
-      const Vec4f base = options.colormap->map(v);
-      const Vec4f color = shade_headlight(n, ray.direction, base, options.ambient);
-      image.depth_test_set(px, py, color, camera.eye_depth(p));
+  const Index n_chunks = plan_chunks(height, kRowGrain);
+  cluster::CounterShards shards(n_chunks);
+  parallel_for_chunks(0, height, n_chunks, [&](Index chunk, Index y0, Index y1) {
+    cluster::PerfCounters& local = shards.at(chunk);
+    for (Index py = y0; py < y1; ++py) {
+      for (Index px = 0; px < width; ++px) {
+        const Ray ray = camera.generate_ray(px, py, width, height);
+        ++local.rays_cast;
+        // O(1) plane intersection.
+        const Real denom = dot(ray.direction, n);
+        if (std::abs(denom) < Real(1e-9)) continue;
+        const Real t = dot(options.plane_origin - ray.origin, n) / denom;
+        if (t <= camera.znear() || t >= camera.zfar()) continue;
+        const Vec3f p = ray.origin + ray.direction * t;
+        if (!box.contains(p)) continue;
+        // O(1) trilinear lookup.
+        const Real v = grid.sample(field, p);
+        const Vec4f base = options.colormap->map(v);
+        const Vec4f color = shade_headlight(n, ray.direction, base, options.ambient);
+        image.depth_test_set(px, py, color, camera.eye_depth(p));
+      }
     }
-  }
+  });
 
-  counters.rays_cast += rays;
-  counters.bytes_read += grid.byte_size();
-  counters.flop_estimate += double(rays) * 30.0;
-  counters.max_parallel_items =
-      std::max(counters.max_parallel_items, width * height);
+  cluster::PerfCounters kernel;
+  shards.merge_into(kernel);
+  kernel.bytes_read += grid.byte_size();
+  kernel.flop_estimate += double(kernel.rays_cast) * 30.0;
+  kernel.max_parallel_items = std::max(kernel.max_parallel_items, width * height);
+  counters.merge(kernel);
 }
 
 } // namespace eth
@@ -369,43 +394,48 @@ void RaycastRenderer::render_volume_dvr(const StructuredGrid& grid,
   const Real alpha_scale = options.opacity_scale * options.step_scale;
 
   const CameraFrame frame = camera.frame(width, height);
-  Index rays = 0;
-  Index steps_total = 0;
-  for (Index py = 0; py < height; ++py) {
-    for (Index px = 0; px < width; ++px) {
-      const Ray ray = frame.ray(px, py);
-      ++rays;
-      Real t0, t1;
-      if (!clip_ray_to_box(ray, box, camera.znear(), camera.zfar(), t0, t1)) continue;
+  const Index n_chunks = plan_chunks(height, kRowGrain);
+  cluster::CounterShards shards(n_chunks);
+  parallel_for_chunks(0, height, n_chunks, [&](Index chunk, Index y0, Index y1) {
+    cluster::PerfCounters& local = shards.at(chunk);
+    for (Index py = y0; py < y1; ++py) {
+      for (Index px = 0; px < width; ++px) {
+        const Ray ray = frame.ray(px, py);
+        ++local.rays_cast;
+        Real t0, t1;
+        if (!clip_ray_to_box(ray, box, camera.znear(), camera.zfar(), t0, t1))
+          continue;
 
-      // Front-to-back emission/absorption: accum holds premultiplied
-      // rgb, alpha the accumulated opacity.
-      Vec3f accum{0, 0, 0};
-      Real alpha = 0;
-      for (Real t = t0 + step * Real(0.5); t < t1; t += step) {
-        ++steps_total;
-        const Real v = grid.sample(field, ray.origin + ray.direction * t);
-        const Vec4f s = options.transfer->map(v);
-        const Real a = clamp(s.w * alpha_scale, Real(0), Real(1));
-        if (a > 0) {
-          const Real weight = (Real(1) - alpha) * a;
-          accum += Vec3f{s.x, s.y, s.z} * weight;
-          alpha += weight;
-          if (alpha >= options.early_termination_alpha) break;
+        // Front-to-back emission/absorption: accum holds premultiplied
+        // rgb, alpha the accumulated opacity.
+        Vec3f accum{0, 0, 0};
+        Real alpha = 0;
+        for (Real t = t0 + step * Real(0.5); t < t1; t += step) {
+          ++local.ray_steps;
+          const Real v = grid.sample(field, ray.origin + ray.direction * t);
+          const Vec4f s = options.transfer->map(v);
+          const Real a = clamp(s.w * alpha_scale, Real(0), Real(1));
+          if (a > 0) {
+            const Real weight = (Real(1) - alpha) * a;
+            accum += Vec3f{s.x, s.y, s.z} * weight;
+            alpha += weight;
+            if (alpha >= options.early_termination_alpha) break;
+          }
         }
+        if (alpha <= 0) continue;
+        image.set_color(px, py, {accum.x, accum.y, accum.z, alpha});
+        image.set_depth(px, py, camera.eye_depth(ray.origin + ray.direction * t0));
       }
-      if (alpha <= 0) continue;
-      image.set_color(px, py, {accum.x, accum.y, accum.z, alpha});
-      image.set_depth(px, py, camera.eye_depth(ray.origin + ray.direction * t0));
     }
-  }
+  });
 
-  counters.rays_cast += rays;
-  counters.ray_steps += steps_total;
-  counters.bytes_read += grid.byte_size();
-  counters.flop_estimate += double(steps_total) * 40.0 + double(rays) * 20.0;
-  counters.max_parallel_items =
-      std::max(counters.max_parallel_items, width * height);
+  cluster::PerfCounters kernel;
+  shards.merge_into(kernel);
+  kernel.bytes_read += grid.byte_size();
+  kernel.flop_estimate +=
+      double(kernel.ray_steps) * 40.0 + double(kernel.rays_cast) * 20.0;
+  kernel.max_parallel_items = std::max(kernel.max_parallel_items, width * height);
+  counters.merge(kernel);
 }
 
 } // namespace eth

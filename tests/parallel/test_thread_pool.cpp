@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/error.hpp"
@@ -84,6 +90,121 @@ TEST(ParallelFor, GlobalPoolOverloadWorks) {
   std::atomic<int> count{0};
   parallel_for(0, 100, 10, [&](Index b, Index e) { count += int(e - b); });
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, PropagatesExceptionToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 4096, 1,
+                            [](Index b, Index) {
+                              if (b >= 2048) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The pool must survive a throwing loop and stay usable.
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 100, 1, [&](Index b, Index e) { count += int(e - b); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelForChunks, LowestChunkExceptionWins) {
+  ThreadPool pool(4);
+  try {
+    parallel_for_chunks(pool, 0, 1000, 10, [](Index c, Index, Index) {
+      if (c % 2 == 1) throw std::runtime_error("chunk " + std::to_string(c));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 1");
+  }
+}
+
+TEST(ParallelFor, NestedLoopRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<long long> sum{0};
+  parallel_for(pool, 0, 64, 1, [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i)
+      // Nested loop from a worker thread: must run inline, not deadlock.
+      parallel_for(pool, 0, 10, 1, [&](Index ib, Index ie) {
+        for (Index j = ib; j < ie; ++j) sum += i * 10 + j;
+      });
+  });
+  long long expected = 0;
+  for (Index i = 0; i < 64; ++i)
+    for (Index j = 0; j < 10; ++j) expected += i * 10 + j;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(PlanChunks, CeilDividesAndCaps) {
+  EXPECT_EQ(plan_chunks(100, 10), 10);
+  EXPECT_EQ(plan_chunks(101, 10), 11);
+  EXPECT_EQ(plan_chunks(5, 10), 1);
+  EXPECT_EQ(plan_chunks(0, 10), 1);
+  EXPECT_EQ(plan_chunks(1'000'000, 1), 64); // default cap
+  EXPECT_EQ(plan_chunks(1'000'000, 1, 8), 8);
+  EXPECT_THROW(plan_chunks(10, 0), Error);
+  EXPECT_THROW(plan_chunks(10, 1, 0), Error);
+}
+
+TEST(ParallelForChunks, DecompositionIsThreadCountInvariant) {
+  // The (chunk, begin, end) triples must be a pure function of the
+  // range: this is what makes chunk-ordered merges bit-reproducible.
+  const auto decompose = [](unsigned threads) {
+    ThreadPool pool(threads);
+    std::mutex mutex;
+    std::vector<std::tuple<Index, Index, Index>> chunks;
+    parallel_for_chunks(pool, 3, 250, 7, [&](Index c, Index b, Index e) {
+      std::lock_guard<std::mutex> lock(mutex);
+      chunks.emplace_back(c, b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto golden = decompose(1);
+  ASSERT_EQ(golden.size(), 7u);
+  EXPECT_EQ(std::get<1>(golden.front()), 3);
+  EXPECT_EQ(std::get<2>(golden.back()), 250);
+  for (std::size_t i = 1; i < golden.size(); ++i)
+    EXPECT_EQ(std::get<1>(golden[i]), std::get<2>(golden[i - 1])); // contiguous
+  EXPECT_EQ(decompose(2), golden);
+  EXPECT_EQ(decompose(8), golden);
+}
+
+TEST(ParallelForChunks, SkipsEmptyChunksWhenRangeIsSmall) {
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::vector<Index> seen;
+  parallel_for_chunks(pool, 0, 3, 8, [&](Index c, Index b, Index e) {
+    EXPECT_LT(b, e);
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.push_back(c);
+  });
+  EXPECT_EQ(seen.size(), 3u); // only the 3 non-empty chunks ran
+}
+
+TEST(BorrowedCpu, WorkerChunksAreCreditedToTheCaller) {
+  ThreadPool pool(4);
+  const double before = borrowed_cpu_seconds();
+  const KernelTimer timer;
+  volatile double sink = 0;
+  parallel_for(pool, 0, 400'000, 1000, [&](Index b, Index e) {
+    double local = 0;
+    for (Index i = b; i < e; ++i) local += double(i) * 1e-9;
+    sink = sink + local;
+  });
+  // Monotone accumulator; with >1 worker the loop fans out, so the
+  // worker-executed chunks' CPU must land here rather than vanish.
+  EXPECT_GT(borrowed_cpu_seconds(), before);
+  EXPECT_GE(timer.elapsed(), borrowed_cpu_seconds() - before);
+}
+
+TEST(DefaultThreadCount, HonorsEthThreadsEnv) {
+  setenv("ETH_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  setenv("ETH_THREADS", "not-a-number", 1);
+  EXPECT_GE(default_thread_count(), 1u); // falls back to hardware
+  setenv("ETH_THREADS", "0", 1);
+  EXPECT_GE(default_thread_count(), 1u);
+  unsetenv("ETH_THREADS");
+  EXPECT_GE(default_thread_count(), 1u);
 }
 
 } // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
 #include "data/point_set.hpp"
 #include "data/structured_grid.hpp"
@@ -56,6 +58,38 @@ TEST(GaussianSplatter, GridDimMatchesRequest) {
   EXPECT_EQ(grid.dims(), (Vec3i{16, 16, 16}));
   // Bounds cover the data.
   EXPECT_TRUE(grid.bounds().contains({0, 0, 0}));
+}
+
+TEST(GaussianSplatter, HugeRadiusFactorStaysFiniteAndInBounds) {
+  // Regression: the voxel-footprint bounds used to cast the raw
+  // floor/ceil result to Index BEFORE clamping. A cutoff that dwarfs
+  // the grid (huge radius_factor) pushed that float far outside the
+  // representable Index range, and the cast was undefined behavior.
+  // The clamp now happens in floating point, so any finite input must
+  // produce a finite, fully-covered density grid.
+  auto ps = cluster_at({5, 5, 5}, 40, 1.0f);
+  GaussianSplatterFilter splatter(8, 1e20f);
+  splatter.set_input(std::shared_ptr<const DataSet>(ps));
+  const auto& grid = static_cast<const StructuredGrid&>(*splatter.update());
+  const Field& density = grid.point_fields().get("density");
+  for (const Real v : density.values()) {
+    ASSERT_TRUE(std::isfinite(v));
+    // Sigma >> grid: every voxel sees ~exp(0) from each of the 40 points.
+    EXPECT_NEAR(v, 40.0f, 1.0f);
+  }
+}
+
+TEST(GaussianSplatter, FarOutlierDoesNotCorruptGrid) {
+  // A straggler far from the cluster stretches the bounds; its truncated
+  // footprint must clamp cleanly at the grid edge instead of indexing
+  // out of range.
+  auto ps = cluster_at({0, 0, 0}, 100, 0.5f);
+  ps->push_back({1e6f, 1e6f, 1e6f});
+  GaussianSplatterFilter splatter(16, 0.02f);
+  splatter.set_input(std::shared_ptr<const DataSet>(ps));
+  const auto& grid = static_cast<const StructuredGrid&>(*splatter.update());
+  for (const Real v : grid.point_fields().get("density").values())
+    ASSERT_TRUE(std::isfinite(v));
 }
 
 TEST(GaussianSplatter, RejectsBadConfig) {

@@ -65,6 +65,66 @@ TEST(Compositor, DepthCompositeIsOrderIndependent) {
     }
 }
 
+TEST(Compositor, EqualDepthTieResolvesToLowestPartialIndex) {
+  // Regression: ties used to fall to whichever partial happened to be
+  // merged last. The contract is now explicit — equal winning depths
+  // resolve to the LOWEST partial index (lowest rank), in every code
+  // path.
+  std::vector<ImageBuffer> partials;
+  for (int p = 0; p < 3; ++p)
+    partials.push_back(solid(4, 4, {Real(p), Real(p), Real(p), 1}, 5.0f));
+
+  cluster::PerfCounters counters;
+  ImageBuffer out(4, 4);
+  out.clear();
+  depth_composite(partials, out, counters);
+  EXPECT_EQ(out.color(2, 2), (Vec4f{0, 0, 0, 1})); // partial 0 wins
+
+  // Pair merge: dst keeps ties, so lower-index-on-dst wins too.
+  ImageBuffer dst = solid(4, 4, {1, 0, 0, 1}, 5.0f);
+  depth_composite_pair(dst, partials[2], counters);
+  EXPECT_EQ(dst.color(1, 1), (Vec4f{1, 0, 0, 1}));
+
+  // Reduction tree: same answer.
+  std::vector<ImageBuffer> tree_partials;
+  for (int p = 0; p < 3; ++p)
+    tree_partials.push_back(solid(4, 4, {Real(p), Real(p), Real(p), 1}, 5.0f));
+  depth_composite_tree(tree_partials, counters);
+  EXPECT_EQ(tree_partials[0].color(2, 2), (Vec4f{0, 0, 0, 1}));
+}
+
+TEST(Compositor, TreeMatchesSequentialFold) {
+  // Random depths quantized to a handful of values, so exact cross-rank
+  // ties are common: the pairwise tree must still be bit-identical to
+  // the sequential rank-order fold.
+  Rng rng(41);
+  std::vector<ImageBuffer> partials;
+  for (int p = 0; p < 5; ++p) { // deliberately not a power of two
+    ImageBuffer img(16, 16);
+    img.clear();
+    for (Index y = 0; y < 16; ++y)
+      for (Index x = 0; x < 16; ++x)
+        if (rng.bernoulli(0.8))
+          img.depth_test_set(x, y, {Real(p) * 0.25f, 1.0f - Real(p) * 0.25f, 0.5f, 1},
+                             Real(int(rng.uniform(1, 5))));
+    partials.push_back(std::move(img));
+  }
+
+  cluster::PerfCounters counters;
+  ImageBuffer folded(16, 16);
+  folded.clear();
+  depth_composite(partials, folded, counters);
+
+  std::vector<ImageBuffer> tree_partials = partials;
+  depth_composite_tree(tree_partials, counters);
+
+  for (Index y = 0; y < 16; ++y)
+    for (Index x = 0; x < 16; ++x) {
+      EXPECT_EQ(folded.color(x, y), tree_partials[0].color(x, y));
+      EXPECT_EQ(folded.depth(x, y), tree_partials[0].depth(x, y));
+    }
+}
+
 TEST(Compositor, SizeMismatchThrows) {
   ImageBuffer a(4, 4), b(5, 4);
   cluster::PerfCounters counters;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full pre-merge check: Release build + tests, then a ThreadSanitizer
+# build + tests. The TSan variant is what guards the threading contract
+# (DESIGN.md "Threading model"): every hot-path kernel fans out over the
+# thread pool, so counter aggregation and image writes must stay
+# race-free. Benches are skipped under TSan (they only add runtime, not
+# coverage).
+#
+# Usage: tools/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+run_variant() {
+  local dir="$1"
+  shift
+  echo "==== configure ${dir} ($*) ===="
+  cmake -B "${dir}" -S . "$@"
+  echo "==== build ${dir} ===="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "==== test ${dir} ===="
+  ctest --test-dir "${dir}" --output-on-failure
+}
+
+run_variant build-release -DCMAKE_BUILD_TYPE=Release
+
+# TSan with a multi-worker pool even on small machines: a 1-worker pool
+# runs loops inline and would hide every race from the sanitizer.
+ETH_THREADS="${ETH_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  run_variant build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DETH_SANITIZE=thread -DETH_BUILD_BENCH=OFF -DETH_BUILD_EXAMPLES=OFF
+
+echo "==== all checks passed ===="
