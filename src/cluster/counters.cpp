@@ -16,6 +16,8 @@ void PerfCounters::merge(const PerfCounters& other) {
   bytes_read += other.bytes_read;
   bytes_written += other.bytes_written;
   bytes_communicated += other.bytes_communicated;
+  bytes_copied += other.bytes_copied;
+  bytes_borrowed += other.bytes_borrowed;
   max_parallel_items = std::max(max_parallel_items, other.max_parallel_items);
   // PhaseTimer totals merge by adding each known phase; iterate the
   // small fixed vocabulary.
@@ -37,6 +39,8 @@ std::string PerfCounters::summary() const {
   out += strprintf("bytes_read: %s\n", format_bytes(bytes_read).c_str());
   out += strprintf("bytes_written: %s\n", format_bytes(bytes_written).c_str());
   out += strprintf("bytes_communicated: %s\n", format_bytes(bytes_communicated).c_str());
+  out += strprintf("bytes_copied: %s\n", format_bytes(bytes_copied).c_str());
+  out += strprintf("bytes_borrowed: %s\n", format_bytes(bytes_borrowed).c_str());
   out += strprintf("max_parallel_items: %lld\n", static_cast<long long>(max_parallel_items));
   out += strprintf("cpu_seconds_total: %.4f\n", phases.total());
   return out;

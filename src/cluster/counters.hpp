@@ -30,6 +30,13 @@ struct PerfCounters {
   Bytes bytes_written = 0;
   Bytes bytes_communicated = 0;
 
+  // Data-plane ownership counters (common/buffer.hpp): payload bytes
+  // the sim->viz hand-off memcpy'd in userspace versus passed across a
+  // layer boundary by reference. The zero-copy refactor is observable
+  // as bytes_copied shrinking while bytes_borrowed grows.
+  Bytes bytes_copied = 0;
+  Bytes bytes_borrowed = 0;
+
   // Time, by phase (CPU seconds from ThreadCpuTimer).
   PhaseTimer phases;
 

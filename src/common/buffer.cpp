@@ -1,0 +1,92 @@
+#include "common/buffer.hpp"
+
+#include <atomic>
+
+namespace eth {
+
+namespace {
+
+// Relaxed is sufficient: the counters are statistics, read via
+// snapshot between phases, never used for synchronization.
+std::atomic<Bytes> g_bytes_copied{0};
+std::atomic<Bytes> g_bytes_borrowed{0};
+
+} // namespace
+
+void note_bytes_copied(Bytes n) {
+  if (n) g_bytes_copied.fetch_add(n, std::memory_order_relaxed);
+}
+
+void note_bytes_borrowed(Bytes n) {
+  if (n) g_bytes_borrowed.fetch_add(n, std::memory_order_relaxed);
+}
+
+DataPlaneCounters data_plane_counters() {
+  return {g_bytes_copied.load(std::memory_order_relaxed),
+          g_bytes_borrowed.load(std::memory_order_relaxed)};
+}
+
+void reset_data_plane_counters() {
+  g_bytes_copied.store(0, std::memory_order_relaxed);
+  g_bytes_borrowed.store(0, std::memory_order_relaxed);
+}
+
+Buffer Buffer::allocate(std::size_t n) {
+  Buffer b;
+  if (n == 0) return b;
+  // Route through a max-aligned block so any element type can be
+  // borrowed from a suitably aligned offset within the slab.
+  using Block = std::aligned_storage_t<sizeof(std::max_align_t), alignof(std::max_align_t)>;
+  const std::size_t blocks = (n + sizeof(Block) - 1) / sizeof(Block);
+  auto storage = std::shared_ptr<Block[]>(new Block[blocks]());
+  b.data_ = std::shared_ptr<std::uint8_t>(
+      storage, reinterpret_cast<std::uint8_t*>(storage.get()));
+  b.size_ = n;
+  return b;
+}
+
+Buffer Buffer::copy_of(std::span<const std::uint8_t> bytes) {
+  Buffer b = allocate(bytes.size());
+  if (!bytes.empty()) std::memcpy(b.data(), bytes.data(), bytes.size());
+  return b;
+}
+
+Buffer Buffer::adopt(std::vector<std::uint8_t>&& bytes) {
+  Buffer b;
+  if (bytes.empty()) return b;
+  auto storage = std::make_shared<std::vector<std::uint8_t>>(std::move(bytes));
+  b.size_ = storage->size();
+  b.data_ = std::shared_ptr<std::uint8_t>(storage, storage->data());
+  return b;
+}
+
+WireMessage WireMessage::slice(std::size_t offset) const {
+  require(offset <= total_, "WireMessage::slice: offset past end");
+  WireMessage out;
+  std::size_t skip = offset;
+  for (const Segment& seg : segments_) {
+    if (skip >= seg.bytes.size()) {
+      skip -= seg.bytes.size();
+      continue;
+    }
+    out.append_borrowed(seg.bytes.subspan(skip), seg.keepalive);
+    skip = 0;
+  }
+  return out;
+}
+
+void WireMessage::copy_to(std::uint8_t* out) const {
+  for (const Segment& seg : segments_) {
+    std::memcpy(out, seg.bytes.data(), seg.bytes.size());
+    out += seg.bytes.size();
+  }
+  note_bytes_copied(total_);
+}
+
+std::vector<std::uint8_t> WireMessage::flatten() const {
+  std::vector<std::uint8_t> out(total_);
+  if (total_ != 0) copy_to(out.data());
+  return out;
+}
+
+} // namespace eth

@@ -33,7 +33,8 @@ ResultTable robustness_table(const std::string& label_column,
                              const std::vector<SweepOutcome>& outcomes) {
   ResultTable table({label_column, "frames_sent", "frames_delivered",
                      "frames_retried", "frames_dropped", "frames_corrupt",
-                     "frames_timed_out", "timesteps_dropped"});
+                     "frames_timed_out", "timesteps_dropped", "bytes_copied",
+                     "bytes_borrowed"});
   for (const SweepOutcome& o : outcomes) {
     table.begin_row();
     table.add_cell(o.label);
@@ -44,6 +45,8 @@ ResultTable robustness_table(const std::string& label_column,
     table.add_cell(o.result.robustness.frames_corrupt);
     table.add_cell(o.result.robustness.frames_timed_out);
     table.add_cell(o.result.timesteps_dropped);
+    table.add_cell(Index(o.result.counters.bytes_copied));
+    table.add_cell(Index(o.result.counters.bytes_borrowed));
   }
   return table;
 }

@@ -2,11 +2,18 @@
 // Field: a named, multi-component array of scalars attached to a dataset,
 // mirroring vtkDataArray. Fields are how simulation variables (density,
 // temperature, velocity, particle id) travel through the pipeline.
+//
+// Storage is a CowArray<Real>: a freshly built field owns its values,
+// while a field reconstructed by deserialize_dataset(WireMessage) may
+// BORROW them straight out of the receive buffer (zero-copy). Reads are
+// identical in both modes; the first mutation (non-const values(),
+// set(), resize(), ...) transparently materializes a private copy.
 
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "common/vec.hpp"
@@ -35,14 +42,24 @@ public:
   FieldAssociation association() const { return association_; }
 
   /// Raw storage, tuple-interleaved: [t0c0, t0c1, ..., t1c0, ...].
-  std::span<const Real> values() const { return values_; }
-  std::span<Real> values() { return values_; }
+  /// The non-const overload is a mutation: it copies-on-write when the
+  /// values are borrowed from a receive buffer.
+  std::span<const Real> values() const { return values_.view(); }
+  std::span<Real> values() { return values_.mutate(); }
+
+  /// True while the values alias external storage (receive buffer or a
+  /// peer's live array) instead of owning a private copy.
+  bool values_borrowed() const { return values_.borrowed(); }
+
+  /// Replace the storage with a chunk read off the data plane
+  /// (borrowed view or owned vector; see ArrayChunk).
+  void adopt_values(ArrayChunk<Real>&& chunk) { values_.adopt(std::move(chunk)); }
 
   Real get(Index tuple, int component = 0) const {
     return values_[static_cast<std::size_t>(tuple * components_ + component)];
   }
   void set(Index tuple, int component, Real v) {
-    values_[static_cast<std::size_t>(tuple * components_ + component)] = v;
+    values_.mut(static_cast<std::size_t>(tuple * components_ + component)) = v;
   }
   void set(Index tuple, Real v) { set(tuple, 0, v); }
 
@@ -54,9 +71,10 @@ public:
   void set_vec3(Index tuple, Vec3f v) {
     require(components_ >= 3, "Field::set_vec3 on field with <3 components");
     const auto base = static_cast<std::size_t>(tuple * components_);
-    values_[base] = v.x;
-    values_[base + 1] = v.y;
-    values_[base + 2] = v.z;
+    const std::span<Real> s = values_.mutate();
+    s[base] = v.x;
+    s[base + 1] = v.y;
+    s[base + 2] = v.z;
   }
 
   void resize(Index tuples) {
@@ -72,7 +90,7 @@ private:
   std::string name_;
   int components_ = 1;
   FieldAssociation association_ = FieldAssociation::kPoint;
-  std::vector<Real> values_;
+  CowArray<Real> values_;
 };
 
 /// A set of named fields; datasets embed one of these per association.

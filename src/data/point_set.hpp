@@ -2,11 +2,15 @@
 // PointSet: unstructured particle data (the HACC dark-matter particles).
 // Stores positions as a packed Vec3f array; per-particle attributes (id,
 // velocity, mass, ...) live in the point-field collection.
+//
+// Positions are a CowArray: a deserialized PointSet may borrow them
+// straight from the receive buffer, copying on first mutation.
 
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "data/dataset.hpp"
 
 namespace eth {
@@ -26,22 +30,28 @@ public:
     return std::make_unique<PointSet>(*this);
   }
 
-  std::span<const Vec3f> positions() const { return positions_; }
-  std::span<Vec3f> positions() { return positions_; }
+  std::span<const Vec3f> positions() const { return positions_.view(); }
+  std::span<Vec3f> positions() { return positions_.mutate(); }
 
   Vec3f position(Index i) const { return positions_[static_cast<std::size_t>(i)]; }
-  void set_position(Index i, Vec3f p) { positions_[static_cast<std::size_t>(i)] = p; }
+  void set_position(Index i, Vec3f p) { positions_.mut(static_cast<std::size_t>(i)) = p; }
 
   void resize(Index n);
   void reserve(Index n) { positions_.reserve(static_cast<std::size_t>(n)); }
   void push_back(Vec3f p) { positions_.push_back(p); }
+
+  /// True while the positions alias a receive buffer (copy-on-write).
+  bool positions_borrowed() const { return positions_.borrowed(); }
+
+  /// Replace the positions with a chunk read off the data plane.
+  void adopt_positions(ArrayChunk<Vec3f>&& chunk) { positions_.adopt(std::move(chunk)); }
 
   /// Extract the subset of particles whose indices are listed in `keep`
   /// (all point fields are carried along). Indices must be in range.
   PointSet subset(std::span<const Index> keep) const;
 
 private:
-  std::vector<Vec3f> positions_;
+  CowArray<Vec3f> positions_;
 };
 
 } // namespace eth

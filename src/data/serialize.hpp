@@ -6,6 +6,18 @@
 // the socket layer), and the payload the cluster model charges against
 // the interconnect. Little-endian POD layout; no compression (the paper
 // treats compression as a separate technique outside ETH's pipelines).
+//
+// Two serialization paths produce the SAME byte stream:
+//  * serialize_dataset / deserialize_dataset(span) — the legacy
+//    contiguous path (one flat vector, everything copied).
+//  * wire_message_for_dataset / deserialize_dataset(WireMessage) — the
+//    zero-copy path: small headers become owned segments, bulk arrays
+//    (field values, positions, mesh vertex/index arrays) become
+//    borrowed segments aliasing the live dataset, and the receiver
+//    adopts bulk arrays straight out of the receive buffer
+//    (copy-on-write on first mutation). The segment structure is
+//    invisible on the wire: flattening the message yields exactly the
+//    legacy byte stream.
 
 #include <cstdint>
 #include <memory>
@@ -13,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "data/dataset.hpp"
 #include "data/point_set.hpp"
 #include "data/structured_grid.hpp"
@@ -58,20 +71,109 @@ public:
   std::size_t remaining() const { return data_.size() - pos_; }
   bool at_end() const { return pos_ == data_.size(); }
 
+  /// Unconsumed bytes / cursor advance, for adapters that parse the
+  /// remainder through a WireReader.
+  std::span<const std::uint8_t> rest() const { return data_.subspan(pos_); }
+  void skip(std::size_t n);
+
 private:
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };
 
-/// Serialize any concrete DataSet (type tag included).
+/// Bounds-checked cursor over a scatter-gather WireMessage (or a single
+/// span) with the same typed getters as ByteReader plus zero-copy bulk
+/// array reads: get_array() borrows a view into the underlying segment
+/// when the bytes are contiguous, refcounted (keepalive present) and
+/// aligned for the element type, and falls back to a private copy
+/// otherwise. Either way the read is counted against the data-plane
+/// bytes_borrowed / bytes_copied tallies.
+class WireReader {
+public:
+  explicit WireReader(const WireMessage& msg);
+  explicit WireReader(std::span<const std::uint8_t> data, Keepalive keepalive = {});
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  float get_f32();
+  double get_f64();
+  std::string get_string();
+  void get_bytes(void* out, std::size_t n);
+
+  /// Read `count` elements of T as a borrowed view or a private copy.
+  template <typename T>
+  ArrayChunk<T> get_array(std::size_t count);
+
+  std::size_t remaining() const { return total_ - consumed_; }
+  std::size_t consumed() const { return consumed_; }
+  bool at_end() const { return consumed_ == total_; }
+
+private:
+  void copy_out(void* out, std::size_t n); ///< raw copy, not counted
+  void advance(std::size_t n);
+
+  std::vector<WireMessage::Segment> segments_;
+  std::size_t seg_ = 0;    ///< current segment
+  std::size_t off_ = 0;    ///< offset within current segment
+  std::size_t consumed_ = 0;
+  std::size_t total_ = 0;
+};
+
+template <typename T>
+ArrayChunk<T> WireReader::get_array(std::size_t count) {
+  const std::size_t nbytes = count * sizeof(T);
+  require(remaining() >= nbytes, "WireReader: truncated input (array)");
+  ArrayChunk<T> chunk;
+  if (nbytes > 0) {
+    const WireMessage::Segment& seg = segments_[seg_];
+    const std::uint8_t* p = seg.bytes.data() + off_;
+    if (seg.keepalive && seg.bytes.size() - off_ >= nbytes &&
+        reinterpret_cast<std::uintptr_t>(p) % alignof(T) == 0) {
+      chunk.view = {reinterpret_cast<const T*>(p), count};
+      chunk.keepalive = seg.keepalive;
+      chunk.borrowed = true;
+      advance(nbytes);
+      note_bytes_borrowed(nbytes);
+      return chunk;
+    }
+  }
+  chunk.storage.resize(count);
+  copy_out(chunk.storage.data(), nbytes);
+  note_bytes_copied(nbytes);
+  chunk.view = chunk.storage;
+  return chunk;
+}
+
+/// Serialize any concrete DataSet (type tag included) into one flat
+/// vector (the legacy contiguous path; copies every bulk array).
 std::vector<std::uint8_t> serialize_dataset(const DataSet& ds);
 
-/// Reconstruct the concrete dataset from serialize_dataset output.
+/// Scatter-gather serialization: headers are owned segments, bulk
+/// arrays are borrowed segments aliasing `ds`'s live storage. The
+/// CALLER must keep `ds` alive until the message has been sent (or
+/// flattened); queueing transports copy unowned segments on enqueue.
+WireMessage wire_message_for_dataset(const DataSet& ds);
+
+/// As above, but bulk segments carry `ds` as keepalive, so the message
+/// can cross queues and back receiver-side arrays with zero copies.
+WireMessage wire_message_for_dataset(std::shared_ptr<const DataSet> ds);
+
+/// Reconstruct the concrete dataset from serialize_dataset output
+/// (every bulk array is copied into fresh owned storage).
 std::unique_ptr<DataSet> deserialize_dataset(std::span<const std::uint8_t> bytes);
+
+/// Alias-on-receive reconstruction: bulk arrays borrow the message's
+/// refcounted segments where alignment allows, copying otherwise. The
+/// returned dataset keeps the backing buffers alive and copies-on-write
+/// when first mutated.
+std::unique_ptr<DataSet> deserialize_dataset(const WireMessage& msg);
 
 /// Field-level helpers shared with the VTK-style file IO.
 void serialize_field(ByteWriter& w, const Field& f);
 Field deserialize_field(ByteReader& r);
+Field deserialize_field(WireReader& r);
 void serialize_field_collection(ByteWriter& w, const FieldCollection& fc);
 void deserialize_field_collection(ByteReader& r, FieldCollection& fc);
 

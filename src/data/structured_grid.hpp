@@ -6,6 +6,11 @@
 // Provides the sampling operations both rendering pipelines need:
 // trilinear interpolation for ray marching, central-difference gradients
 // for isosurface shading, and cell-corner gathers for marching cubes.
+//
+// The grid itself is header-only on the wire (dims/origin/spacing); all
+// bulk data lives in its Fields, whose CowArray storage gives a
+// deserialized grid the same alias-on-receive behaviour as the
+// unstructured datasets (see common/buffer.hpp).
 
 #include <array>
 #include <memory>

@@ -43,6 +43,17 @@ Index TetMesh::add_vertex(Vec3f p) {
   return static_cast<Index>(vertices_.size()) - 1;
 }
 
+void TetMesh::adopt_vertices(ArrayChunk<Vec3f>&& chunk) {
+  locator_cells_.clear();
+  vertices_.adopt(std::move(chunk));
+}
+
+void TetMesh::adopt_tets(ArrayChunk<Index>&& chunk) {
+  require(chunk.view.size() % 4 == 0, "TetMesh::adopt_tets: need 4 indices per cell");
+  locator_cells_.clear();
+  tets_.adopt(std::move(chunk));
+}
+
 void TetMesh::add_tet(Index a, Index b, Index c, Index d) {
   const Index n = num_points();
   require(a >= 0 && a < n && b >= 0 && b < n && c >= 0 && c < n && d >= 0 && d < n,
@@ -154,12 +165,13 @@ bool TetMesh::sample(const Field& field, Vec3f p, Real& value) const {
 
 TetMesh TetMesh::from_structured(const StructuredGrid& grid) {
   TetMesh mesh;
-  mesh.vertices_.reserve(static_cast<std::size_t>(grid.num_points()));
+  std::vector<Vec3f>& vertices = mesh.vertices_.owned();
+  vertices.reserve(static_cast<std::size_t>(grid.num_points()));
   const Vec3i dims = grid.dims();
   for (Index k = 0; k < dims.z; ++k)
     for (Index j = 0; j < dims.y; ++j)
       for (Index i = 0; i < dims.x; ++i)
-        mesh.vertices_.push_back(grid.point_position(i, j, k));
+        vertices.push_back(grid.point_position(i, j, k));
 
   // Cell corners in marching order -> global point indices.
   const Index corner_offset[8] = {
@@ -167,14 +179,15 @@ TetMesh TetMesh::from_structured(const StructuredGrid& grid) {
       grid.point_index(0, 1, 0), grid.point_index(0, 0, 1), grid.point_index(1, 0, 1),
       grid.point_index(1, 1, 1), grid.point_index(0, 1, 1)};
   const Vec3i cells = grid.cell_dims();
-  mesh.tets_.reserve(static_cast<std::size_t>(cells.x * cells.y * cells.z * 24));
+  std::vector<Index>& tets = mesh.tets_.owned();
+  tets.reserve(static_cast<std::size_t>(cells.x * cells.y * cells.z * 24));
   for (Index k = 0; k < cells.z; ++k)
     for (Index j = 0; j < cells.y; ++j)
       for (Index i = 0; i < cells.x; ++i) {
         const Index base = grid.point_index(i, j, k);
         for (const auto& t : kKuhnTets) {
           for (int v = 0; v < 4; ++v)
-            mesh.tets_.push_back(base + corner_offset[t[v]]);
+            tets.push_back(base + corner_offset[t[v]]);
         }
       }
 

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "data/dataset.hpp"
 
 namespace eth {
@@ -31,8 +32,19 @@ public:
     return std::make_unique<TetMesh>(*this);
   }
 
-  std::span<const Vec3f> vertices() const { return vertices_; }
-  std::span<const Index> tets() const { return tets_; } ///< 4 per cell
+  std::span<const Vec3f> vertices() const { return vertices_.view(); }
+  std::span<const Index> tets() const { return tets_.view(); } ///< 4 per cell
+
+  /// True while the respective array aliases a receive buffer
+  /// (copy-on-write on first mutation).
+  bool vertices_borrowed() const { return vertices_.borrowed(); }
+  bool tets_borrowed() const { return tets_.borrowed(); }
+
+  /// Replace bulk arrays with chunks read off the data plane. The
+  /// deserializer validates tet indices before adopting; other callers
+  /// must uphold the same invariants (4 indices per cell, in range).
+  void adopt_vertices(ArrayChunk<Vec3f>&& chunk);
+  void adopt_tets(ArrayChunk<Index>&& chunk);
 
   Index add_vertex(Vec3f p);
   /// Append tetrahedron (a, b, c, d) by vertex index. Degenerate
@@ -62,8 +74,8 @@ public:
 private:
   void build_locator() const;
 
-  std::vector<Vec3f> vertices_;
-  std::vector<Index> tets_;
+  CowArray<Vec3f> vertices_;
+  CowArray<Index> tets_;
 
   // Lazy cell locator: uniform grid of tet-index buckets.
   mutable std::vector<std::vector<Index>> locator_cells_;

@@ -49,6 +49,7 @@ Vec3f TriangleMesh::face_normal(Index t) const {
 
 void TriangleMesh::compute_vertex_normals() {
   normals_.assign(vertices_.size(), Vec3f{0, 0, 0});
+  const std::span<Vec3f> normals = normals_.mutate();
   const Index nt = num_triangles();
   for (Index t = 0; t < nt; ++t) {
     Index a, b, c;
@@ -58,11 +59,17 @@ void TriangleMesh::compute_vertex_normals() {
     // Unnormalized cross product = 2 * area * unit normal, giving the
     // area weighting for free.
     const Vec3f fn = cross(e1, e2);
-    normals_[static_cast<std::size_t>(a)] += fn;
-    normals_[static_cast<std::size_t>(b)] += fn;
-    normals_[static_cast<std::size_t>(c)] += fn;
+    normals[static_cast<std::size_t>(a)] += fn;
+    normals[static_cast<std::size_t>(b)] += fn;
+    normals[static_cast<std::size_t>(c)] += fn;
   }
-  for (Vec3f& n : normals_) n = normalize(n);
+  for (Vec3f& n : normals) n = normalize(n);
+}
+
+void TriangleMesh::adopt_normals(ArrayChunk<Vec3f>&& chunk) {
+  require(chunk.view.size() == vertices_.size(),
+          "TriangleMesh::adopt_normals: size mismatch with vertices");
+  normals_.adopt(std::move(chunk));
 }
 
 void TriangleMesh::append(const TriangleMesh& other) {
@@ -70,10 +77,13 @@ void TriangleMesh::append(const TriangleMesh& other) {
               other.num_points() == 0,
           "TriangleMesh::append: normal presence mismatch");
   const Index base = num_points();
-  vertices_.insert(vertices_.end(), other.vertices_.begin(), other.vertices_.end());
-  normals_.insert(normals_.end(), other.normals_.begin(), other.normals_.end());
-  indices_.reserve(indices_.size() + other.indices_.size());
-  for (const Index idx : other.indices_) indices_.push_back(idx + base);
+  std::vector<Vec3f>& vertices = vertices_.owned();
+  vertices.insert(vertices.end(), other.vertices_.begin(), other.vertices_.end());
+  std::vector<Vec3f>& normals = normals_.owned();
+  normals.insert(normals.end(), other.normals_.begin(), other.normals_.end());
+  std::vector<Index>& indices = indices_.owned();
+  indices.reserve(indices.size() + other.indices_.size());
+  for (const Index idx : other.indices_) indices.push_back(idx + base);
 }
 
 } // namespace eth

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "data/dataset.hpp"
 
 namespace eth {
@@ -29,11 +30,25 @@ public:
     return std::make_unique<TriangleMesh>(*this);
   }
 
-  std::span<const Vec3f> vertices() const { return vertices_; }
-  std::span<const Vec3f> normals() const { return normals_; }
-  std::span<const Index> indices() const { return indices_; }
-  std::span<Vec3f> vertices() { return vertices_; }
-  std::span<Vec3f> normals() { return normals_; }
+  std::span<const Vec3f> vertices() const { return vertices_.view(); }
+  std::span<const Vec3f> normals() const { return normals_.view(); }
+  std::span<const Index> indices() const { return indices_.view(); }
+  std::span<Vec3f> vertices() { return vertices_.mutate(); }
+  std::span<Vec3f> normals() { return normals_.mutate(); }
+
+  /// True while the respective array aliases a receive buffer
+  /// (copy-on-write on first mutation).
+  bool vertices_borrowed() const { return vertices_.borrowed(); }
+  bool normals_borrowed() const { return normals_.borrowed(); }
+  bool indices_borrowed() const { return indices_.borrowed(); }
+
+  /// Replace bulk arrays with chunks read off the data plane. The
+  /// deserializer validates index ranges before adopting; other callers
+  /// must uphold the same invariants (normals empty or vertex-length,
+  /// indices in range, 3 per triangle).
+  void adopt_vertices(ArrayChunk<Vec3f>&& chunk) { vertices_.adopt(std::move(chunk)); }
+  void adopt_normals(ArrayChunk<Vec3f>&& chunk);
+  void adopt_indices(ArrayChunk<Index>&& chunk) { indices_.adopt(std::move(chunk)); }
 
   bool has_normals() const { return !normals_.empty(); }
 
@@ -67,9 +82,9 @@ public:
   void append(const TriangleMesh& other);
 
 private:
-  std::vector<Vec3f> vertices_;
-  std::vector<Vec3f> normals_; // empty or same length as vertices_
-  std::vector<Index> indices_; // 3 per triangle
+  CowArray<Vec3f> vertices_;
+  CowArray<Vec3f> normals_; // empty or same length as vertices_
+  CowArray<Index> indices_; // 3 per triangle
 };
 
 } // namespace eth

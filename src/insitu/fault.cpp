@@ -1,5 +1,6 @@
 #include "insitu/fault.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -142,6 +143,90 @@ void FaultInjector::send(std::vector<std::uint8_t> bytes) {
   inner_->send(std::move(bytes));
 }
 
+namespace {
+
+/// First `keep` logical bytes of `msg` (segment subspans, keepalives
+/// shared) — the scatter-gather form of vector::resize-down.
+WireMessage message_prefix(const WireMessage& msg, std::size_t keep) {
+  WireMessage out;
+  for (const WireMessage::Segment& seg : msg.segments()) {
+    if (keep == 0) break;
+    const std::size_t take = std::min(keep, seg.bytes.size());
+    out.append_borrowed(seg.bytes.first(take), seg.keepalive);
+    keep -= take;
+  }
+  return out;
+}
+
+/// `msg` with one bit flipped. Only the segment containing the bit is
+/// copied; every other segment passes through by reference. The source
+/// bytes (possibly a live dataset) are never modified.
+WireMessage message_with_bit_flip(const WireMessage& msg, std::uint64_t bit) {
+  std::size_t byte_at = static_cast<std::size_t>(bit / 8);
+  const auto mask = static_cast<std::uint8_t>(1u << (bit % 8));
+  WireMessage out;
+  for (const WireMessage::Segment& seg : msg.segments()) {
+    if (byte_at < seg.bytes.size()) {
+      Buffer damaged = Buffer::copy_of(seg.bytes);
+      damaged.data()[byte_at] ^= mask;
+      out.append_owned(std::move(damaged));
+      byte_at = std::size_t(-1); // remaining segments pass through
+    } else {
+      if (byte_at != std::size_t(-1)) byte_at -= seg.bytes.size();
+      out.append_borrowed(seg.bytes, seg.keepalive);
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+void FaultInjector::send_msg(const WireMessage& msg) {
+  const FaultEvent event = schedule_.send_event(send_index_++);
+  switch (event.kind) {
+    case FaultKind::kTruncate: {
+      // Same tail-drop rule as the raw path: at least the first byte
+      // survives so the message still arrives.
+      const std::size_t total = msg.total_bytes();
+      const std::size_t keep =
+          total == 0 ? 0 : 1 + static_cast<std::size_t>(
+                                   event.site % (total > 1 ? total - 1 : 1));
+      ++faults_injected_;
+      inner_->send_msg(message_prefix(msg, keep));
+      return;
+    }
+    case FaultKind::kBitFlip: {
+      if (msg.total_bytes() > 0) {
+        const std::uint64_t bit =
+            event.site % (std::uint64_t(msg.total_bytes()) * 8);
+        ++faults_injected_;
+        inner_->send_msg(message_with_bit_flip(msg, bit));
+        return;
+      }
+      break;
+    }
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(event.delay_ms));
+      ++faults_injected_;
+      break;
+    default: break;
+  }
+  inner_->send_msg(msg);
+}
+
+WireMessage FaultInjector::recv_msg() {
+  const FaultEvent event = schedule_.recv_event(recv_index_++);
+  if (event.kind == FaultKind::kRecvTimeout) {
+    // Same semantics as the raw path: consume, then report late.
+    inner_->recv_msg();
+    ++faults_injected_;
+    throw TransportError(TransportErrorCode::kTimeout,
+                         "FaultInjector: injected recv timeout");
+  }
+  return inner_->recv_msg();
+}
+
 std::vector<std::uint8_t> FaultInjector::recv() {
   const FaultEvent event = schedule_.recv_event(recv_index_++);
   if (event.kind == FaultKind::kRecvTimeout) {
@@ -223,6 +308,30 @@ std::optional<std::vector<std::uint8_t>> transfer_with_retry(
       std::vector<std::uint8_t> bytes = rx.recv_framed();
       ++report.frames_delivered;
       return bytes;
+    } catch (const TransportError& error) {
+      if (!classify_recv_fault(error, report)) throw;
+    }
+  }
+  ++report.frames_dropped;
+  return std::nullopt;
+}
+
+std::optional<WireMessage> transfer_with_retry(
+    Transport& tx, Transport& rx, const WireMessage& payload,
+    const RetryPolicy& policy, RobustnessReport& report) {
+  require(policy.max_attempts > 0, "transfer_with_retry: need >= 1 attempt");
+  rx.set_recv_deadline(policy.recv_deadline_seconds);
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) ++report.frames_retried;
+    ++report.frames_sent;
+    // Injected damage is applied to message COPIES below the framing,
+    // so `payload` (and the live dataset its segments alias) is intact
+    // for every retry; non-retryable send failures still propagate.
+    tx.send_framed_msg(payload);
+    try {
+      WireMessage delivered = rx.recv_framed_msg();
+      ++report.frames_delivered;
+      return delivered;
     } catch (const TransportError& error) {
       if (!classify_recv_fault(error, report)) throw;
     }

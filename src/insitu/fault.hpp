@@ -116,6 +116,14 @@ public:
 
   void send(std::vector<std::uint8_t> bytes) override;
   std::vector<std::uint8_t> recv() override;
+  /// Scatter-gather paths share the send/recv schedules with the raw
+  /// paths (one message index per message, whichever API carried it).
+  /// Damage is applied through the segment list: truncation trims the
+  /// segment tail, a bit flip replaces only the affected segment with a
+  /// damaged copy — the sender's live dataset (which borrowed segments
+  /// alias) is never touched, so retries resend pristine bytes.
+  void send_msg(const WireMessage& msg) override;
+  WireMessage recv_msg() override;
   Bytes bytes_sent() const override { return inner_->bytes_sent(); }
   void set_recv_deadline(double seconds) override;
 
@@ -162,6 +170,14 @@ struct RetryPolicy {
 /// are protocol violations, not transit damage, and still propagate.
 std::optional<std::vector<std::uint8_t>> transfer_with_retry(
     Transport& tx, Transport& rx, std::span<const std::uint8_t> payload,
+    const RetryPolicy& policy, RobustnessReport& report);
+
+/// Scatter-gather variant: pushes `payload` through the zero-copy
+/// framed path (send_framed_msg/recv_framed_msg) and returns the
+/// delivered message, whose segments may alias the receive buffer.
+/// `payload` is never mutated, so retries resend the original bytes.
+std::optional<WireMessage> transfer_with_retry(
+    Transport& tx, Transport& rx, const WireMessage& payload,
     const RetryPolicy& policy, RobustnessReport& report);
 
 /// Receive one framed message, classifying detected faults into

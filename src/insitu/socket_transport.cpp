@@ -2,10 +2,12 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -88,6 +90,35 @@ void send_all(int fd, const void* data, std::size_t n) {
   }
 }
 
+/// Gathered write of an iovec list (mutated in place to track partial
+/// writes). MSG_NOSIGNAL semantics match send_all: a closed peer raises
+/// kConnectionClosed instead of SIGPIPE.
+void send_all_vec(int fd, std::vector<iovec>& iov) {
+  std::size_t first = 0;
+  while (first < iov.size()) {
+    msghdr msg{};
+    msg.msg_iov = iov.data() + first;
+    msg.msg_iovlen = std::min(iov.size() - first, std::size_t(IOV_MAX));
+    const ssize_t written = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET)
+        throw TransportError(TransportErrorCode::kConnectionClosed,
+                             "SocketTransport: peer closed the connection while writing");
+      fail(std::string("SocketTransport: sendmsg failed: ") + std::strerror(errno));
+    }
+    std::size_t left = static_cast<std::size_t>(written);
+    while (first < iov.size() && left >= iov[first].iov_len) {
+      left -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < iov.size() && left > 0) {
+      iov[first].iov_base = static_cast<char*>(iov[first].iov_base) + left;
+      iov[first].iov_len -= left;
+    }
+  }
+}
+
 /// Read exactly `n` bytes, honouring a wall-clock deadline started at
 /// `timer` construction; deadline <= 0 waits forever.
 void read_all_deadline(int fd, void* data, std::size_t n, const WallTimer& timer,
@@ -145,6 +176,24 @@ public:
     sent_ += bytes.size();
   }
 
+  void send_msg(const WireMessage& msg) override {
+    check_message_length(msg.total_bytes());
+    std::uint64_t len = msg.total_bytes();
+    std::uint8_t header[8];
+    for (int i = 0; i < 8; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    // One gathered write over [length header | segment...]: the kernel
+    // pulls bulk arrays straight from the dataset's live storage, so no
+    // userspace flatten ever happens on the socket path.
+    std::vector<iovec> iov;
+    iov.reserve(msg.segments().size() + 1);
+    iov.push_back({header, sizeof header});
+    for (const WireMessage::Segment& seg : msg.segments())
+      iov.push_back({const_cast<std::uint8_t*>(seg.bytes.data()), seg.bytes.size()});
+    send_all_vec(fd_.get(), iov);
+    sent_ += msg.total_bytes();
+    note_bytes_borrowed(msg.total_bytes());
+  }
+
   std::vector<std::uint8_t> recv() override {
     const WallTimer timer; // one deadline covers header + payload
     std::uint8_t header[8];
@@ -156,6 +205,24 @@ public:
     if (len > 0)
       read_all_deadline(fd_.get(), bytes.data(), bytes.size(), timer, recv_deadline_);
     return bytes;
+  }
+
+  WireMessage recv_msg() override {
+    const WallTimer timer;
+    std::uint8_t header[8];
+    read_all_deadline(fd_.get(), header, sizeof header, timer, recv_deadline_);
+    std::uint64_t len = 0;
+    for (int i = 0; i < 8; ++i) len |= std::uint64_t(header[i]) << (8 * i);
+    check_message_length(len);
+    // Read into a refcounted Buffer so the deserializer can alias bulk
+    // arrays directly in the receive storage (kernel reads are not
+    // charged to the userspace copy counter).
+    Buffer buffer = Buffer::allocate(static_cast<std::size_t>(len));
+    if (len > 0)
+      read_all_deadline(fd_.get(), buffer.data(), buffer.size(), timer, recv_deadline_);
+    WireMessage msg;
+    msg.append_owned(std::move(buffer));
+    return msg;
   }
 
   Bytes bytes_sent() const override { return sent_; }

@@ -1,6 +1,8 @@
 #include "insitu/transport.hpp"
 
 #include <chrono>
+#include <cstring>
+#include <variant>
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
@@ -40,40 +42,84 @@ std::uint64_t get_u64_le(std::span<const std::uint8_t> in, std::size_t at) {
   return v;
 }
 
+/// CRC32 of the logical byte stream, computed incrementally segment by
+/// segment — the whole point of scatter-gather framing: integrity never
+/// requires a contiguous copy.
+std::uint32_t crc32_of_message(const WireMessage& msg) {
+  std::uint32_t crc = 0;
+  for (const WireMessage::Segment& seg : msg.segments()) crc = crc32(seg.bytes, crc);
+  return crc;
+}
+
 } // namespace
 
-std::vector<std::uint8_t> frame_encode(std::span<const std::uint8_t> payload) {
-  check_message_length(payload.size());
-  std::vector<std::uint8_t> frame;
-  frame.reserve(kFrameHeaderBytes + payload.size());
-  put_u32_le(frame, kFrameMagic);
-  put_u32_le(frame, crc32(payload));
-  put_u64_le(frame, payload.size());
-  frame.insert(frame.end(), payload.begin(), payload.end());
+WireMessage frame_encode_msg(const WireMessage& payload) {
+  check_message_length(payload.total_bytes());
+  std::vector<std::uint8_t> header;
+  header.reserve(kFrameHeaderBytes);
+  put_u32_le(header, kFrameMagic);
+  put_u32_le(header, crc32_of_message(payload));
+  put_u64_le(header, payload.total_bytes());
+  WireMessage frame;
+  frame.append_owned(Buffer::adopt(std::move(header)));
+  frame.append_message(payload);
   return frame;
 }
 
-std::vector<std::uint8_t> frame_decode(std::span<const std::uint8_t> frame) {
-  require_transport(frame.size() >= kFrameHeaderBytes, TransportErrorCode::kTruncated,
+WireMessage frame_decode_msg(const WireMessage& frame) {
+  require_transport(frame.total_bytes() >= kFrameHeaderBytes,
+                    TransportErrorCode::kTruncated,
                     strprintf("frame of %zu bytes is shorter than the %zu-byte header",
-                              frame.size(), kFrameHeaderBytes));
-  require_transport(get_u32_le(frame, 0) == kFrameMagic,
+                              frame.total_bytes(), kFrameHeaderBytes));
+  // Gather the (tiny) header; it may straddle segment boundaries.
+  std::uint8_t header[kFrameHeaderBytes];
+  {
+    std::size_t filled = 0;
+    for (const WireMessage::Segment& seg : frame.segments()) {
+      const std::size_t take = std::min(seg.bytes.size(), kFrameHeaderBytes - filled);
+      std::memcpy(header + filled, seg.bytes.data(), take);
+      filled += take;
+      if (filled == kFrameHeaderBytes) break;
+    }
+  }
+  require_transport(get_u32_le(header, 0) == kFrameMagic,
                     TransportErrorCode::kCorruptFrame, "frame magic mismatch");
-  const std::uint32_t expected_crc = get_u32_le(frame, 4);
-  const std::uint64_t length = get_u64_le(frame, 8);
+  const std::uint32_t expected_crc = get_u32_le(header, 4);
+  const std::uint64_t length = get_u64_le(header, 8);
   check_message_length(length);
-  require_transport(frame.size() - kFrameHeaderBytes >= length,
+  require_transport(frame.total_bytes() - kFrameHeaderBytes >= length,
                     TransportErrorCode::kTruncated,
                     strprintf("frame promises %llu payload bytes but carries %zu",
                               static_cast<unsigned long long>(length),
-                              frame.size() - kFrameHeaderBytes));
-  require_transport(frame.size() - kFrameHeaderBytes == length,
+                              frame.total_bytes() - kFrameHeaderBytes));
+  require_transport(frame.total_bytes() - kFrameHeaderBytes == length,
                     TransportErrorCode::kCorruptFrame,
                     "frame carries trailing bytes past its declared payload");
-  const auto payload = frame.subspan(kFrameHeaderBytes, length);
-  require_transport(crc32(payload) == expected_crc, TransportErrorCode::kCorruptFrame,
+  WireMessage payload = frame.slice(kFrameHeaderBytes);
+  require_transport(crc32_of_message(payload) == expected_crc,
+                    TransportErrorCode::kCorruptFrame,
                     "frame CRC32 mismatch (payload damaged in transit)");
-  return std::vector<std::uint8_t>(payload.begin(), payload.end());
+  return payload;
+}
+
+std::vector<std::uint8_t> frame_encode(std::span<const std::uint8_t> payload) {
+  WireMessage msg;
+  msg.append_borrowed(payload);
+  return frame_encode_msg(msg).flatten();
+}
+
+std::vector<std::uint8_t> frame_decode(std::span<const std::uint8_t> frame) {
+  WireMessage msg;
+  msg.append_borrowed(frame);
+  return frame_decode_msg(msg).flatten();
+}
+
+void Transport::send_msg(const WireMessage& msg) { send(msg.flatten()); }
+
+WireMessage Transport::recv_msg() {
+  WireMessage msg;
+  msg.append_owned(Buffer::adopt(recv()));
+  return msg;
 }
 
 void Transport::send_framed(std::span<const std::uint8_t> payload) {
@@ -82,36 +128,52 @@ void Transport::send_framed(std::span<const std::uint8_t> payload) {
 
 std::vector<std::uint8_t> Transport::recv_framed() { return frame_decode(recv()); }
 
+void Transport::send_framed_msg(const WireMessage& payload) {
+  send_msg(frame_encode_msg(payload));
+}
+
+WireMessage Transport::recv_framed_msg() { return frame_decode_msg(recv_msg()); }
+
 void Transport::send_dataset(const DataSet& ds) {
-  const std::vector<std::uint8_t> bytes = serialize_dataset(ds);
-  send_framed(bytes);
+  // The message borrows ds's arrays without a keepalive; the lifetime
+  // contract of send_msg makes that safe (synchronous transports write
+  // before returning, queueing transports copy unowned segments).
+  send_framed_msg(wire_message_for_dataset(ds));
+}
+
+void Transport::send_dataset(std::shared_ptr<const DataSet> ds) {
+  send_framed_msg(wire_message_for_dataset(std::move(ds)));
 }
 
 std::unique_ptr<DataSet> Transport::recv_dataset() {
-  const std::vector<std::uint8_t> bytes = recv_framed();
-  return deserialize_dataset(bytes);
+  return deserialize_dataset(recv_framed_msg());
 }
 
 // ----------------------------------------------------- in-proc channel
 
 namespace {
 
-/// One direction of the in-process channel.
+/// One direction of the in-process channel. Raw byte sends stay plain
+/// vectors (moved through untouched); scatter-gather sends keep their
+/// segment list, so refcounted payload segments cross the queue with
+/// zero copies.
 struct Pipe {
+  using Item = std::variant<std::vector<std::uint8_t>, WireMessage>;
+
   std::mutex mutex;
   std::condition_variable arrived;
-  std::deque<std::vector<std::uint8_t>> queue;
+  std::deque<Item> queue;
   bool closed = false;
 
-  void push(std::vector<std::uint8_t> bytes) {
+  void push(Item item) {
     {
       std::lock_guard<std::mutex> lock(mutex);
-      queue.push_back(std::move(bytes));
+      queue.push_back(std::move(item));
     }
     arrived.notify_one();
   }
 
-  std::vector<std::uint8_t> pop(double deadline_seconds) {
+  Item pop(double deadline_seconds) {
     std::unique_lock<std::mutex> lock(mutex);
     const auto ready = [this] { return !queue.empty() || closed; };
     if (deadline_seconds > 0) {
@@ -126,9 +188,9 @@ struct Pipe {
     }
     require_transport(!queue.empty(), TransportErrorCode::kConnectionClosed,
                       "InProcChannel: peer endpoint destroyed while receiving");
-    std::vector<std::uint8_t> bytes = std::move(queue.front());
+    Item item = std::move(queue.front());
     queue.pop_front();
-    return bytes;
+    return item;
   }
 
   void close() {
@@ -154,7 +216,39 @@ public:
     out_->push(std::move(bytes));
   }
 
-  std::vector<std::uint8_t> recv() override { return in_->pop(recv_deadline_); }
+  void send_msg(const WireMessage& msg) override {
+    sent_ += msg.total_bytes();
+    // Enforce the lifetime contract: refcounted segments ride through
+    // the queue by reference (the keepalive pins their storage);
+    // unowned segments are only valid until we return, so they are
+    // copied into fresh buffers here.
+    WireMessage queued;
+    for (const WireMessage::Segment& seg : msg.segments()) {
+      if (seg.keepalive) {
+        note_bytes_borrowed(seg.bytes.size());
+        queued.append_borrowed(seg.bytes, seg.keepalive);
+      } else {
+        note_bytes_copied(seg.bytes.size());
+        queued.append_owned(Buffer::copy_of(seg.bytes));
+      }
+    }
+    out_->push(std::move(queued));
+  }
+
+  std::vector<std::uint8_t> recv() override {
+    Pipe::Item item = in_->pop(recv_deadline_);
+    if (auto* bytes = std::get_if<std::vector<std::uint8_t>>(&item))
+      return std::move(*bytes);
+    return std::get<WireMessage>(item).flatten();
+  }
+
+  WireMessage recv_msg() override {
+    Pipe::Item item = in_->pop(recv_deadline_);
+    if (auto* msg = std::get_if<WireMessage>(&item)) return std::move(*msg);
+    WireMessage wrapped;
+    wrapped.append_owned(Buffer::adopt(std::move(std::get<std::vector<std::uint8_t>>(item))));
+    return wrapped;
+  }
 
   Bytes bytes_sent() const override { return sent_; }
 

@@ -33,6 +33,7 @@
 #include <span>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "data/dataset.hpp"
 
 namespace eth::insitu {
@@ -67,6 +68,17 @@ std::vector<std::uint8_t> frame_encode(std::span<const std::uint8_t> payload);
 /// implausible length.
 std::vector<std::uint8_t> frame_decode(std::span<const std::uint8_t> frame);
 
+/// Scatter-gather framing: prepend a checksummed frame header as one
+/// owned segment and share the payload's segments — no contiguous copy
+/// is ever made (the CRC runs incrementally over the segment list).
+/// Flattening the result yields exactly frame_encode(flat payload).
+WireMessage frame_encode_msg(const WireMessage& payload);
+
+/// Validate and strip the frame header from a scatter-gather frame;
+/// the returned payload shares the frame's segments (and keepalives).
+/// Identical error classification to frame_decode.
+WireMessage frame_decode_msg(const WireMessage& frame);
+
 /// Bidirectional message endpoint.
 class Transport {
 public:
@@ -90,12 +102,35 @@ public:
 
   static constexpr double kDefaultRecvDeadlineSeconds = 60.0;
 
+  /// Send a scatter-gather message. Lifetime contract: segments WITHOUT
+  /// a keepalive are only guaranteed alive until this call returns, so
+  /// queueing transports must copy them on enqueue; segments WITH a
+  /// keepalive may be passed through by reference. The base
+  /// implementation flattens into a contiguous send(); transports
+  /// override it for zero-copy (writev on sockets, segment-list handoff
+  /// in process).
+  virtual void send_msg(const WireMessage& msg);
+
+  /// Receive the next message in scatter-gather form. The base
+  /// implementation wraps recv() as one owned segment, so bulk arrays
+  /// can alias the receive buffer.
+  virtual WireMessage recv_msg();
+
   // CRC-framed wrappers over the raw byte interface.
   void send_framed(std::span<const std::uint8_t> payload);
   std::vector<std::uint8_t> recv_framed();
 
-  // Dataset convenience wrappers over data/serialize (framed).
+  // CRC-framed wrappers over the scatter-gather interface.
+  void send_framed_msg(const WireMessage& payload);
+  WireMessage recv_framed_msg();
+
+  // Dataset convenience wrappers over data/serialize (framed). The
+  // const& overload borrows the dataset's arrays only for the duration
+  // of the call; the shared_ptr overload attaches the dataset as
+  // keepalive, so the bytes cross queues with zero copies and the
+  // receiver's arrays alias the sender's until first write.
   void send_dataset(const DataSet& ds);
+  void send_dataset(std::shared_ptr<const DataSet> ds);
   std::unique_ptr<DataSet> recv_dataset();
 };
 

@@ -31,4 +31,21 @@ ETH_THREADS="${ETH_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" 
   run_variant build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DETH_SANITIZE=thread -DETH_BUILD_BENCH=OFF -DETH_BUILD_EXAMPLES=OFF
 
+# AddressSanitizer over the data/in-situ suites: the zero-copy data
+# plane aliases receive buffers and peers' live arrays (common/buffer),
+# so the lifetime contract — keepalives pin every borrowed span — is
+# exactly what ASan's use-after-free detection verifies.
+asan_variant() {
+  local dir="build-asan"
+  echo "==== configure ${dir} (address sanitizer) ===="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DETH_SANITIZE=address -DETH_BUILD_BENCH=OFF -DETH_BUILD_EXAMPLES=OFF
+  echo "==== build ${dir} ===="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "==== test ${dir} (data + insitu + buffer suites) ===="
+  ctest --test-dir "${dir}" --output-on-failure \
+    -R 'Buffer|CowArray|DataPlane|WireMessage|Serialize|GoldenWireFormat|InProc|Socket|Fault|Frame|Transport'
+}
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" asan_variant
+
 echo "==== all checks passed ===="
