@@ -7,9 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
 #include <filesystem>
+#include <span>
 #include <thread>
+#include <vector>
 
+#include "common/crc32.hpp"
 #include "data/compression.hpp"
 #include "data/serialize.hpp"
 #include "insitu/socket_transport.hpp"
@@ -166,6 +171,72 @@ void BM_QuantizedTransport(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * plain_size));
 }
 BENCHMARK(BM_QuantizedTransport)->Arg(6)->Arg(10)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------- CRC32 kernel ablation
+// The transport frames every payload with a CRC32. The library's
+// slicing-by-8 kernel processes 8 bytes per table round; the bytewise
+// reference below is the classic one-table-lookup-per-byte form it
+// replaced. Same polynomial, same values — only throughput differs.
+
+std::vector<std::uint8_t> crc_payload(std::size_t n) {
+  std::vector<std::uint8_t> data(n);
+  std::uint32_t x = 0x12345678u;
+  for (auto& b : data) {
+    x = x * 1664525u + 1013904223u;
+    b = static_cast<std::uint8_t>(x >> 24);
+  }
+  return data;
+}
+
+std::uint32_t crc32_bytewise_reference(std::span<const std::uint8_t> data,
+                                       std::uint32_t seed) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c >> 1) ^ (0xEDB88320u & (0u - (c & 1u)));
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void BM_Crc32SliceBy8(benchmark::State& state) {
+  const auto data = crc_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const std::uint32_t c = crc32(data, 0);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32SliceBy8)
+    ->Arg(1 << 12)
+    ->Arg(1 << 20)
+    ->Arg(16 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Crc32Bytewise(benchmark::State& state) {
+  const auto data = crc_payload(static_cast<std::size_t>(state.range(0)));
+  // Sanity: the two kernels must agree before we race them.
+  if (crc32_bytewise_reference(data, 0) != crc32(data, 0))
+    state.SkipWithError("bytewise reference disagrees with crc32()");
+  for (auto _ : state) {
+    const std::uint32_t c = crc32_bytewise_reference(data, 0);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32Bytewise)
+    ->Arg(1 << 12)
+    ->Arg(1 << 20)
+    ->Arg(16 << 20)
+    ->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

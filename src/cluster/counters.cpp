@@ -18,6 +18,10 @@ void PerfCounters::merge(const PerfCounters& other) {
   bytes_communicated += other.bytes_communicated;
   bytes_copied += other.bytes_copied;
   bytes_borrowed += other.bytes_borrowed;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  prefetch_hits += other.prefetch_hits;
+  cache_bytes = std::max(cache_bytes, other.cache_bytes);
   max_parallel_items = std::max(max_parallel_items, other.max_parallel_items);
   // PhaseTimer totals merge by adding each known phase; iterate the
   // small fixed vocabulary.
@@ -41,6 +45,10 @@ std::string PerfCounters::summary() const {
   out += strprintf("bytes_communicated: %s\n", format_bytes(bytes_communicated).c_str());
   out += strprintf("bytes_copied: %s\n", format_bytes(bytes_copied).c_str());
   out += strprintf("bytes_borrowed: %s\n", format_bytes(bytes_borrowed).c_str());
+  out += strprintf("cache_hits: %lld\n", static_cast<long long>(cache_hits));
+  out += strprintf("cache_misses: %lld\n", static_cast<long long>(cache_misses));
+  out += strprintf("prefetch_hits: %lld\n", static_cast<long long>(prefetch_hits));
+  out += strprintf("cache_bytes: %s\n", format_bytes(cache_bytes).c_str());
   out += strprintf("max_parallel_items: %lld\n", static_cast<long long>(max_parallel_items));
   out += strprintf("cpu_seconds_total: %.4f\n", phases.total());
   return out;

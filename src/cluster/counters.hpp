@@ -37,6 +37,17 @@ struct PerfCounters {
   Bytes bytes_copied = 0;
   Bytes bytes_borrowed = 0;
 
+  // Memoization counters (core/artifact_cache.hpp): demand lookups
+  // that hit / ran the producer, hits the read-ahead prefetcher had
+  // warmed, and the cache's resident footprint when the run ended.
+  // Observational — the cached values themselves are bit-identical to
+  // recomputation, so these are the ONLY counters allowed to differ
+  // between cache-on and cache-off runs.
+  Index cache_hits = 0;
+  Index cache_misses = 0;
+  Index prefetch_hits = 0;
+  Bytes cache_bytes = 0; ///< resident snapshot (gauge, merged by max)
+
   // Time, by phase (CPU seconds from ThreadCpuTimer).
   PhaseTimer phases;
 

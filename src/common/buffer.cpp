@@ -11,15 +11,36 @@ namespace {
 std::atomic<Bytes> g_bytes_copied{0};
 std::atomic<Bytes> g_bytes_borrowed{0};
 
+// Active capture sink for this thread (common/buffer.hpp
+// DataPlaneCapture): when set, notes accumulate there instead of the
+// process-wide counters. Thread-local, so no synchronization needed.
+thread_local DataPlaneCounters* t_capture_sink = nullptr;
+
 } // namespace
 
 void note_bytes_copied(Bytes n) {
-  if (n) g_bytes_copied.fetch_add(n, std::memory_order_relaxed);
+  if (!n) return;
+  if (t_capture_sink != nullptr) {
+    t_capture_sink->bytes_copied += n;
+    return;
+  }
+  g_bytes_copied.fetch_add(n, std::memory_order_relaxed);
 }
 
 void note_bytes_borrowed(Bytes n) {
-  if (n) g_bytes_borrowed.fetch_add(n, std::memory_order_relaxed);
+  if (!n) return;
+  if (t_capture_sink != nullptr) {
+    t_capture_sink->bytes_borrowed += n;
+    return;
+  }
+  g_bytes_borrowed.fetch_add(n, std::memory_order_relaxed);
 }
+
+DataPlaneCapture::DataPlaneCapture() : prev_(t_capture_sink) {
+  t_capture_sink = &local_;
+}
+
+DataPlaneCapture::~DataPlaneCapture() { t_capture_sink = prev_; }
 
 DataPlaneCounters data_plane_counters() {
   return {g_bytes_copied.load(std::memory_order_relaxed),

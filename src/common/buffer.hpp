@@ -59,6 +59,27 @@ void note_bytes_borrowed(Bytes n);
 DataPlaneCounters data_plane_counters();
 void reset_data_plane_counters();
 
+/// RAII redirect of THIS THREAD's data-plane notes into a private
+/// tally instead of the process-wide counters. The memoization layer
+/// wraps cached producers (e.g. proxy disk loads) in a capture so the
+/// one-time copy cost is recorded in the artifact and REPLAYED into
+/// every consumer's counters — on a hit as much as on the miss — which
+/// keeps the copied/borrowed totals identical with the cache on or
+/// off. Captures nest (the inner one shadows the outer for its scope).
+class DataPlaneCapture {
+public:
+  DataPlaneCapture();
+  ~DataPlaneCapture();
+  DataPlaneCapture(const DataPlaneCapture&) = delete;
+  DataPlaneCapture& operator=(const DataPlaneCapture&) = delete;
+
+  const DataPlaneCounters& taken() const { return local_; }
+
+private:
+  DataPlaneCounters local_;
+  DataPlaneCounters* prev_;
+};
+
 // --------------------------------------------------------------- Buffer
 
 /// Refcounted byte slab. Copying a Buffer copies a handle, never bytes.

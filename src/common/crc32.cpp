@@ -1,28 +1,62 @@
 #include "common/crc32.hpp"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace eth {
 
 namespace {
 
-std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8 (Kounavis & Berry): eight derived tables let the loop
+// fold 8 input bytes per iteration with independent lookups instead of
+// one byte per iteration. table[0] is the classic byte-at-a-time table
+// for the same reflected polynomial, so the CRC values — and the wire
+// fixtures built on them — are unchanged.
+using Crc32Tables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+Crc32Tables make_tables() {
+  Crc32Tables t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k)
       c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  // t[k][i] = CRC of byte i followed by k zero bytes: shift the prior
+  // table's entry through one more zero byte.
+  for (std::size_t k = 1; k < 8; ++k)
+    for (std::uint32_t i = 0; i < 256; ++i)
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+  return t;
 }
 
 } // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
-  static const std::array<std::uint32_t, 256> table = make_table();
+  static const Crc32Tables t = make_tables();
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (const std::uint8_t byte : data) c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  // The 8-byte fast path assembles two little-endian words; on a
+  // big-endian host the byte-at-a-time tail loop below handles
+  // everything (correct, just slower).
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint32_t one, two;
+      std::memcpy(&one, p, 4);
+      std::memcpy(&two, p + 4, 4);
+      one ^= c;
+      c = t[7][one & 0xFFu] ^ t[6][(one >> 8) & 0xFFu] ^
+          t[5][(one >> 16) & 0xFFu] ^ t[4][one >> 24] ^
+          t[3][two & 0xFFu] ^ t[2][(two >> 8) & 0xFFu] ^
+          t[1][(two >> 16) & 0xFFu] ^ t[0][two >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  for (; n > 0; ++p, --n) c = t[0][(c ^ *p) & 0xFFu] ^ (c >> 8);
   return c ^ 0xFFFFFFFFu;
 }
 

@@ -1,0 +1,28 @@
+#include "core/artifact_cache.hpp"
+
+#include <cstdlib>
+
+namespace eth {
+
+ArtifactCache& global_artifact_cache() {
+  // Leaked singleton: worker threads (read-ahead prefetch tasks) may
+  // touch the cache during static destruction if it were destroyed.
+  static ArtifactCache* cache = [] {
+    Bytes budget = Bytes(512) << 20; // 512 MiB default
+    bool on = true;
+    if (const char* env = std::getenv("ETH_CACHE_BYTES")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != env) {
+        budget = Bytes(parsed);
+        on = parsed != 0;
+      }
+    }
+    auto* c = new ArtifactCache(budget);
+    c->set_enabled(on);
+    return c;
+  }();
+  return *cache;
+}
+
+} // namespace eth

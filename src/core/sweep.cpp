@@ -17,7 +17,9 @@ std::vector<SweepOutcome> run_sweep(
 
 ResultTable metrics_table(const std::string& label_column,
                           const std::vector<SweepOutcome>& outcomes) {
-  ResultTable table({label_column, "time_s", "power_kW", "dyn_power_kW", "energy_MJ"});
+  ResultTable table({label_column, "time_s", "power_kW", "dyn_power_kW",
+                     "energy_MJ", "cache_hits", "cache_misses", "cache_bytes",
+                     "prefetch_hits"});
   for (const SweepOutcome& o : outcomes) {
     table.begin_row();
     table.add_cell(o.label);
@@ -25,6 +27,10 @@ ResultTable metrics_table(const std::string& label_column,
     table.add_cell(o.result.average_power / 1e3, "%.2f");
     table.add_cell(o.result.average_dynamic_power / 1e3, "%.2f");
     table.add_cell(o.result.energy / 1e6, "%.3f");
+    table.add_cell(o.result.counters.cache_hits);
+    table.add_cell(o.result.counters.cache_misses);
+    table.add_cell(Index(o.result.counters.cache_bytes));
+    table.add_cell(o.result.counters.prefetch_hits);
   }
   return table;
 }
@@ -34,7 +40,8 @@ ResultTable robustness_table(const std::string& label_column,
   ResultTable table({label_column, "frames_sent", "frames_delivered",
                      "frames_retried", "frames_dropped", "frames_corrupt",
                      "frames_timed_out", "timesteps_dropped", "bytes_copied",
-                     "bytes_borrowed"});
+                     "bytes_borrowed", "cache_hits", "cache_misses",
+                     "cache_bytes", "prefetch_hits"});
   for (const SweepOutcome& o : outcomes) {
     table.begin_row();
     table.add_cell(o.label);
@@ -47,6 +54,10 @@ ResultTable robustness_table(const std::string& label_column,
     table.add_cell(o.result.timesteps_dropped);
     table.add_cell(Index(o.result.counters.bytes_copied));
     table.add_cell(Index(o.result.counters.bytes_borrowed));
+    table.add_cell(o.result.counters.cache_hits);
+    table.add_cell(o.result.counters.cache_misses);
+    table.add_cell(Index(o.result.counters.cache_bytes));
+    table.add_cell(o.result.counters.prefetch_hits);
   }
   return table;
 }

@@ -22,6 +22,7 @@ public:
 
   std::size_t num_rows() const { return rows_.size(); }
   std::size_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
   const std::string& cell(std::size_t row, std::size_t col) const;
 
   /// Column-aligned, pipe-separated rendering.

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 
+#include "common/fingerprint.hpp"
 #include "data/tet_mesh.hpp"
 
 namespace eth {
@@ -447,6 +448,13 @@ std::unique_ptr<DataSet> deserialize_dataset(std::span<const std::uint8_t> bytes
 std::unique_ptr<DataSet> deserialize_dataset(const WireMessage& msg) {
   WireReader r(msg);
   return deserialize_dataset_impl(r);
+}
+
+std::uint64_t dataset_fingerprint(const DataSet& ds) {
+  // Identity query, not data movement: keep the message assembly out of
+  // the data-plane tallies so fingerprinting never perturbs them.
+  DataPlaneCapture mute;
+  return fingerprint_message(wire_message_for_dataset(ds));
 }
 
 } // namespace eth

@@ -3,7 +3,10 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
+#include "common/string_util.hpp"
 #include "common/timer.hpp"
+#include "core/artifact_cache.hpp"
 #include "data/point_set.hpp"
 #include "data/structured_grid.hpp"
 #include "data/triangle_mesh.hpp"
@@ -61,6 +64,14 @@ Vec3f slice_normal(int s) {
   }
 }
 
+/// The active cache handle, or null when memoization cannot apply (no
+/// cache configured, cache disabled, or unknown input provenance).
+ArtifactCache* active_cache(const VizConfig& cfg) {
+  if (cfg.artifact_cache == nullptr || !cfg.artifact_cache->enabled()) return nullptr;
+  if (cfg.input_fingerprint == 0) return nullptr;
+  return cfg.artifact_cache;
+}
+
 VizRankOutput run_particle(const DataSet& data, const VizConfig& cfg,
                            const Camera& base_camera) {
   require(data.kind() == DataSetKind::kPointSet,
@@ -71,10 +82,14 @@ VizRankOutput run_particle(const DataSet& data, const VizConfig& cfg,
   // Non-owning view of the caller's data; replaced by the sampler's
   // output when sampling is active (avoids cloning multi-GB inputs).
   std::shared_ptr<const DataSet> working(std::shared_ptr<const DataSet>(), &data);
+  ArtifactCache* cache = active_cache(cfg);
+  std::uint64_t working_fp = cfg.input_fingerprint;
   if (cfg.sampling_ratio < 1.0) {
     SpatialSampler sampler(cfg.sampling_ratio, cfg.sampling_mode, cfg.sampling_seed);
+    sampler.set_cache(cache, working_fp);
     sampler.set_input(working);
     working = sampler.update();
+    working_fp = sampler.output_fingerprint();
     out.counters.merge(sampler.counters()); // carries the "sample" phase
   }
   const auto& points = static_cast<const PointSet&>(*working);
@@ -99,8 +114,26 @@ VizRankOutput run_particle(const DataSet& data, const VizConfig& cfg,
   ray_opts.colormap = colormap;
   ray_opts.scalar_field = cfg.particle_scalar;
   if (cfg.algorithm == VizAlgorithm::kRaycastSpheres) {
-    // The O(N log N) setup phase, once per timestep.
-    raycaster.build_spheres(points, ray_opts, out.counters);
+    // The O(N log N) setup phase, once per timestep — and, with the
+    // cache, once per (dataset, geometry options) across the sweep.
+    if (cache != nullptr && working_fp != 0) {
+      const std::string signature =
+          strprintf("sphere_bvh r=%a split=%d leaf=%d", double(ray_opts.world_radius),
+                    static_cast<int>(ray_opts.split), ray_opts.max_leaf_size);
+      const CacheLookup lookup = cache->get_or_compute(
+          {working_fp, signature}, [&]() -> CacheArtifact {
+            cluster::PerfCounters fresh;
+            std::shared_ptr<const SphereAccel> accel =
+                RaycastRenderer::build_sphere_accel(points, ray_opts, fresh);
+            return CacheArtifact{accel, static_cast<std::size_t>(accel->byte_size()),
+                                 std::move(fresh),
+                                 fingerprint_chain(working_fp, signature)};
+          });
+      raycaster.adopt_spheres(lookup.as<SphereAccel>());
+      out.counters.merge(lookup.recorded); // carries "build" (hit and miss)
+    } else {
+      raycaster.build_spheres(points, ray_opts, out.counters);
+    }
   }
 
   RasterRenderer raster;
@@ -151,10 +184,14 @@ VizRankOutput run_volume(const DataSet& data, const VizConfig& cfg,
   // Non-owning view of the caller's data; replaced by the sampler's
   // output when sampling is active (avoids cloning multi-GB inputs).
   std::shared_ptr<const DataSet> working(std::shared_ptr<const DataSet>(), &data);
+  ArtifactCache* cache = active_cache(cfg);
+  std::uint64_t working_fp = cfg.input_fingerprint;
   if (cfg.sampling_ratio < 1.0) {
     SpatialSampler sampler(cfg.sampling_ratio, cfg.sampling_mode, cfg.sampling_seed);
+    sampler.set_cache(cache, working_fp);
     sampler.set_input(working);
     working = sampler.update();
+    working_fp = sampler.output_fingerprint();
     out.counters.merge(sampler.counters()); // carries the "sample" phase
   }
   const auto& grid = static_cast<const StructuredGrid&>(*working);
@@ -191,19 +228,39 @@ VizRankOutput run_volume(const DataSet& data, const VizConfig& cfg,
   std::vector<std::shared_ptr<const DataSet>> slice_meshes;
   if (cfg.algorithm == VizAlgorithm::kVtkGeometry) {
     IsosurfaceExtractor iso_extract(cfg.volume_field, iso);
+    iso_extract.set_cache(cache, working_fp);
     iso_extract.set_input(working);
     iso_mesh = iso_extract.update();
     out.counters.merge(iso_extract.counters()); // carries "extract"
     for (int s = 0; s < cfg.num_slices; ++s) {
       SlicePlaneExtractor slicer(cfg.volume_field, plane_origins[static_cast<std::size_t>(s)],
                                  slice_normal(s));
+      slicer.set_cache(cache, working_fp);
       slicer.set_input(working);
       slice_meshes.push_back(slicer.update());
       out.counters.merge(slicer.counters());
     }
   } else if (cfg.algorithm == VizAlgorithm::kRaycastVolume) {
-    if (cfg.volume_acceleration)
-      raycaster.build_volume(grid, cfg.volume_field, out.counters); // "build"
+    if (cfg.volume_acceleration) {
+      if (cache != nullptr && working_fp != 0) {
+        const std::string signature =
+            strprintf("minmax field=%s cells=4", cfg.volume_field.c_str());
+        const CacheLookup lookup = cache->get_or_compute(
+            {working_fp, signature}, [&]() -> CacheArtifact {
+              cluster::PerfCounters fresh;
+              std::shared_ptr<const MinMaxGrid> minmax =
+                  RaycastRenderer::build_volume_accel(grid, cfg.volume_field, fresh);
+              return CacheArtifact{minmax,
+                                   static_cast<std::size_t>(minmax->byte_size()),
+                                   std::move(fresh),
+                                   fingerprint_chain(working_fp, signature)};
+            });
+        raycaster.adopt_volume(lookup.as<MinMaxGrid>());
+        out.counters.merge(lookup.recorded); // carries "build" (hit and miss)
+      } else {
+        raycaster.build_volume(grid, cfg.volume_field, out.counters); // "build"
+      }
+    }
   } else if (cfg.algorithm != VizAlgorithm::kRaycastDvr) {
     fail("run_volume: not a volume algorithm");
   }

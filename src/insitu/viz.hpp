@@ -24,6 +24,10 @@
 #include "pipeline/sampler.hpp"
 #include "render/camera.hpp"
 
+namespace eth {
+class ArtifactCache;
+} // namespace eth
+
 namespace eth::insitu {
 
 enum class VizAlgorithm {
@@ -92,6 +96,16 @@ struct VizConfig {
   Real scalar_range_hi = -1.0f;
 
   bool has_explicit_scalar_range() const { return scalar_range_hi >= scalar_range_lo; }
+
+  // ------------------------------------------------------ memoization
+  /// Sweep-wide artifact cache (DESIGN.md §10). When set together with a
+  /// non-zero `input_fingerprint`, sampling outputs, extracted geometry
+  /// and renderer acceleration structures are resolved through the
+  /// cache; null reproduces the uncached behavior exactly.
+  ArtifactCache* artifact_cache = nullptr;
+  /// Content fingerprint of `data` as handed to run_viz_rank (the
+  /// provenance root for every derived artifact's cache key).
+  std::uint64_t input_fingerprint = 0;
 };
 
 struct VizRankOutput {

@@ -10,11 +10,14 @@
 // pull semantics, everything downstream of it on the next update().
 
 #include <memory>
+#include <string>
 
 #include "cluster/counters.hpp"
 #include "data/dataset.hpp"
 
 namespace eth {
+
+class ArtifactCache;
 
 class Algorithm {
 public:
@@ -40,6 +43,25 @@ public:
   const cluster::PerfCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = cluster::PerfCounters{}; }
 
+  /// Attach a memoization cache (core/artifact_cache.hpp) and declare
+  /// the content identity of this algorithm's input. Filters that
+  /// implement cache_signature() then resolve (input fingerprint,
+  /// signature) through the cache instead of re-executing; on a hit
+  /// the recorded first-execution counters are replayed into
+  /// counters(), so accounting is identical either way. A null cache,
+  /// a zero fingerprint, or an empty signature all mean "memoization
+  /// off" — the legacy execute path, byte-for-byte unchanged.
+  void set_cache(ArtifactCache* cache, std::uint64_t input_fingerprint) {
+    cache_ = cache;
+    input_fp_ = input_fingerprint;
+  }
+
+  /// Content identity of the current output (0 = unknown). Valid after
+  /// update(); chains automatically through connected pipelines — a
+  /// downstream filter inherits its upstream's output fingerprint (and
+  /// cache handle) on the next pull.
+  std::uint64_t output_fingerprint() const { return output_fp_; }
+
 protected:
   Algorithm() = default;
 
@@ -55,11 +77,20 @@ protected:
   /// geometry extraction filters, "sample" for samplers, ...).
   virtual const char* phase_name() const { return "extract"; }
 
+  /// Canonical operation-plus-parameters string for memoization keys.
+  /// Must cover EVERY parameter that influences execute()'s output
+  /// (floats via %a so the string is bit-exact); empty (the default)
+  /// opts the filter out of caching.
+  virtual std::string cache_signature() const { return {}; }
+
 private:
   std::shared_ptr<const DataSet> fixed_input_;
   std::shared_ptr<Algorithm> upstream_;
   std::shared_ptr<const DataSet> output_;
   cluster::PerfCounters counters_;
+  ArtifactCache* cache_ = nullptr;
+  std::uint64_t input_fp_ = 0;
+  std::uint64_t output_fp_ = 0;
   bool dirty_ = true;
 };
 

@@ -1,5 +1,7 @@
 #include "pipeline/gaussian_splatter.hpp"
 
+#include "common/string_util.hpp"
+
 #include <cmath>
 #include <vector>
 
@@ -126,6 +128,11 @@ std::unique_ptr<DataSet> GaussianSplatterFilter::execute(
   counters.flop_estimate += double(voxel_updates) * 12.0;
   counters.max_parallel_items = std::max(counters.max_parallel_items, ps.num_points());
   return grid;
+}
+
+std::string GaussianSplatterFilter::cache_signature() const {
+  return strprintf("splatter dim=%lld radius=%a", static_cast<long long>(grid_dim_),
+                   static_cast<double>(radius_factor_));
 }
 
 } // namespace eth

@@ -1,5 +1,7 @@
 #include "pipeline/isosurface.hpp"
 
+#include "common/string_util.hpp"
+
 #include <vector>
 
 #include "common/timer.hpp"
@@ -206,6 +208,12 @@ std::unique_ptr<DataSet> IsosurfaceExtractor::execute_tets(
   counters.flop_estimate += double(nt) * 20.0 + double(mesh->num_triangles()) * 60.0;
   counters.max_parallel_items = std::max(counters.max_parallel_items, nt);
   return mesh;
+}
+
+std::string IsosurfaceExtractor::cache_signature() const {
+  return strprintf("isosurface field=%s iso=%a grad=%d", field_name_.c_str(),
+                   static_cast<double>(isovalue_),
+                   static_cast<int>(gradient_normals_));
 }
 
 } // namespace eth

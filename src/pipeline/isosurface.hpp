@@ -38,6 +38,7 @@ public:
 protected:
   std::unique_ptr<DataSet> execute(const DataSet* input,
                                    cluster::PerfCounters& counters) override;
+  std::string cache_signature() const override;
 
 private:
   std::unique_ptr<DataSet> execute_tets(const class TetMesh& tets,

@@ -1,5 +1,7 @@
 #include "pipeline/sampler.hpp"
 
+#include "common/string_util.hpp"
+
 #include <cmath>
 #include <unordered_map>
 #include <vector>
@@ -161,6 +163,12 @@ std::unique_ptr<DataSet> SpatialSampler::sample_grid(
   counters.max_parallel_items =
       std::max(counters.max_parallel_items, out->num_points());
   return out;
+}
+
+std::string SpatialSampler::cache_signature() const {
+  return strprintf("sampler ratio=%a mode=%d seed=%llu", ratio_,
+                   static_cast<int>(mode_),
+                   static_cast<unsigned long long>(seed_));
 }
 
 } // namespace eth

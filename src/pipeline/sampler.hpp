@@ -38,6 +38,7 @@ protected:
   std::unique_ptr<DataSet> execute(const DataSet* input,
                                    cluster::PerfCounters& counters) override;
   const char* phase_name() const override { return "sample"; }
+  std::string cache_signature() const override;
 
 private:
   std::unique_ptr<DataSet> sample_points(const class PointSet& ps,

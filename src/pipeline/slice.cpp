@@ -1,5 +1,7 @@
 #include "pipeline/slice.hpp"
 
+#include "common/string_util.hpp"
+
 #include <cmath>
 #include <vector>
 
@@ -146,6 +148,13 @@ std::unique_ptr<DataSet> SlicePlaneExtractor::execute(const DataSet* input,
   mesh->point_fields().add(std::move(scalars));
   counters.bytes_written += mesh->byte_size();
   return mesh;
+}
+
+std::string SlicePlaneExtractor::cache_signature() const {
+  return strprintf("slice field=%s o=%a,%a,%a n=%a,%a,%a", field_name_.c_str(),
+                   static_cast<double>(origin_.x), static_cast<double>(origin_.y),
+                   static_cast<double>(origin_.z), static_cast<double>(normal_.x),
+                   static_cast<double>(normal_.y), static_cast<double>(normal_.z));
 }
 
 } // namespace eth

@@ -26,6 +26,7 @@ public:
 protected:
   std::unique_ptr<DataSet> execute(const DataSet* input,
                                    cluster::PerfCounters& counters) override;
+  std::string cache_signature() const override;
 
 private:
   std::string field_name_;

@@ -1,5 +1,7 @@
 #include "pipeline/threshold.hpp"
 
+#include "common/string_util.hpp"
+
 #include <vector>
 
 #include "data/point_set.hpp"
@@ -48,6 +50,11 @@ std::unique_ptr<DataSet> ThresholdFilter::execute(const DataSet* input,
   auto out = std::make_unique<PointSet>(ps.subset(keep));
   counters.bytes_written += out->byte_size();
   return out;
+}
+
+std::string ThresholdFilter::cache_signature() const {
+  return strprintf("threshold field=%s lo=%a hi=%a", field_name_.c_str(),
+                   static_cast<double>(lower_), static_cast<double>(upper_));
 }
 
 } // namespace eth

@@ -42,6 +42,13 @@ public:
   AABB bounds() const { return nodes_.empty() ? AABB::empty() : nodes_[0].box; }
   Real radius() const { return radius_; }
 
+  /// Resident size (the memoization layer's byte budget).
+  Bytes byte_size() const {
+    return static_cast<Bytes>(nodes_.size() * sizeof(Node) +
+                              prim_order_.size() * sizeof(Index) +
+                              centers_.size() * sizeof(Vec3f));
+  }
+
   /// Nearest sphere intersection along `ray` within (tmin, tmax).
   SphereHit intersect(const Ray& ray, Real tmin, Real tmax,
                       cluster::PerfCounters& counters) const;

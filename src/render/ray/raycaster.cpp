@@ -87,29 +87,38 @@ bool MinMaxGrid::may_contain(Vec3f p, Real isovalue) const {
   return isovalue >= range.first && isovalue <= range.second;
 }
 
-void RaycastRenderer::build_volume(const StructuredGrid& grid,
-                                   const std::string& field_name,
-                                   cluster::PerfCounters& counters) {
+std::shared_ptr<const MinMaxGrid> RaycastRenderer::build_volume_accel(
+    const StructuredGrid& grid, const std::string& field_name,
+    cluster::PerfCounters& counters) {
   const Field& field = grid.point_fields().get(field_name);
   ThreadCpuTimer timer;
-  minmax_ = MinMaxGrid(grid, field);
+  auto minmax = std::make_shared<MinMaxGrid>(grid, field);
   counters.phases.add("build", timer.elapsed());
   counters.elements_processed += grid.num_points();
   counters.flop_estimate += double(grid.num_points()) * 4.0;
+  return minmax;
 }
 
-void RaycastRenderer::build_spheres(const PointSet& points,
-                                    const SphereRaycastOptions& options,
-                                    cluster::PerfCounters& counters) {
+void RaycastRenderer::build_volume(const StructuredGrid& grid,
+                                   const std::string& field_name,
+                                   cluster::PerfCounters& counters) {
+  adopt_volume(build_volume_accel(grid, field_name, counters));
+}
+
+std::shared_ptr<const SphereAccel> RaycastRenderer::build_sphere_accel(
+    const PointSet& points, const SphereRaycastOptions& options,
+    cluster::PerfCounters& counters) {
   Real radius = options.world_radius;
   if (radius <= 0) {
     const AABB box = points.bounds();
     radius = box.is_empty() ? Real(0.01) : box.diagonal() / Real(500);
   }
-  radius_ = radius;
 
+  auto accel = std::make_shared<SphereAccel>();
+  accel->radius = radius;
   ThreadCpuTimer timer;
-  bvh_ = SphereBVH(points.positions(), radius, options.split, options.max_leaf_size);
+  accel->bvh =
+      SphereBVH(points.positions(), radius, options.split, options.max_leaf_size);
   counters.phases.add("build", timer.elapsed());
   counters.elements_processed += points.num_points();
   counters.bytes_read += points.byte_size();
@@ -117,14 +126,22 @@ void RaycastRenderer::build_spheres(const PointSet& points,
   counters.flop_estimate += n * std::log2(n) * 8.0; // O(N log N) setup
   counters.max_parallel_items =
       std::max(counters.max_parallel_items, points.num_points());
+  return accel;
+}
+
+void RaycastRenderer::build_spheres(const PointSet& points,
+                                    const SphereRaycastOptions& options,
+                                    cluster::PerfCounters& counters) {
+  adopt_spheres(build_sphere_accel(points, options, counters));
 }
 
 void RaycastRenderer::render_spheres(const PointSet& points, const Camera& camera,
                                      ImageBuffer& image,
                                      const SphereRaycastOptions& options,
                                      cluster::PerfCounters& counters) const {
-  require(!bvh_.empty() || points.num_points() == 0,
+  require(has_sphere_structure() || points.num_points() == 0,
           "RaycastRenderer::render_spheres: call build_spheres first");
+  const SphereBVH& bvh = sphere_bvh();
   const Index width = image.width(), height = image.height();
   if (width == 0 || height == 0) return;
 
@@ -141,9 +158,9 @@ void RaycastRenderer::render_spheres(const PointSet& points, const Camera& camer
       for (Index px = 0; px < width; ++px) {
         const Ray ray = camera.generate_ray(px, py, width, height);
         ++local.rays_cast;
-        if (bvh_.empty()) continue;
+        if (bvh.empty()) continue;
         const SphereHit hit =
-            bvh_.intersect(ray, camera.znear(), camera.zfar(), local);
+            bvh.intersect(ray, camera.znear(), camera.zfar(), local);
         if (!hit.valid()) continue;
         const Vec4f base = scalars != nullptr
                                ? options.colormap->map(scalars->get(hit.primitive))
@@ -258,6 +275,8 @@ void RaycastRenderer::render_volume_scene(const StructuredGrid& grid,
   const Vec4f iso_base = iso_options.colormap != nullptr
                              ? iso_options.colormap->map(iso_options.isovalue)
                              : iso_options.uniform_color;
+  static const MinMaxGrid kEmptyMinMax;
+  const MinMaxGrid& minmax = minmax_ ? *minmax_ : kEmptyMinMax;
 
   // Unit slice normals, precomputed.
   std::vector<Vec3f> slice_normals;
@@ -293,7 +312,7 @@ void RaycastRenderer::render_volume_scene(const StructuredGrid& grid,
           }
         }
 
-        const Real hit_t = march_iso(grid, field, minmax_, ray, t0, nearest, step,
+        const Real hit_t = march_iso(grid, field, minmax, ray, t0, nearest, step,
                                      iso_options, local.ray_steps);
         if (hit_t > 0) {
           const Vec3f p = ray.origin + ray.direction * hit_t;

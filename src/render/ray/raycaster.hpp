@@ -14,6 +14,7 @@
 //  * render_volume_slice — O(1) ray/plane intersection + trilinear
 //    lookup per pixel.
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -86,12 +87,28 @@ public:
   /// Points outside the grid return false.
   bool may_contain(Vec3f p, Real isovalue) const;
 
+  /// Resident size (the memoization layer's byte budget).
+  Bytes byte_size() const {
+    return static_cast<Bytes>(ranges_.size() * sizeof(std::pair<Real, Real>));
+  }
+
 private:
   Vec3i dims_{0, 0, 0};
   Vec3f origin_;
   Vec3f inv_cell_;
   Real extent_ = 0; ///< smallest macrocell world extent (skip distance)
   std::vector<std::pair<Real, Real>> ranges_;
+};
+
+/// The sphere path's immutable per-dataset setup product: the BVH plus
+/// the resolved world radius it was built with. Shareable (shared_ptr)
+/// so the artifact cache can own one copy reused across images,
+/// timesteps and sweep points.
+struct SphereAccel {
+  SphereBVH bvh;
+  Real radius = 0; ///< resolved (auto already applied)
+
+  Bytes byte_size() const { return bvh.byte_size(); }
 };
 
 class RaycastRenderer {
@@ -102,15 +119,42 @@ public:
   void build_spheres(const PointSet& points, const SphereRaycastOptions& options,
                      cluster::PerfCounters& counters);
 
-  bool has_sphere_structure() const { return !bvh_.empty(); }
-  const SphereBVH& sphere_bvh() const { return bvh_; }
+  /// Cache-friendly form of build_spheres: build and return the
+  /// shareable structure without adopting it. Pure — the result is a
+  /// function of (points, geometry options) only.
+  static std::shared_ptr<const SphereAccel> build_sphere_accel(
+      const PointSet& points, const SphereRaycastOptions& options,
+      cluster::PerfCounters& counters);
+
+  /// Adopt a previously built (possibly cache-owned) structure in
+  /// place of building one.
+  void adopt_spheres(std::shared_ptr<const SphereAccel> accel) {
+    spheres_ = std::move(accel);
+  }
+  std::shared_ptr<const SphereAccel> shared_spheres() const { return spheres_; }
+
+  bool has_sphere_structure() const { return spheres_ && !spheres_->bvh.empty(); }
+  const SphereBVH& sphere_bvh() const {
+    static const SphereBVH kEmpty;
+    return spheres_ ? spheres_->bvh : kEmpty;
+  }
 
   /// Build the min/max macrocell structure for `field_name` of `grid`,
   /// once per timestep; render_volume_iso then skips empty space.
   void build_volume(const StructuredGrid& grid, const std::string& field_name,
                     cluster::PerfCounters& counters);
 
-  bool has_volume_structure() const { return !minmax_.empty(); }
+  /// Cache-friendly form of build_volume (see build_sphere_accel).
+  static std::shared_ptr<const MinMaxGrid> build_volume_accel(
+      const StructuredGrid& grid, const std::string& field_name,
+      cluster::PerfCounters& counters);
+
+  void adopt_volume(std::shared_ptr<const MinMaxGrid> minmax) {
+    minmax_ = std::move(minmax);
+  }
+  std::shared_ptr<const MinMaxGrid> shared_volume() const { return minmax_; }
+
+  bool has_volume_structure() const { return minmax_ && !minmax_->empty(); }
 
   /// Raycast the prepared spheres. Requires build_spheres() first.
   void render_spheres(const PointSet& points, const Camera& camera, ImageBuffer& image,
@@ -150,9 +194,10 @@ public:
                          cluster::PerfCounters& counters) const;
 
 private:
-  SphereBVH bvh_;
-  Real radius_ = 0;
-  MinMaxGrid minmax_;
+  // Shared immutable setup products: built here or adopted from the
+  // artifact cache; rendering only reads them.
+  std::shared_ptr<const SphereAccel> spheres_;
+  std::shared_ptr<const MinMaxGrid> minmax_;
 };
 
 } // namespace eth

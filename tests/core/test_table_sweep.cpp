@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 #include "core/sweep.hpp"
 #include "core/table.hpp"
 
@@ -110,6 +111,68 @@ TEST(RunSweep, ExecutesInOrderWithCallback) {
   const ResultTable table = metrics_table("particles", outcomes);
   EXPECT_EQ(table.num_rows(), 2u);
   EXPECT_EQ(table.cell(0, 0), "500");
+}
+
+// ---- golden column sets: downstream tooling (bench CSVs, plotting)
+// keys on these names and their order; a change here is a breaking
+// schema change and must be deliberate.
+
+TEST(TableGolden, MetricsTableColumns) {
+  const std::vector<SweepOutcome> outcomes;
+  const ResultTable table = metrics_table("ratio", outcomes);
+  const std::vector<std::string> expected{
+      "ratio",      "time_s",       "power_kW",    "dyn_power_kW", "energy_MJ",
+      "cache_hits", "cache_misses", "cache_bytes", "prefetch_hits"};
+  EXPECT_EQ(table.columns(), expected);
+}
+
+TEST(TableGolden, SweepRobustnessTableColumns) {
+  const std::vector<SweepOutcome> outcomes;
+  const ResultTable table = robustness_table("ratio", outcomes);
+  const std::vector<std::string> expected{
+      "ratio",          "frames_sent",       "frames_delivered",
+      "frames_retried", "frames_dropped",    "frames_corrupt",
+      "frames_timed_out", "timesteps_dropped", "bytes_copied",
+      "bytes_borrowed", "cache_hits",        "cache_misses",
+      "cache_bytes",    "prefetch_hits"};
+  EXPECT_EQ(table.columns(), expected);
+}
+
+TEST(TableGolden, RunRobustnessTableColumns) {
+  const RunResult result;
+  const ResultTable table = robustness_table(result);
+  const std::vector<std::string> expected{
+      "frames_sent",      "frames_delivered",  "frames_retried",
+      "frames_dropped",   "frames_corrupt",    "frames_timed_out",
+      "timesteps_dropped", "bytes_copied",     "bytes_borrowed",
+      "cache_hits",       "cache_misses",      "cache_bytes",
+      "prefetch_hits"};
+  EXPECT_EQ(table.columns(), expected);
+  EXPECT_EQ(table.num_rows(), 1u); // single-run table: exactly one row
+}
+
+TEST(SweepOver, LabelAndMutateComposeIndependently) {
+  ExperimentSpec base;
+  base.name = "combo";
+  base.application = Application::kXrage;
+  base.viz.algorithm = insitu::VizAlgorithm::kRaycastVolume;
+  const std::vector<int> widths{64, 128, 256};
+  const auto points = sweep_over<int>(
+      base, widths, [](const int& w) { return strprintf("w%d", w); },
+      [](const int& w, ExperimentSpec& spec) {
+        spec.viz.image_width = w;
+        spec.viz.image_height = w / 2;
+      });
+  ASSERT_EQ(points.size(), 3u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].label, strprintf("w%d", widths[i]));
+    EXPECT_EQ(points[i].spec.name, "combo-" + points[i].label);
+    EXPECT_EQ(points[i].spec.viz.image_width, widths[i]);
+    EXPECT_EQ(points[i].spec.viz.image_height, widths[i] / 2);
+    // The mutation must not leak into other points or the base.
+    EXPECT_EQ(points[i].spec.application, Application::kXrage);
+  }
+  EXPECT_EQ(base.viz.image_width, ExperimentSpec().viz.image_width);
 }
 
 } // namespace

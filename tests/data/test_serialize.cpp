@@ -248,5 +248,32 @@ TEST(SerializeDataset, TruncatedPayloadThrows) {
   EXPECT_THROW(deserialize_dataset(bytes), Error);
 }
 
+TEST(DatasetFingerprint, NamesContentNotObject) {
+  // Two independently built datasets with identical bytes share one
+  // fingerprint; any content change breaks it.
+  const PointSet a = make_point_set();
+  const PointSet b = make_point_set();
+  EXPECT_EQ(dataset_fingerprint(a), dataset_fingerprint(b));
+
+  PointSet c = make_point_set();
+  c.set_position(0, {9.0f, 9.0f, 9.0f});
+  EXPECT_NE(dataset_fingerprint(c), dataset_fingerprint(a));
+}
+
+TEST(DatasetFingerprint, SurvivesSerializeRoundTrip) {
+  const PointSet ps = make_point_set();
+  const auto restored = deserialize_dataset(serialize_dataset(ps));
+  EXPECT_EQ(dataset_fingerprint(*restored), dataset_fingerprint(ps));
+}
+
+TEST(DatasetFingerprint, DoesNotPerturbDataPlaneCounters) {
+  const PointSet ps = make_point_set();
+  const DataPlaneCounters before = data_plane_counters();
+  (void)dataset_fingerprint(ps);
+  const DataPlaneCounters after = data_plane_counters();
+  EXPECT_EQ(after.bytes_copied, before.bytes_copied);
+  EXPECT_EQ(after.bytes_borrowed, before.bytes_borrowed);
+}
+
 } // namespace
 } // namespace eth

@@ -25,8 +25,19 @@ run_variant() {
 
 run_variant build-release -DCMAKE_BUILD_TYPE=Release
 
+# Cache-equivalence gate (DESIGN.md §10): the artifact cache memoizes
+# proxy loads, filter outputs and render acceleration structures, and
+# every one of those producers must be pure — a sweep renders
+# bit-identical images with the cache off, cold, or warm. Run the gate
+# by name so a filter typo can't silently skip it.
+echo "==== cache equivalence (build-release) ===="
+ctest --test-dir build-release --output-on-failure -R 'CacheEquivalence'
+
 # TSan with a multi-worker pool even on small machines: a 1-worker pool
-# runs loops inline and would hide every race from the sanitizer.
+# runs loops inline and would hide every race from the sanitizer. The
+# full suite includes the ArtifactCache concurrency/stress tests and the
+# CacheEquivalence sweeps, which exercise the in-flight dedup and the
+# pool-thread prefetch path under contention.
 ETH_THREADS="${ETH_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   run_variant build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DETH_SANITIZE=thread -DETH_BUILD_BENCH=OFF -DETH_BUILD_EXAMPLES=OFF
