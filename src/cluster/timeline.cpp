@@ -25,8 +25,9 @@ void Timeline::add_span(const BusySpan& span) {
   if (span.duration() > 0) spans_.push_back(span);
 }
 
-void Timeline::add_full_span(Seconds start, Seconds end, double utilization) {
-  add_span(BusySpan{start, end, 0, allocated_nodes_, utilization});
+void Timeline::add_full_span(Seconds start, Seconds end, double utilization,
+                             const char* label) {
+  add_span(BusySpan{start, end, 0, allocated_nodes_, utilization, label});
 }
 
 Seconds Timeline::makespan() const {

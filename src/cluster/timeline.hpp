@@ -23,6 +23,11 @@ struct BusySpan {
   int first_node = 0; ///< inclusive
   int last_node = 0;  ///< exclusive
   double utilization = 1.0;
+  /// Modelled-phase label (a string literal; defaulted last member so
+  /// existing brace initializers keep working). The tracer maps these
+  /// onto "model node" tracks so simulated spans can be cross-checked
+  /// against measured wall spans (DESIGN.md §11).
+  const char* label = "busy";
 
   Seconds duration() const { return end - start; }
   int nodes() const { return last_node - first_node; }
@@ -58,7 +63,8 @@ public:
   void add_span(const BusySpan& span);
 
   /// Convenience: all allocated nodes busy at `utilization`.
-  void add_full_span(Seconds start, Seconds end, double utilization);
+  void add_full_span(Seconds start, Seconds end, double utilization,
+                     const char* label = "busy");
 
   int allocated_nodes() const { return allocated_nodes_; }
   const std::vector<BusySpan>& spans() const { return spans_; }

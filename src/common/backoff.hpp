@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 
 namespace eth {
 
@@ -47,6 +48,7 @@ public:
   void sleep(double remaining_seconds = 1e30) {
     const double ms = std::min(next_delay_ms(), remaining_seconds * 1000.0);
     if (ms <= 0) return;
+    const trace::Span span("backoff.wait");
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
   }
 

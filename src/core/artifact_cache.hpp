@@ -48,6 +48,7 @@
 
 #include "cluster/counters.hpp"
 #include "common/fingerprint.hpp"
+#include "common/trace.hpp"
 #include "common/types.hpp"
 
 namespace eth {
@@ -170,6 +171,7 @@ public:
         if (it->second.ready) {
           touch(it->second);
           ++stats_.hits;
+          trace::instant("cache.hit");
           if (it->second.prefetched && !it->second.prefetch_claimed) {
             it->second.prefetch_claimed = true;
             ++stats_.prefetch_hits;
@@ -194,6 +196,7 @@ public:
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.misses;
+      trace::instant("cache.miss");
       publish(key, std::move(made), /*prefetched=*/false);
       cv_.notify_all();
     }
@@ -222,6 +225,7 @@ public:
       return;
     }
     std::lock_guard<std::mutex> lock(mutex_);
+    trace::instant("cache.prefetch");
     publish(key, std::move(made), /*prefetched=*/true);
     cv_.notify_all();
   }
@@ -280,6 +284,7 @@ private:
     stats_.bytes_inserted += entry.artifact.bytes;
     stats_.bytes_resident += entry.artifact.bytes;
     evict_over_budget();
+    trace::counter("cache_bytes", static_cast<double>(stats_.bytes_resident));
   }
 
   void evict_over_budget() {

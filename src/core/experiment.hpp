@@ -104,6 +104,13 @@ struct RunResult {
   insitu::RobustnessReport robustness;
   Index timesteps_dropped = 0; ///< timesteps skipped after transfer loss
 
+  // ----- modelled timeline
+  /// Labeled busy spans of the modelled cluster (model.generate /
+  /// model.viz / model.composite / ...). The tracer maps these onto
+  /// "model node" tracks next to the measured wall spans (DESIGN.md
+  /// §11), and tests cross-check the two.
+  std::vector<cluster::BusySpan> busy_spans;
+
   // ----- artifacts
   /// Final composited image (last timestep, last camera) for quality
   /// metrics.

@@ -12,6 +12,7 @@
 #include "common/fingerprint.hpp"
 #include "common/string_util.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "core/artifact_cache.hpp"
 #include "data/compression.hpp"
 #include "data/point_set.hpp"
@@ -288,6 +289,9 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
 
   mpi::run_world(M, [&](mpi::Comm& comm) {
     const int r = comm.rank();
+    // Every span this rank (and any pool worker executing its chunks)
+    // emits lands on the rank's trace track.
+    const trace::TrackScope track_scope(r);
     core::RankReport report;
     Bytes rank_transferred = 0;
     insitu::RobustnessReport rank_robustness;
@@ -304,9 +308,12 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
       std::uint64_t data_fp = 0; // provenance of the share viz consumes
       auto& gen_phase = report.phases["generate"];
       if (cache_on) {
-        const CacheLookup lookup =
-            cached_share(cache, spec, app_fp, sim_case, share_index(r, M, P_sim),
-                         P_sim, t, r, spec.use_disk_proxy);
+        const CacheLookup lookup = [&] {
+          const trace::Span span("sim.load");
+          return cached_share(cache, spec, app_fp, sim_case,
+                              share_index(r, M, P_sim), P_sim, t, r,
+                              spec.use_disk_proxy);
+        }();
         sim_data = lookup.as<DataSet>();
         data_fp = lookup.content_fp;
         gen_phase.cpu_seconds += lookup.recorded.phases.get("generate");
@@ -340,6 +347,7 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
           });
         }
       } else {
+        const trace::Span span("sim.load");
         ThreadCpuTimer gen_timer;
         if (spec.use_disk_proxy) {
           const sim::SimulationProxy proxy(spec.proxy_dir, sim_case);
@@ -367,6 +375,7 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
         // the interconnect model, and here the receiving side
         // materializes its share directly.
         if (internode && P_sim != P_viz) {
+          const trace::Span span("sim.load");
           if (cache_on) {
             const CacheLookup lookup =
                 cached_share(cache, spec, app_fp, viz_case, share_index(r, M, P_viz),
@@ -400,11 +409,16 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
               std::move(viz_end), spec.fault, std::uint64_t(2 * r + 1));
         }
         if (spec.transport_quantization_bits > 0) {
-          const std::vector<std::uint8_t> payload =
-              compress_dataset(*sim_data, spec.transport_quantization_bits);
+          const std::vector<std::uint8_t> payload = [&] {
+            const trace::Span span("serialize");
+            return compress_dataset(*sim_data, spec.transport_quantization_bits);
+          }();
           const auto delivered = insitu::transfer_with_retry(
               *sim_end, *viz_end, payload, spec.transfer_retry, rank_robustness);
-          if (delivered.has_value()) viz_data = decompress_dataset(*delivered);
+          if (delivered.has_value()) {
+            const trace::Span span("deserialize");
+            viz_data = decompress_dataset(*delivered);
+          }
           // Quantization is lossy: the delivered content is a pure
           // function of (input, bit width), so chain the provenance.
           viz_fp = data_fp != 0
@@ -419,10 +433,16 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
           // copy-on-write, so the payload crosses the channel without a
           // userspace memcpy.
           std::shared_ptr<const DataSet> shared = std::move(sim_data);
-          const WireMessage msg = wire_message_for_dataset(shared);
+          const WireMessage msg = [&] {
+            const trace::Span span("serialize");
+            return wire_message_for_dataset(shared);
+          }();
           const auto delivered = insitu::transfer_with_retry(
               *sim_end, *viz_end, msg, spec.transfer_retry, rank_robustness);
-          if (delivered.has_value()) viz_data = deserialize_dataset(*delivered);
+          if (delivered.has_value()) {
+            const trace::Span span("deserialize");
+            viz_data = deserialize_dataset(*delivered);
+          }
           // The lossless round trip is bit-exact: same content identity.
           viz_fp = data_fp;
         }
@@ -571,6 +591,7 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
             Index(double(merged.num_pixels()) * spec.pixel_scale);
 
         if (!spec.artifact_dir.empty()) {
+          const trace::Span span("write");
           ThreadCpuTimer write_timer;
           merged.write_ppm(spec.artifact_dir + "/" + spec.name +
                            strprintf("_t%03lld_i%03zu.ppm", static_cast<long long>(t),
@@ -642,6 +663,25 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
                              spec.timesteps, spec.viz.images_per_timestep,
                              options_.direct_send_composite);
   const cluster::RunPowerReport power = timeline.report();
+  result.busy_spans = timeline.spans();
+
+  // Observability (DESIGN.md §11): sample this run's data-plane and
+  // cache counters as trace counters, and project the modelled
+  // BusySpans onto "model node" tracks (modelled seconds scaled to
+  // trace nanoseconds) so the simulated timeline sits next to the
+  // measured wall spans in one Perfetto view.
+  if (trace::enabled()) {
+    trace::counter("bytes_copied",
+                   double(plane_after.bytes_copied - plane_before.bytes_copied));
+    trace::counter("bytes_borrowed",
+                   double(plane_after.bytes_borrowed - plane_before.bytes_borrowed));
+    trace::counter("cache_bytes", double(cache_stats_after.bytes_resident));
+    for (const cluster::BusySpan& span : result.busy_spans)
+      trace::emit_span_at(span.label,
+                          trace::kModelTrackBase + span.first_node,
+                          std::int64_t(span.start * 1e9),
+                          std::int64_t(span.duration() * 1e9));
+  }
 
   result.exec_seconds = power.makespan;
   result.average_power = power.average_power;

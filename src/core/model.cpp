@@ -129,23 +129,27 @@ cluster::Timeline compose_timeline(const NodePhaseTimes& times,
       const Seconds copy = intercore ? net.shm_copy_time(times.dataset_bytes) : 0.0;
       Seconds t = 0;
       for (Index step = 0; step < timesteps; ++step) {
-        timeline.add_full_span(t, t + gen, times.generate_utilization);
+        timeline.add_full_span(t, t + gen, times.generate_utilization,
+                               "model.generate");
         t += gen;
         if (copy > 0) {
-          timeline.add_full_span(t, t + copy, options.copy_utilization);
+          timeline.add_full_span(t, t + copy, options.copy_utilization,
+                                 "model.copy");
           t += copy;
         }
-        timeline.add_full_span(t, t + viz, times.viz_utilization);
+        timeline.add_full_span(t, t + viz, times.viz_utilization, "model.viz");
         t += viz;
         // Compositing: binary swap blends on every node concurrently;
         // direct send blends on the root alone while the others wait.
         // The exchange itself is network-bound (no busy span).
         if (direct_send_composite)
-          timeline.add_span(cluster::BusySpan{t, t + comp, 0, 1, 1.0});
+          timeline.add_span(
+              cluster::BusySpan{t, t + comp, 0, 1, 1.0, "model.composite"});
         else
-          timeline.add_full_span(t, t + comp, 1.0);
+          timeline.add_full_span(t, t + comp, 1.0, "model.composite");
         t += comp + swap;
-        timeline.add_span(cluster::BusySpan{t, t + write, 0, 1, 1.0});
+        timeline.add_span(
+            cluster::BusySpan{t, t + write, 0, 1, 1.0, "model.write"});
         t += write;
       }
       break;
@@ -165,22 +169,25 @@ cluster::Timeline compose_timeline(const NodePhaseTimes& times,
         const Seconds sim_start = sim_free;
         const Seconds sim_end = sim_start + gen;
         timeline.add_span(cluster::BusySpan{sim_start, sim_end, 0, sim_nodes,
-                                            times.generate_utilization});
+                                            times.generate_utilization,
+                                            "model.generate"});
         sim_free = sim_end; // double-buffered: next step can start
 
         const Seconds data_ready = sim_end + xfer;
         const Seconds viz_start = std::max(viz_free, data_ready);
         const Seconds viz_end = viz_start + viz;
         timeline.add_span(cluster::BusySpan{viz_start, viz_end, viz_first,
-                                            layout.nodes, times.viz_utilization});
+                                            layout.nodes, times.viz_utilization,
+                                            "model.viz"});
         // Composite inside the viz partition, then the partition's
         // first node writes the artifact.
         timeline.add_span(cluster::BusySpan{
             viz_end, viz_end + comp, viz_first,
-            direct_send_composite ? viz_first + 1 : layout.nodes, 1.0});
+            direct_send_composite ? viz_first + 1 : layout.nodes, 1.0,
+            "model.composite"});
         const Seconds comp_end = viz_end + comp + swap + write;
         timeline.add_span(cluster::BusySpan{comp_end - write, comp_end, viz_first,
-                                            viz_first + 1, 1.0});
+                                            viz_first + 1, 1.0, "model.write"});
         viz_free = comp_end;
         end = comp_end;
       }

@@ -1,5 +1,7 @@
 #include "core/sweep.hpp"
 
+#include "common/trace.hpp"
+
 namespace eth {
 
 std::vector<SweepOutcome> run_sweep(
@@ -58,6 +60,35 @@ ResultTable robustness_table(const std::string& label_column,
     table.add_cell(o.result.counters.cache_misses);
     table.add_cell(Index(o.result.counters.cache_bytes));
     table.add_cell(o.result.counters.prefetch_hits);
+  }
+  return table;
+}
+
+bool should_print_robustness(const std::vector<SweepPoint>& points,
+                             const std::vector<SweepOutcome>& outcomes,
+                             bool trace_active) {
+  // A faulted run that silently dropped frames must not look like a
+  // clean one; and a traced run must pair its trace with the counters.
+  if (trace_active) return true;
+  for (std::size_t i = 0; i < points.size() && i < outcomes.size(); ++i) {
+    const auto& r = outcomes[i].result.robustness;
+    if (points[i].spec.fault.any() || r.frames_retried > 0 ||
+        r.frames_dropped > 0 || r.frames_corrupt > 0 || r.frames_timed_out > 0)
+      return true;
+  }
+  return false;
+}
+
+ResultTable trace_summary_table() {
+  ResultTable table({"span", "kind", "count", "total_ms"});
+  for (const trace::SummaryRow& row : trace::summary()) {
+    table.begin_row();
+    table.add_cell(row.name);
+    table.add_cell(row.type == trace::EventType::kSpan      ? "span"
+                   : row.type == trace::EventType::kCounter ? "counter"
+                                                            : "instant");
+    table.add_cell(row.count);
+    table.add_cell(double(row.total_ns) / 1e6, "%.3f");
   }
   return table;
 }

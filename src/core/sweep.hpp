@@ -58,4 +58,19 @@ ResultTable metrics_table(const std::string& label_column,
 ResultTable robustness_table(const std::string& label_column,
                              const std::vector<SweepOutcome>& outcomes);
 
+/// Decide whether a sweep run prints the robustness table: whenever a
+/// point configured faults, any frame needed more than one attempt (or
+/// was dropped/corrupt/timed out), or `trace_active` — when a trace is
+/// being recorded the robustness counters must land alongside it even
+/// for a clean run (zeroed fault columns), so the two artifacts always
+/// pair up. Extracted from eth_explore so the decision is unit-testable.
+bool should_print_robustness(const std::vector<SweepPoint>& points,
+                             const std::vector<SweepOutcome>& outcomes,
+                             bool trace_active);
+
+/// Compact per-phase summary of the current trace snapshot (DESIGN.md
+/// §11): one row per span/counter name with event count and total span
+/// milliseconds — the terminal companion of the Chrome JSON export.
+ResultTable trace_summary_table();
+
 } // namespace eth

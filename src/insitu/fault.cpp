@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "common/trace.hpp"
 
 namespace eth::insitu {
 
@@ -133,11 +134,13 @@ void FaultInjector::send(std::vector<std::uint8_t> bytes) {
       }
       break;
     }
-    case FaultKind::kDelay:
+    case FaultKind::kDelay: {
+      const trace::Span span("fault.delay");
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(event.delay_ms));
       ++faults_injected_;
       break;
+    }
     default: break;
   }
   inner_->send(std::move(bytes));
@@ -205,11 +208,13 @@ void FaultInjector::send_msg(const WireMessage& msg) {
       }
       break;
     }
-    case FaultKind::kDelay:
+    case FaultKind::kDelay: {
+      const trace::Span span("fault.delay");
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(event.delay_ms));
       ++faults_injected_;
       break;
+    }
     default: break;
   }
   inner_->send_msg(msg);
@@ -296,9 +301,13 @@ std::optional<std::vector<std::uint8_t>> transfer_with_retry(
     Transport& tx, Transport& rx, std::span<const std::uint8_t> payload,
     const RetryPolicy& policy, RobustnessReport& report) {
   require(policy.max_attempts > 0, "transfer_with_retry: need >= 1 attempt");
+  const trace::Span transfer_span("transfer");
   rx.set_recv_deadline(policy.recv_deadline_seconds);
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
-    if (attempt > 0) ++report.frames_retried;
+    if (attempt > 0) {
+      ++report.frames_retried;
+      trace::instant("transfer.retry");
+    }
     ++report.frames_sent;
     // Send-side failures (oversized payload, closed channel) are not
     // retryable and propagate; injected damage happens below the
@@ -313,6 +322,7 @@ std::optional<std::vector<std::uint8_t>> transfer_with_retry(
     }
   }
   ++report.frames_dropped;
+  trace::instant("transfer.drop");
   return std::nullopt;
 }
 
@@ -320,9 +330,13 @@ std::optional<WireMessage> transfer_with_retry(
     Transport& tx, Transport& rx, const WireMessage& payload,
     const RetryPolicy& policy, RobustnessReport& report) {
   require(policy.max_attempts > 0, "transfer_with_retry: need >= 1 attempt");
+  const trace::Span transfer_span("transfer");
   rx.set_recv_deadline(policy.recv_deadline_seconds);
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
-    if (attempt > 0) ++report.frames_retried;
+    if (attempt > 0) {
+      ++report.frames_retried;
+      trace::instant("transfer.retry");
+    }
     ++report.frames_sent;
     // Injected damage is applied to message COPIES below the framing,
     // so `payload` (and the live dataset its segments alias) is intact
@@ -337,6 +351,7 @@ std::optional<WireMessage> transfer_with_retry(
     }
   }
   ++report.frames_dropped;
+  trace::instant("transfer.drop");
   return std::nullopt;
 }
 

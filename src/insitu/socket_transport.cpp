@@ -20,6 +20,7 @@
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace eth::insitu {
 
@@ -291,6 +292,7 @@ LayoutEntry layout_file_wait(const std::string& path, int rank, double timeout_s
 
 std::unique_ptr<Transport> socket_listen(const std::string& layout_path, int rank,
                                          double timeout_seconds) {
+  const trace::Span listen_span("socket.listen");
   Fd listener(::socket(AF_INET, SOCK_STREAM, 0));
   require(listener.valid(), "socket_listen: cannot create socket");
   const int one = 1;
@@ -336,6 +338,7 @@ std::unique_ptr<Transport> socket_listen(const std::string& layout_path, int ran
 
 std::unique_ptr<Transport> socket_connect(const std::string& layout_path, int rank,
                                           double timeout_seconds) {
+  const trace::Span connect_span("socket.connect");
   WallTimer timer;
   const LayoutEntry entry = layout_file_wait(layout_path, rank, timeout_seconds);
 

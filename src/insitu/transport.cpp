@@ -7,6 +7,7 @@
 #include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "common/trace.hpp"
 #include "data/serialize.hpp"
 
 namespace eth::insitu {
@@ -122,31 +123,53 @@ WireMessage Transport::recv_msg() {
   return msg;
 }
 
+// The framed wrappers are the single transport-layer instrumentation
+// point: every concrete transport (in-proc, TCP, fault-injected) funnels
+// through them, so spans here cover the whole send/recv taxonomy.
+
 void Transport::send_framed(std::span<const std::uint8_t> payload) {
+  const trace::Span span("transport.send");
   send(frame_encode(payload));
 }
 
-std::vector<std::uint8_t> Transport::recv_framed() { return frame_decode(recv()); }
+std::vector<std::uint8_t> Transport::recv_framed() {
+  const trace::Span span("transport.recv");
+  return frame_decode(recv());
+}
 
 void Transport::send_framed_msg(const WireMessage& payload) {
+  const trace::Span span("transport.send");
   send_msg(frame_encode_msg(payload));
 }
 
-WireMessage Transport::recv_framed_msg() { return frame_decode_msg(recv_msg()); }
+WireMessage Transport::recv_framed_msg() {
+  const trace::Span span("transport.recv");
+  return frame_decode_msg(recv_msg());
+}
 
 void Transport::send_dataset(const DataSet& ds) {
   // The message borrows ds's arrays without a keepalive; the lifetime
   // contract of send_msg makes that safe (synchronous transports write
   // before returning, queueing transports copy unowned segments).
-  send_framed_msg(wire_message_for_dataset(ds));
+  WireMessage msg = [&] {
+    const trace::Span span("serialize");
+    return wire_message_for_dataset(ds);
+  }();
+  send_framed_msg(msg);
 }
 
 void Transport::send_dataset(std::shared_ptr<const DataSet> ds) {
-  send_framed_msg(wire_message_for_dataset(std::move(ds)));
+  WireMessage msg = [&] {
+    const trace::Span span("serialize");
+    return wire_message_for_dataset(std::move(ds));
+  }();
+  send_framed_msg(msg);
 }
 
 std::unique_ptr<DataSet> Transport::recv_dataset() {
-  return deserialize_dataset(recv_framed_msg());
+  WireMessage msg = recv_framed_msg();
+  const trace::Span span("deserialize");
+  return deserialize_dataset(msg);
 }
 
 // ----------------------------------------------------- in-proc channel

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace eth {
 
@@ -127,8 +128,14 @@ void run_chunks_on_pool(ThreadPool& pool, Index chunks,
   double cpu_total = 0;
   std::exception_ptr first_error;
   Index first_error_chunk = -1;
+  // Worker-executed chunks attribute to the ISSUING thread's trace
+  // track, exactly as their CPU time credits its borrowed-CPU
+  // accumulator: a chunk rendered by a pool worker belongs on the
+  // issuing rank's timeline.
+  const std::int32_t issuing_track = trace::current_track();
   for (Index c = 0; c < chunks; ++c) {
     pool.submit([&, c] {
+      const trace::TrackScope track_scope(issuing_track);
       const ThreadCpuTimer chunk_timer;
       std::exception_ptr error;
       try {
@@ -199,17 +206,28 @@ void parallel_for_chunks(ThreadPool& pool, Index begin, Index end, Index n_chunk
   // pure function of the range, identical at every thread count.
   const auto chunk_begin = [&](Index c) { return begin + n * c / n_chunks; };
 
+  // The "chunk" span is emitted here and NOT in parallel_for: this
+  // decomposition is thread-count-invariant, so the per-phase span
+  // counts stay deterministic across pool sizes (the trace-determinism
+  // test depends on it). plain parallel_for sizes its chunking off the
+  // pool and would break that contract.
   if (pool.size() <= 1 || pool.on_worker_thread()) {
     for (Index c = 0; c < n_chunks; ++c) {
       const Index b = chunk_begin(c), e = chunk_begin(c + 1);
-      if (b < e) fn(c, b, e);
+      if (b < e) {
+        const trace::Span span("chunk");
+        fn(c, b, e);
+      }
     }
     return;
   }
 
   run_chunks_on_pool(pool, n_chunks, [&](Index c) {
     const Index b = chunk_begin(c), e = chunk_begin(c + 1);
-    if (b < e) fn(c, b, e);
+    if (b < e) {
+      const trace::Span span("chunk");
+      fn(c, b, e);
+    }
   });
 }
 

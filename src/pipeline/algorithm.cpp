@@ -1,6 +1,7 @@
 #include "pipeline/algorithm.hpp"
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "core/artifact_cache.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -53,6 +54,7 @@ std::shared_ptr<const DataSet> Algorithm::update() {
       const CacheLookup lookup = cache_->get_or_compute(key, [&]() -> CacheArtifact {
         // KernelTimer: filters fan their loops out over the thread
         // pool; worker-executed chunks are still charged here.
+        const trace::Span span(trace_name());
         KernelTimer timer;
         cluster::PerfCounters fresh;
         std::unique_ptr<DataSet> produced = execute(input.get(), fresh);
@@ -70,6 +72,7 @@ std::shared_ptr<const DataSet> Algorithm::update() {
       // KernelTimer: filters fan their cell/point loops out over the
       // thread pool; worker-executed chunks must still be charged to
       // this rank's phase.
+      const trace::Span span(trace_name());
       KernelTimer timer;
       output_ = execute(input.get(), counters_);
       require(output_ != nullptr, "Algorithm::execute returned null output");

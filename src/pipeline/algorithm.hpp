@@ -77,6 +77,11 @@ protected:
   /// geometry extraction filters, "sample" for samplers, ...).
   virtual const char* phase_name() const { return "extract"; }
 
+  /// Trace-span name for this algorithm's execute() (DESIGN.md §11).
+  /// Must be a string literal; overridden per filter so a trace shows
+  /// "filter.isosurface" rather than a generic bucket.
+  virtual const char* trace_name() const { return "filter"; }
+
   /// Canonical operation-plus-parameters string for memoization keys.
   /// Must cover EVERY parameter that influences execute()'s output
   /// (floats via %a so the string is bit-exact); empty (the default)

@@ -36,6 +36,7 @@ protected:
   std::unique_ptr<DataSet> execute(const DataSet* input,
                                    cluster::PerfCounters& counters) override;
   const char* phase_name() const override { return "extract"; }
+  const char* trace_name() const override { return "filter.halo"; }
 
 private:
   Real linking_length_;

@@ -39,6 +39,7 @@ protected:
   std::unique_ptr<DataSet> execute(const DataSet* input,
                                    cluster::PerfCounters& counters) override;
   std::string cache_signature() const override;
+  const char* trace_name() const override { return "filter.isosurface"; }
 
 private:
   std::unique_ptr<DataSet> execute_tets(const class TetMesh& tets,

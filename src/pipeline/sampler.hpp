@@ -39,6 +39,7 @@ protected:
                                    cluster::PerfCounters& counters) override;
   const char* phase_name() const override { return "sample"; }
   std::string cache_signature() const override;
+  const char* trace_name() const override { return "filter.sample"; }
 
 private:
   std::unique_ptr<DataSet> sample_points(const class PointSet& ps,

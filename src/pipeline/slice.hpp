@@ -27,6 +27,7 @@ protected:
   std::unique_ptr<DataSet> execute(const DataSet* input,
                                    cluster::PerfCounters& counters) override;
   std::string cache_signature() const override;
+  const char* trace_name() const override { return "filter.slice"; }
 
 private:
   std::string field_name_;

@@ -1,6 +1,7 @@
 #include "render/compositor.hpp"
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "data/serialize.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -30,6 +31,7 @@ void merge_pair_range(ImageBuffer& dst, const ImageBuffer& src, std::size_t p0,
 
 void depth_composite_pair(ImageBuffer& dst, const ImageBuffer& src,
                           cluster::PerfCounters& counters) {
+  const trace::Span span("composite");
   require(dst.width() == src.width() && dst.height() == src.height(),
           "depth_composite_pair: size mismatch");
   const Index n = dst.num_pixels();
@@ -45,6 +47,7 @@ void depth_composite_pair(ImageBuffer& dst, const ImageBuffer& src,
 
 void depth_composite(std::span<const ImageBuffer> partials, ImageBuffer& out,
                      cluster::PerfCounters& counters) {
+  const trace::Span span("composite");
   for (const ImageBuffer& partial : partials)
     require(partial.width() == out.width() && partial.height() == out.height(),
             "depth_composite: size mismatch");
@@ -74,6 +77,7 @@ void depth_composite(std::span<const ImageBuffer> partials, ImageBuffer& out,
 
 void depth_composite_tree(std::vector<ImageBuffer>& partials,
                           cluster::PerfCounters& counters) {
+  const trace::Span span("composite");
   if (partials.empty()) return;
   const Index n = partials[0].num_pixels();
   for (const ImageBuffer& partial : partials)
@@ -118,6 +122,7 @@ void depth_composite_tree(std::vector<ImageBuffer>& partials,
 void alpha_composite(std::span<const ImageBuffer> partials,
                      std::span<const std::size_t> order, ImageBuffer& out,
                      cluster::PerfCounters& counters) {
+  const trace::Span span("composite");
   require(order.size() == partials.size(), "alpha_composite: order size mismatch");
   for (const std::size_t idx : order) {
     require(idx < partials.size(), "alpha_composite: order index out of range");
@@ -142,6 +147,7 @@ void alpha_composite_premultiplied(std::span<const ImageBuffer> partials,
                                    std::span<const std::size_t> order,
                                    ImageBuffer& out,
                                    cluster::PerfCounters& counters) {
+  const trace::Span span("composite");
   require(order.size() == partials.size(),
           "alpha_composite_premultiplied: order size mismatch");
   for (const std::size_t idx : order) {
@@ -171,6 +177,7 @@ void alpha_composite_premultiplied(std::span<const ImageBuffer> partials,
 }
 
 std::vector<std::uint8_t> pack_image(const ImageBuffer& image) {
+  const trace::Span span("pack_image");
   ByteWriter w;
   w.put_i64(image.width());
   w.put_i64(image.height());

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace eth {
@@ -119,6 +120,7 @@ struct ProjectedTriangle {
 void RasterRenderer::render_mesh(const TriangleMesh& mesh, const Camera& camera,
                                  ImageBuffer& image, const MeshRenderOptions& options,
                                  cluster::PerfCounters& counters) const {
+  const trace::Span span("render.raster");
   const Index width = image.width(), height = image.height();
   if (width == 0 || height == 0 || mesh.num_triangles() == 0) return;
 
@@ -254,6 +256,7 @@ struct ProjectedPoint {
 void RasterRenderer::render_points(const PointSet& points, const Camera& camera,
                                    ImageBuffer& image, const PointRenderOptions& options,
                                    cluster::PerfCounters& counters) const {
+  const trace::Span span("render.raster");
   const Index width = image.width(), height = image.height();
   if (width == 0 || height == 0) return;
   require(options.point_size >= 1, "render_points: point_size must be >= 1");
@@ -343,6 +346,7 @@ struct ProjectedSplat {
 void RasterRenderer::render_splats(const PointSet& points, const Camera& camera,
                                    ImageBuffer& image, const SplatRenderOptions& options,
                                    cluster::PerfCounters& counters) const {
+  const trace::Span span("render.raster");
   const Index width = image.width(), height = image.height();
   if (width == 0 || height == 0) return;
 

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace eth {
@@ -90,6 +91,7 @@ bool MinMaxGrid::may_contain(Vec3f p, Real isovalue) const {
 std::shared_ptr<const MinMaxGrid> RaycastRenderer::build_volume_accel(
     const StructuredGrid& grid, const std::string& field_name,
     cluster::PerfCounters& counters) {
+  const trace::Span span("render.build");
   const Field& field = grid.point_fields().get(field_name);
   ThreadCpuTimer timer;
   auto minmax = std::make_shared<MinMaxGrid>(grid, field);
@@ -108,6 +110,7 @@ void RaycastRenderer::build_volume(const StructuredGrid& grid,
 std::shared_ptr<const SphereAccel> RaycastRenderer::build_sphere_accel(
     const PointSet& points, const SphereRaycastOptions& options,
     cluster::PerfCounters& counters) {
+  const trace::Span span("render.build");
   Real radius = options.world_radius;
   if (radius <= 0) {
     const AABB box = points.bounds();
@@ -139,6 +142,7 @@ void RaycastRenderer::render_spheres(const PointSet& points, const Camera& camer
                                      ImageBuffer& image,
                                      const SphereRaycastOptions& options,
                                      cluster::PerfCounters& counters) const {
+  const trace::Span span("render.raycast");
   require(has_sphere_structure() || points.num_points() == 0,
           "RaycastRenderer::render_spheres: call build_spheres first");
   const SphereBVH& bvh = sphere_bvh();
@@ -261,6 +265,7 @@ void RaycastRenderer::render_volume_scene(const StructuredGrid& grid,
                                           const IsoRaycastOptions& iso_options,
                                           std::span<const SliceRaycastOptions> slices,
                                           cluster::PerfCounters& counters) const {
+  const trace::Span span("render.raycast");
   const Index width = image.width(), height = image.height();
   if (width == 0 || height == 0) return;
   const Field& field = grid.point_fields().get(field_name);
@@ -348,6 +353,7 @@ void RaycastRenderer::render_volume_slice(const StructuredGrid& grid,
                                           const Camera& camera, ImageBuffer& image,
                                           const SliceRaycastOptions& options,
                                           cluster::PerfCounters& counters) const {
+  const trace::Span span("render.raycast");
   const Index width = image.width(), height = image.height();
   if (width == 0 || height == 0) return;
   const Field& field = grid.point_fields().get(field_name);
@@ -397,6 +403,7 @@ void RaycastRenderer::render_volume_dvr(const StructuredGrid& grid,
                                         const Camera& camera, ImageBuffer& image,
                                         const DvrRaycastOptions& options,
                                         cluster::PerfCounters& counters) const {
+  const trace::Span span("render.raycast");
   const Index width = image.width(), height = image.height();
   if (width == 0 || height == 0) return;
   require(options.transfer != nullptr, "render_volume_dvr: transfer function required");

@@ -1,0 +1,206 @@
+// Trace determinism + overhead gates (DESIGN.md §11).
+//
+// Determinism: the SET of spans a run emits is a property of the
+// experiment, not of the machine's thread count — parallel_for_chunks
+// derives its decomposition from the range alone and worker chunks
+// inherit the issuing rank's track, so the same faulted HACC mini-sweep
+// traced at 1 and at 8 pool workers must produce identical
+// (name, track) -> count histograms. Only durations may differ.
+//
+// Overhead: with tracing disabled the instrumented build must emit
+// ZERO events, and the deterministic outputs of a run — images and
+// every count-based table column — must be identical to a traced run's
+// (tracing must observe, never perturb).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "core/artifact_cache.hpp"
+#include "core/harness.hpp"
+#include "core/sweep.hpp"
+#include "parallel/thread_pool.hpp"
+#include "render/compositor.hpp"
+
+namespace eth {
+namespace {
+
+class TraceStateGuard {
+public:
+  explicit TraceStateGuard(bool enable) : was_enabled_(trace::enabled()) {
+    trace::reset();
+    trace::set_enabled(enable);
+  }
+  ~TraceStateGuard() {
+    trace::set_enabled(was_enabled_);
+    trace::reset();
+  }
+
+private:
+  bool was_enabled_;
+};
+
+/// The artifact cache's demand/prefetch interleaving is timing-dependent
+/// by design (prefetches race demand lookups), so the determinism runs
+/// disable it — cache.hit/cache.miss instants would otherwise be the
+/// one legitimately nondeterministic part of the trace.
+class CacheOffGuard {
+public:
+  CacheOffGuard() : was_enabled_(global_artifact_cache().enabled()) {
+    global_artifact_cache().set_enabled(false);
+    global_artifact_cache().clear();
+  }
+  ~CacheOffGuard() {
+    global_artifact_cache().set_enabled(was_enabled_);
+    global_artifact_cache().clear();
+  }
+
+private:
+  bool was_enabled_;
+};
+
+/// A faulted HACC mini-sweep: intercore coupling (serialize + framed
+/// transport + retries on the trace), sampling filter, sphere raycast,
+/// 2 ranks x 2 timesteps x 2 sweep points.
+std::vector<SweepPoint> faulted_mini_sweep() {
+  ExperimentSpec spec;
+  spec.name = "trace-determinism";
+  spec.application = Application::kHacc;
+  spec.hacc.num_particles = 2000;
+  spec.hacc.num_halos = 4;
+  spec.viz.algorithm = insitu::VizAlgorithm::kRaycastSpheres;
+  spec.viz.image_width = 32;
+  spec.viz.image_height = 32;
+  spec.viz.images_per_timestep = 1;
+  spec.viz.sampling_ratio = 0.5;
+  spec.timesteps = 2;
+  spec.layout.nodes = 2;
+  spec.layout.ranks = 2;
+  spec.layout.coupling = cluster::Coupling::kIntercore;
+  spec.fault.seed = 11;
+  spec.fault.p_bit_flip = 0.4;
+  spec.transfer_retry.max_attempts = 4;
+
+  std::vector<SweepPoint> points;
+  points.push_back({"base", spec});
+  ExperimentSpec denser = spec;
+  denser.hacc.num_particles = 3000;
+  points.push_back({"denser", denser});
+  return points;
+}
+
+using Histogram = std::map<std::pair<std::string, std::int32_t>, std::int64_t>;
+
+/// (name, track) -> count over the current snapshot. Durations and
+/// timestamps are deliberately NOT part of the key.
+Histogram span_histogram() {
+  Histogram histogram;
+  for (const trace::TraceEvent& e : trace::snapshot())
+    ++histogram[{e.name, e.track}];
+  return histogram;
+}
+
+Histogram traced_run_histogram(unsigned pool_threads,
+                               const std::vector<SweepPoint>& points) {
+  ThreadPool pool(pool_threads);
+  set_global_pool(&pool);
+  trace::reset();
+  const Harness harness;
+  run_sweep(harness, points);
+  Histogram histogram = span_histogram();
+  set_global_pool(nullptr);
+  return histogram;
+}
+
+TEST(TraceDeterminism, SameSpansAtOneAndEightPoolThreads) {
+  TraceStateGuard trace_guard(true);
+  CacheOffGuard cache_guard;
+  const std::vector<SweepPoint> points = faulted_mini_sweep();
+
+  const Histogram one = traced_run_histogram(1, points);
+  const Histogram eight = traced_run_histogram(8, points);
+
+  ASSERT_FALSE(one.empty());
+  // The full phase taxonomy must be present before comparing.
+  for (const char* phase : {"sim.load", "serialize", "deserialize",
+                            "transport.send", "transport.recv", "transfer",
+                            "filter.sample", "render.build", "render.raycast",
+                            "composite", "chunk", "model.generate"}) {
+    bool found = false;
+    for (const auto& [key, count] : one) found |= key.first == phase;
+    EXPECT_TRUE(found) << "phase missing from trace: " << phase;
+  }
+
+  // Identical (name, track) -> count histograms at 1 and 8 workers.
+  EXPECT_EQ(one.size(), eight.size());
+  for (const auto& [key, count] : one) {
+    const auto it = eight.find(key);
+    ASSERT_NE(it, eight.end())
+        << "span (" << key.first << ", track " << key.second
+        << ") present at 1 thread, absent at 8";
+    EXPECT_EQ(count, it->second)
+        << "span (" << key.first << ", track " << key.second
+        << ") count differs across thread counts";
+  }
+}
+
+TEST(TraceDeterminism, BackToBackTracedRunsEmitIdenticalHistograms) {
+  TraceStateGuard trace_guard(true);
+  CacheOffGuard cache_guard;
+  const std::vector<SweepPoint> points = faulted_mini_sweep();
+  const Histogram first = traced_run_histogram(4, points);
+  const Histogram second = traced_run_histogram(4, points);
+  EXPECT_EQ(first, second);
+}
+
+TEST(TraceOverhead, DisabledTracerEmitsZeroEventsAcrossFullRun) {
+  TraceStateGuard trace_guard(false);
+  CacheOffGuard cache_guard;
+  const Harness harness;
+  run_sweep(harness, faulted_mini_sweep());
+  EXPECT_TRUE(trace::snapshot().empty())
+      << "instrumentation emitted events while disabled";
+}
+
+TEST(TraceOverhead, TracingDoesNotPerturbDeterministicOutputs) {
+  CacheOffGuard cache_guard;
+  const std::vector<SweepPoint> points = faulted_mini_sweep();
+  const Harness harness;
+
+  std::vector<SweepOutcome> off, on;
+  {
+    TraceStateGuard trace_guard(false);
+    off = run_sweep(harness, points);
+  }
+  {
+    TraceStateGuard trace_guard(true);
+    on = run_sweep(harness, points);
+  }
+
+  // Images bit-identical with tracing off and on.
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    ASSERT_TRUE(off[i].result.final_image.has_value());
+    ASSERT_TRUE(on[i].result.final_image.has_value());
+    const auto a = pack_image(*off[i].result.final_image);
+    const auto b = pack_image(*on[i].result.final_image);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0)
+        << "image differs with tracing on at point " << i;
+  }
+
+  // The robustness table holds only count-based columns — it must be
+  // byte-identical. (metrics_table's time/power/energy derive from
+  // measured host CPU and legitimately jitter run to run; its
+  // count-based cache columns are covered by the robustness table.)
+  EXPECT_EQ(robustness_table("point", off).to_text(),
+            robustness_table("point", on).to_text());
+}
+
+} // namespace
+} // namespace eth

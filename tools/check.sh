@@ -33,6 +33,26 @@ run_variant build-release -DCMAKE_BUILD_TYPE=Release
 echo "==== cache equivalence (build-release) ===="
 ctest --test-dir build-release --output-on-failure -R 'CacheEquivalence'
 
+# Trace gate (DESIGN.md §11): run a miniature faulted sweep end-to-end
+# with ETH_TRACE on and validate the exported Chrome trace — JSON
+# schema plus presence of a span from every pipeline phase (sim load,
+# serialize, transport, filter, render, composite, cache, retries and
+# the modelled-timeline projection). A missing name here means a layer
+# lost its instrumentation. The socket-coupled transport path is
+# covered by the e2e trace test, run here by name so a filter typo
+# cannot silently skip it.
+echo "==== trace gate (build-release) ===="
+ctest --test-dir build-release --output-on-failure \
+  -R 'Trace.SocketCoupledExchangeTracesEveryTransportPhase'
+trace_json="$(mktemp /tmp/eth_trace_gate.XXXXXX.json)"
+ETH_TRACE="${trace_json}" ./build-release/tools/eth_explore tools/trace_gate.cfg
+./build-release/tools/eth_trace_check "${trace_json}" \
+  sim.load serialize deserialize transport.send transport.recv transfer \
+  transfer.retry filter.sample render.build render.raycast composite \
+  pack_image chunk cache.miss cache_bytes model.generate model.viz \
+  model.composite model.write
+rm -f "${trace_json}"
+
 # TSan with a multi-worker pool even on small machines: a 1-worker pool
 # runs loops inline and would hide every race from the sanitizer. The
 # full suite includes the ArtifactCache concurrency/stress tests and the
@@ -41,6 +61,13 @@ ctest --test-dir build-release --output-on-failure -R 'CacheEquivalence'
 ETH_THREADS="${ETH_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   run_variant build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DETH_SANITIZE=thread -DETH_BUILD_BENCH=OFF -DETH_BUILD_EXAMPLES=OFF
+
+# The tracer's lock-free per-thread buffers are exactly the kind of
+# code TSan exists for — run the trace suites by name so they cannot be
+# filtered out of the sanitized pass by accident.
+echo "==== trace tests (build-tsan) ===="
+ETH_THREADS="${ETH_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir build-tsan --output-on-failure -R 'Trace'
 
 # AddressSanitizer over the data/in-situ suites: the zero-copy data
 # plane aliases receive buffers and peers' live arrays (common/buffer),

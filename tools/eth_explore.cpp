@@ -8,11 +8,16 @@
 //
 //   eth_explore sweep.cfg [--csv out.csv] [--best energy|time]
 
+//   ETH_TRACE=out.json eth_explore sweep.cfg   additionally records a
+//   per-rank Chrome trace (load it in Perfetto / chrome://tracing) and
+//   prints the per-phase span summary.
+
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "core/spec_config.hpp"
 
 namespace {
@@ -65,18 +70,17 @@ int main(int argc, char** argv) {
     const ResultTable table = metrics_table("configuration", outcomes);
     std::printf("\n%s", table.to_text().c_str());
 
-    // A faulted run that silently dropped frames must not look like a
-    // clean one: surface the robustness counters whenever faults were
-    // configured or any frame needed more than one attempt.
-    bool show_robustness = false;
-    for (std::size_t i = 0; i < points.size() && i < outcomes.size(); ++i) {
-      const auto& r = outcomes[i].result.robustness;
-      if (points[i].spec.fault.any() || r.frames_retried > 0 ||
-          r.frames_dropped > 0 || r.frames_corrupt > 0 || r.frames_timed_out > 0)
-        show_robustness = true;
-    }
-    if (show_robustness)
+    // Robustness counters print for faulted/retried runs — and for
+    // every traced run, so the trace and the counters land together.
+    const std::string trace_path = trace::env_trace_path();
+    if (should_print_robustness(points, outcomes, !trace_path.empty()))
       std::printf("\n%s", robustness_table("configuration", outcomes).to_text().c_str());
+
+    if (!trace_path.empty()) {
+      std::printf("\n%s", trace_summary_table().to_text().c_str());
+      trace::write_chrome_trace(trace_path);
+      std::printf("(trace written to %s)\n", trace_path.c_str());
+    }
     if (!csv_path.empty()) {
       table.save_csv(csv_path);
       std::printf("(csv written to %s)\n", csv_path.c_str());

@@ -1,0 +1,308 @@
+// eth_trace_check: validate a Chrome trace-event JSON file produced by
+// ETH_TRACE (common/trace). Used by the TraceGate step of
+// tools/check.sh so a schema regression in the exporter fails CI
+// instead of silently producing a file Perfetto refuses to load.
+//
+//   eth_trace_check <trace.json> [required-event-name...]
+//
+// Checks, in order:
+//   1. the file is well-formed JSON (self-contained recursive-descent
+//      parser — no third-party dependency),
+//   2. the top level is an object with a "traceEvents" array,
+//   3. every event carries the Chrome schema fields: "ph" one of
+//      M/X/C/i, a non-empty "name", numeric "pid"/"tid"; "X" events
+//      additionally a numeric "ts" and non-negative "dur", "C" events a
+//      numeric args.value, "i" events a scope "s",
+//   4. every name listed on the command line occurs in at least one
+//      non-metadata event (phase-coverage check for the gate run).
+//
+// Exits 0 on success; prints the first failure and exits 1 otherwise.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace {
+
+using eth::fail;
+using eth::require;
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "eth_trace_check: cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ------------------------------------------------ minimal JSON parser
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    require(pos_ == text_.size(), error("trailing garbage after JSON value"));
+    return value;
+  }
+
+private:
+  std::string error(const std::string& what) const {
+    return "trace json: " + what + " at byte " + std::to_string(pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    require(pos_ < text_.size(), error("unexpected end of input"));
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    require(peek() == c, error(std::string("expected '") + c + "', got '" +
+                               text_[pos_] + "'"));
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return parse_literal(c == 't');
+    if (c == 'n') {
+      consume_word("null");
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  void consume_word(const std::string& word) {
+    require(text_.compare(pos_, word.size(), word) == 0,
+            error("expected '" + word + "'"));
+    pos_ += word.size();
+  }
+
+  JsonValue parse_literal(bool value) {
+    consume_word(value ? "true" : "false");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = value;
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    require(pos_ > start, error("expected a number"));
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail(error("malformed number '" + text_.substr(start, pos_ - start) + "'"));
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      require(pos_ < text_.size(), error("unterminated string"));
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      require(pos_ < text_.size(), error("unterminated escape"));
+      const char esc = text_[pos_++];
+      switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        require(pos_ + 4 <= text_.size(), error("truncated \\u escape"));
+        // The exporter only \u-escapes control characters; decode the
+        // code point as a single byte, which covers that range.
+        const std::string hex = text_.substr(pos_, 4);
+        pos_ += 4;
+        out += static_cast<char>(std::stoi(hex, nullptr, 16));
+        break;
+      }
+      default: fail(error(std::string("bad escape '\\") + esc + "'"));
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      require(c == ',', error("expected ',' or ']' in array"));
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      require(peek() == '"', error("expected object key"));
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      require(c == ',', error("expected ',' or '}' in object"));
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --------------------------------------------------- schema validation
+
+const JsonValue& field(const JsonValue& event, const std::string& key,
+                       JsonValue::Kind kind, std::size_t index) {
+  const JsonValue* value = event.find(key);
+  require(value != nullptr, "trace json: event " + std::to_string(index) +
+                                " missing \"" + key + "\"");
+  require(value->kind == kind, "trace json: event " + std::to_string(index) +
+                                   " field \"" + key + "\" has wrong type");
+  return *value;
+}
+
+int check(const std::string& path, const std::vector<std::string>& required) {
+  const std::string text = read_text_file(path);
+  const JsonValue root = JsonParser(text).parse();
+  require(root.kind == JsonValue::Kind::kObject,
+          "trace json: top level must be an object");
+  const JsonValue* events = root.find("traceEvents");
+  require(events != nullptr && events->kind == JsonValue::Kind::kArray,
+          "trace json: missing \"traceEvents\" array");
+
+  std::set<std::string> seen;
+  std::size_t spans = 0, counters = 0, instants = 0, metadata = 0;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    require(e.kind == JsonValue::Kind::kObject,
+            "trace json: event " + std::to_string(i) + " is not an object");
+    const std::string& ph = field(e, "ph", JsonValue::Kind::kString, i).string;
+    const std::string& name =
+        field(e, "name", JsonValue::Kind::kString, i).string;
+    require(!name.empty(),
+            "trace json: event " + std::to_string(i) + " has an empty name");
+    field(e, "pid", JsonValue::Kind::kNumber, i);
+    field(e, "tid", JsonValue::Kind::kNumber, i);
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    seen.insert(name);
+    field(e, "ts", JsonValue::Kind::kNumber, i);
+    if (ph == "X") {
+      ++spans;
+      require(field(e, "dur", JsonValue::Kind::kNumber, i).number >= 0,
+              "trace json: event " + std::to_string(i) + " has negative dur");
+    } else if (ph == "C") {
+      ++counters;
+      const JsonValue& args = field(e, "args", JsonValue::Kind::kObject, i);
+      const JsonValue* value = args.find("value");
+      require(value != nullptr && value->kind == JsonValue::Kind::kNumber,
+              "trace json: counter event " + std::to_string(i) +
+                  " missing numeric args.value");
+    } else if (ph == "i") {
+      ++instants;
+      field(e, "s", JsonValue::Kind::kString, i);
+    } else {
+      fail("trace json: event " + std::to_string(i) + " has unknown ph \"" +
+           ph + "\"");
+    }
+  }
+
+  for (const std::string& name : required)
+    require(seen.count(name) > 0,
+            "trace json: required event \"" + name + "\" not present");
+
+  std::printf("%s: ok (%zu spans, %zu counters, %zu instants, %zu metadata, "
+              "%zu distinct names)\n",
+              path.c_str(), spans, counters, instants, metadata, seen.size());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: eth_trace_check <trace.json> [required-name...]\n");
+    return 2;
+  }
+  try {
+    return check(argv[1], {argv + 2, argv + argc});
+  } catch (const eth::Error& e) {
+    std::fprintf(stderr, "eth_trace_check: %s\n", e.what());
+    return 1;
+  }
+}
