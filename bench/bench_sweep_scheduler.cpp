@@ -1,0 +1,126 @@
+// Concurrent sweep scheduler bench (DESIGN.md §12).
+//
+// Runs one faulted HACC mini-sweep (8 points, artifact cache OFF, so
+// every point pays its full cost) serially and at 4 sweep workers, and
+// compares wall clock. The sweep points spend most of their time in
+// injected per-message transport delays — real, deterministic
+// std::this_thread stalls, the bench-scale stand-in for the proxy I/O
+// and transport waits a real exploration sweep blocks on — which is
+// exactly the latency a concurrent scheduler overlaps even on a single
+// core. Determinism contract: both passes must render bit-identical
+// images and identical robustness counters.
+//
+// Acceptance shape: 4-worker sweep at least 2x faster than serial.
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/artifact_cache.hpp"
+#include "render/compositor.hpp"
+
+using namespace eth;
+using namespace eth::bench;
+
+namespace {
+
+double wall_seconds(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::vector<std::vector<std::uint8_t>> packed_images(
+    const std::vector<SweepOutcome>& outcomes) {
+  std::vector<std::vector<std::uint8_t>> packed;
+  for (const SweepOutcome& o : outcomes)
+    packed.push_back(o.result.final_image ? pack_image(*o.result.final_image)
+                                          : std::vector<std::uint8_t>{});
+  return packed;
+}
+
+bool images_match(const std::vector<std::vector<std::uint8_t>>& a,
+                  const std::vector<std::vector<std::uint8_t>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size() || a[i].empty()) return false;
+    if (std::memcmp(a[i].data(), b[i].data(), a[i].size()) != 0) return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main() {
+  print_header("Sweep scheduler", "design-space exploration loop",
+               "8-point faulted HACC sweep, serial vs ETH_SWEEP_WORKERS=4");
+
+  // Small compute, dominant (deterministic, seeded) transport delays:
+  // every sent frame stalls ~60 ms, so each point is latency-bound the
+  // way a proxy-I/O-bound exploration point is.
+  ExperimentSpec base;
+  base.name = "sweep-sched";
+  base.application = Application::kHacc;
+  base.hacc.num_particles = 4000;
+  base.hacc.num_halos = 8;
+  base.viz.algorithm = insitu::VizAlgorithm::kRaycastSpheres;
+  base.viz.image_width = 48;
+  base.viz.image_height = 48;
+  base.viz.images_per_timestep = 1;
+  base.timesteps = 3;
+  base.layout.nodes = 2;
+  base.layout.ranks = 2;
+  base.layout.coupling = cluster::Coupling::kIntercore;
+  base.fault.seed = 29;
+  base.fault.p_delay = 1.0;
+  base.fault.delay_ms = 60.0;
+
+  const std::vector<double> ratios{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3};
+  const auto points = sweep_over<double>(
+      base, ratios, [](const double& r) { return strprintf("%.0f%%", r * 100); },
+      [](const double& r, ExperimentSpec& spec) { spec.viz.sampling_ratio = r; });
+
+  const Harness harness;
+  ArtifactCache& cache = global_artifact_cache();
+  const bool cache_was_enabled = cache.enabled();
+  cache.set_enabled(false); // every point pays full cost: no memoization
+
+  set_sweep_worker_override(1);
+  const auto serial_start = std::chrono::steady_clock::now();
+  const auto serial = run_sweep(harness, points);
+  const double serial_s = wall_seconds(serial_start);
+
+  set_sweep_worker_override(4);
+  const auto concurrent_start = std::chrono::steady_clock::now();
+  const auto concurrent = run_sweep(harness, points);
+  const double concurrent_s = wall_seconds(concurrent_start);
+
+  set_sweep_worker_override(0);
+  cache.set_enabled(cache_was_enabled);
+
+  ResultTable table({"sampling", "serial_s", "workers4_s", "speedup",
+                     "frames_sent", "timesteps_dropped"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    table.begin_row();
+    table.add_cell(points[i].label);
+    table.add_cell(serial_s / double(points.size()), "%.3f");
+    table.add_cell(concurrent_s / double(points.size()), "%.3f");
+    table.add_cell(serial_s / concurrent_s, "%.2f");
+    table.add_cell(concurrent[i].result.robustness.frames_sent);
+    table.add_cell(concurrent[i].result.timesteps_dropped);
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  save_table(table, "sweep_scheduler");
+
+  std::printf("sweep wall: serial %.3fs  4 workers %.3fs  (%.2fx)\n", serial_s,
+              concurrent_s, serial_s / concurrent_s);
+
+  check_shape(images_match(packed_images(serial), packed_images(concurrent)),
+              "images bit-identical serial vs 4 sweep workers");
+  check_shape(robustness_table("point", serial).to_csv() ==
+                  robustness_table("point", concurrent).to_csv(),
+              "robustness counters identical serial vs 4 sweep workers");
+  check_shape(concurrent_s * 2.0 <= serial_s,
+              "4-worker sweep at least 2x faster than serial");
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/run_counters.hpp"
+
 namespace eth {
 
 namespace {
@@ -25,6 +27,12 @@ void note_bytes_copied(Bytes n) {
     return;
   }
   g_bytes_copied.fetch_add(n, std::memory_order_relaxed);
+  // Tee into the owning run's sink (common/run_counters.hpp) so
+  // concurrent runs each see exactly their own traffic. A capture
+  // (above) still shadows both: captured costs are recorded with the
+  // artifact and REPLAYED into the consuming run's counters instead.
+  if (RunCounterSink* sink = current_run_sink())
+    sink->bytes_copied.fetch_add(n, std::memory_order_relaxed);
 }
 
 void note_bytes_borrowed(Bytes n) {
@@ -34,6 +42,8 @@ void note_bytes_borrowed(Bytes n) {
     return;
   }
   g_bytes_borrowed.fetch_add(n, std::memory_order_relaxed);
+  if (RunCounterSink* sink = current_run_sink())
+    sink->bytes_borrowed.fetch_add(n, std::memory_order_relaxed);
 }
 
 DataPlaneCapture::DataPlaneCapture() : prev_(t_capture_sink) {

@@ -1,0 +1,17 @@
+#include "common/run_counters.hpp"
+
+namespace eth {
+
+namespace {
+thread_local RunCounterSink* t_run_sink = nullptr;
+} // namespace
+
+RunCounterSink* current_run_sink() { return t_run_sink; }
+
+RunSinkScope::RunSinkScope(RunCounterSink* sink) : prev_(t_run_sink) {
+  t_run_sink = sink;
+}
+
+RunSinkScope::~RunSinkScope() { t_run_sink = prev_; }
+
+} // namespace eth

@@ -1,0 +1,62 @@
+#pragma once
+// RunCounterSink: per-run attribution of process-shared statistics.
+//
+// The harness used to attribute data-plane bytes and artifact-cache
+// hit/miss counts to a run by snapshotting the PROCESS-WIDE counters
+// before and after it — correct while runs were strictly serial, and
+// silently wrong the moment two Harness::run calls overlap (the sweep
+// scheduler, DESIGN.md §12): each run's delta would absorb the other
+// run's traffic, so the robustness/metrics tables of a concurrent
+// sweep could never be bit-identical to the serial sweep's.
+//
+// This module replaces the snapshot-delta idiom with explicit
+// attribution. A run owns one RunCounterSink; every thread working on
+// the run's behalf — its minimpi rank threads, and pool workers
+// executing chunks those threads issued — installs it via RunSinkScope
+// (the thread pool propagates it into worker chunks exactly like the
+// trace track and the borrowed-CPU credit). Emitters (the data-plane
+// note_bytes_* hooks in common/buffer, the hit/miss accounting in
+// core/artifact_cache) then tee each count into the current thread's
+// sink IN ADDITION to the process-wide statistic, so process totals
+// are unchanged while each run sees exactly its own traffic.
+//
+// The sink is deliberately dumb — monotonic relaxed atomics, no
+// reset — because it only ever aggregates within one run's lifetime.
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace eth {
+
+struct RunCounterSink {
+  // Data-plane ownership (common/buffer.hpp note_bytes_*).
+  std::atomic<Bytes> bytes_copied{0};
+  std::atomic<Bytes> bytes_borrowed{0};
+
+  // Artifact-cache demand accounting (core/artifact_cache.hpp).
+  std::atomic<Index> cache_hits{0};
+  std::atomic<Index> cache_misses{0};
+  std::atomic<Index> prefetch_hits{0};
+};
+
+/// The sink the calling thread attributes to, or nullptr when the
+/// thread is not working on behalf of any run.
+RunCounterSink* current_run_sink();
+
+/// RAII: route this thread's attributable counts into `sink`, restore
+/// the previous sink on destruction. Scopes nest (innermost wins);
+/// passing nullptr detaches the thread for the scope's extent.
+class RunSinkScope {
+public:
+  explicit RunSinkScope(RunCounterSink* sink);
+  ~RunSinkScope();
+  RunSinkScope(const RunSinkScope&) = delete;
+  RunSinkScope& operator=(const RunSinkScope&) = delete;
+
+private:
+  RunCounterSink* prev_;
+};
+
+} // namespace eth

@@ -65,7 +65,7 @@ double rms_difference(const std::vector<double>& a, const std::vector<double>& b
   return std::sqrt(acc / double(a.size()));
 }
 
-Histogram::Histogram(double lo, double hi, int bins) : lo_(lo) {
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
   require(bins > 0, "Histogram: need at least one bin");
   require(hi > lo, "Histogram: hi must exceed lo");
   width_ = (hi - lo) / bins;
@@ -73,10 +73,22 @@ Histogram::Histogram(double lo, double hi, int bins) : lo_(lo) {
 }
 
 void Histogram::add(double x) {
-  auto idx = static_cast<long>(std::floor((x - lo_) / width_));
-  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1L);
-  ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+  // NaN compares false with both bounds; !(x >= lo_) routes it to
+  // underflow alongside -inf so no sample is ever silently dropped.
+  if (!(x >= lo_)) {
+    ++underflow_;
+    return;
+  }
+  if (x > hi_) {
+    ++overflow_;
+    return;
+  }
+  // In [lo, hi]: x == hi (and any float-roundoff spill past the last
+  // edge) closes into the top bucket.
+  const auto idx = static_cast<long>(std::floor((x - lo_) / width_));
+  const long last = static_cast<long>(counts_.size()) - 1L;
+  ++counts_[static_cast<std::size_t>(std::min(idx, last))];
 }
 
 } // namespace eth

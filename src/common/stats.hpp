@@ -43,14 +43,22 @@ double percentile(std::vector<double> values, double p);
 /// Root-mean-square difference of two equal-length series.
 double rms_difference(const std::vector<double>& a, const std::vector<double>& b);
 
-/// Fixed-width histogram over [lo, hi] with `bins` buckets; values
-/// outside the range clamp into the edge buckets.
+/// Fixed-width histogram over [lo, hi] with `bins` buckets. Samples
+/// below `lo` or above `hi` are NOT clamped into the edge buckets
+/// (that silently corrupted the tail bins); they are counted in the
+/// explicit underflow()/overflow() tallies instead, so out-of-range
+/// data is visible rather than disguised as extreme-but-valid. `hi`
+/// itself lands in the last bucket (closed upper edge); non-finite
+/// samples count as underflow (-inf / NaN) or overflow (+inf).
 class Histogram {
 public:
   Histogram(double lo, double hi, int bins);
 
   void add(double x);
-  Index count() const { return total_; }
+  Index count() const { return total_; } ///< every add(), in range or not
+  Index in_range() const { return total_ - underflow_ - overflow_; }
+  Index underflow() const { return underflow_; } ///< samples with x < lo (or NaN)
+  Index overflow() const { return overflow_; }   ///< samples with x > hi
   Index bin_count(int i) const { return counts_.at(static_cast<std::size_t>(i)); }
   int bins() const { return static_cast<int>(counts_.size()); }
   double bin_lo(int i) const { return lo_ + width_ * i; }
@@ -58,9 +66,12 @@ public:
 
 private:
   double lo_;
+  double hi_;
   double width_;
   std::vector<Index> counts_;
   Index total_ = 0;
+  Index underflow_ = 0;
+  Index overflow_ = 0;
 };
 
 } // namespace eth

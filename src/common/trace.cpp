@@ -210,9 +210,21 @@ void append_json_escaped(std::string& out, const char* s) {
 
 std::string track_name(std::int32_t track) {
   if (track == kHostTrack) return "host";
-  if (track >= kModelTrackBase)
-    return "model node " + std::to_string(track - kModelTrackBase);
-  return "rank " + std::to_string(track);
+  // Decode the sweep-point namespacing (kSweepTrackStride): point 0
+  // keeps the bare "rank R" / "model node N" names so single runs and
+  // pre-sweep traces read unchanged.
+  if (track >= kModelTrackBase) {
+    const std::int32_t n = track - kModelTrackBase;
+    const std::int32_t point = n / kSweepTrackStride;
+    const std::int32_t node = n % kSweepTrackStride;
+    if (point == 0) return "model node " + std::to_string(node);
+    return "point " + std::to_string(point) + " model node " +
+           std::to_string(node);
+  }
+  const std::int32_t point = track / kSweepTrackStride;
+  const std::int32_t rank = track % kSweepTrackStride;
+  if (point == 0) return "rank " + std::to_string(rank);
+  return "point " + std::to_string(point) + " rank " + std::to_string(rank);
 }
 
 void append_common_fields(std::string& out, const TraceEvent& e) {

@@ -75,6 +75,20 @@ enum class EventType : std::uint8_t {
 inline constexpr std::int32_t kHostTrack = 1'000'000;
 inline constexpr std::int32_t kModelTrackBase = 2'000'000;
 
+/// Sweep-point track namespacing (DESIGN.md §12): when several harness
+/// runs execute concurrently their rank ids collide, so the sweep
+/// scheduler offsets every track of point `i` by i * kSweepTrackStride
+/// — rank r of point i lands on track i * stride + r, and the point's
+/// modelled nodes on kModelTrackBase + i * stride + node. The offset
+/// is a pure function of the SUBMISSION index, never of the worker
+/// that ran the point, which keeps the (name, track) -> count
+/// histogram of a sweep identical at every ETH_SWEEP_WORKERS value.
+/// The stride bounds ranks-per-run; kHostTrack / stride bounds the
+/// distinguishable points per sweep (976 — beyond that, rank tracks of
+/// distinct points may alias, which garbles attribution but nothing
+/// else).
+inline constexpr std::int32_t kSweepTrackStride = 1024;
+
 struct TraceEvent {
   const char* name = nullptr; ///< static string (literal) — never freed
   EventType type = EventType::kSpan;

@@ -47,7 +47,9 @@
 #include <utility>
 
 #include "cluster/counters.hpp"
+#include "common/error.hpp"
 #include "common/fingerprint.hpp"
+#include "common/run_counters.hpp"
 #include "common/trace.hpp"
 #include "common/types.hpp"
 
@@ -134,9 +136,11 @@ public:
     return stats_;
   }
 
-  /// Drop every ready entry and the dump registry (in-flight
-  /// computations finish and republish normally). Stats keep
-  /// accumulating; callers snapshot deltas.
+  /// Drop every ready entry and the dump registry. In-flight
+  /// placeholders are NOT swept (lru_ holds ready keys only), so a
+  /// computation racing with clear() still finds its placeholder and
+  /// publishes into it normally — publish() asserts exactly that.
+  /// Stats keep accumulating; callers snapshot deltas.
   void clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const ArtifactKey& key : lru_) {
@@ -171,10 +175,14 @@ public:
         if (it->second.ready) {
           touch(it->second);
           ++stats_.hits;
+          if (RunCounterSink* sink = current_run_sink())
+            sink->cache_hits.fetch_add(1, std::memory_order_relaxed);
           trace::instant("cache.hit");
           if (it->second.prefetched && !it->second.prefetch_claimed) {
             it->second.prefetch_claimed = true;
             ++stats_.prefetch_hits;
+            if (RunCounterSink* sink = current_run_sink())
+              sink->prefetch_hits.fetch_add(1, std::memory_order_relaxed);
           }
           return {it->second.artifact.value, it->second.artifact.recorded,
                   it->second.artifact.content_fp, true};
@@ -196,6 +204,8 @@ public:
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.misses;
+      if (RunCounterSink* sink = current_run_sink())
+        sink->cache_misses.fetch_add(1, std::memory_order_relaxed);
       trace::instant("cache.miss");
       publish(key, std::move(made), /*prefetched=*/false);
       cv_.notify_all();
@@ -271,9 +281,18 @@ private:
   }
 
   void publish(const ArtifactKey& key, CacheArtifact&& made, bool prefetched) {
-    auto it = map_.find(key);
-    if (it == map_.end()) // clear() swept the placeholder; reinsert
-      it = map_.emplace(key, Entry{}).first;
+    const auto it = map_.find(key);
+    // The publisher's own placeholder is ALWAYS still parked here:
+    // clear() sweeps ready entries only (it walks lru_, which never
+    // holds in-flight keys), and no other thread can replace it — a
+    // concurrent get_or_compute/prefetch of the same key waits on or
+    // skips the placeholder instead of inserting. An earlier revision
+    // had a "clear() swept the placeholder; reinsert" recovery branch
+    // here; that branch was unreachable, and quietly reinserting would
+    // have masked any future invariant break, so it is now a hard
+    // check.
+    require(it != map_.end() && !it->second.ready,
+            "ArtifactCache::publish: in-flight placeholder missing");
     Entry& entry = it->second;
     entry.artifact = std::move(made);
     entry.ready = true;

@@ -10,6 +10,7 @@
 #include "common/buffer.hpp"
 #include "common/error.hpp"
 #include "common/fingerprint.hpp"
+#include "common/run_counters.hpp"
 #include "common/string_util.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
@@ -172,7 +173,7 @@ ImageBuffer Harness::render_reference(const ExperimentSpec& spec) {
   return std::move(out.images.front());
 }
 
-RunResult Harness::run(const ExperimentSpec& spec) const {
+RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const {
   spec.validate();
   const int M = spec.layout.ranks;
   const int P_sim = spec.layout.sim_nodes();
@@ -190,7 +191,14 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
   ArtifactCache& cache = global_artifact_cache();
   const bool cache_on = cache.enabled();
   const std::uint64_t app_fp = cache_on ? app_fingerprint(spec) : 0;
-  const CacheStats cache_stats_before = cache.stats();
+
+  // Per-run attribution (common/run_counters.hpp): every rank body of
+  // THIS run installs a scope pointing at this sink, so the data-plane
+  // and cache-lookup traffic it tallies is exactly this run's — even
+  // when other harness runs execute concurrently. The old scheme
+  // (snapshot process-wide counters before/after and take the delta)
+  // silently attributed concurrent runs' traffic to each other.
+  RunCounterSink run_sink;
 
   // Figure 3's "preliminary run of the simulation": when the disk proxy
   // is active, the instrumented-simulation dump happens up front and is
@@ -204,6 +212,14 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
       cache_on ? cas_dump_case(app_fp, M, P_viz) : spec.name + "_viz";
   const bool want_viz_files = internode && P_sim != P_viz;
   if (spec.use_disk_proxy) {
+    // Concurrent runs with identical generator parameters resolve to
+    // the SAME content-addressed dump files; two writers racing on one
+    // path would tear it (have_file() sees "missing" in both before
+    // either finishes). One process-wide mutex serializes the whole
+    // preliminary phase — it is explicitly outside the measured loop,
+    // so serializing it costs wall clock only, never measurement.
+    static std::mutex dump_phase_mutex;
+    const std::lock_guard<std::mutex> dump_lock(dump_phase_mutex);
     const sim::DumpWriter sim_writer(spec.proxy_dir, sim_case);
     const sim::DumpWriter viz_writer(spec.proxy_dir, viz_case);
     const auto have_file = [&](const std::string& path, std::uint64_t fp) {
@@ -280,18 +296,22 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
   Index timesteps_dropped_total = 0;
   std::mutex harness_mutex;
 
-  // Data-plane ownership accounting for the whole world run: the
-  // process-wide copied/borrowed byte counters are snapshotted around
-  // the measured loop and the delta attributed to this run. The split
-  // is a pure function of the spec (which hand-off paths execute), so
-  // it is deterministic across thread counts and repeat runs.
-  const DataPlaneCounters plane_before = data_plane_counters();
+  // Joins THIS run's read-ahead tasks — and only them. The pool is
+  // shared with every concurrent harness run, so a global
+  // pool.wait_idle() here would block on (or deadlock behind)
+  // unrelated work.
+  TaskGroup prefetch_group;
 
   mpi::run_world(M, [&](mpi::Comm& comm) {
     const int r = comm.rank();
     // Every span this rank (and any pool worker executing its chunks)
-    // emits lands on the rank's trace track.
-    const trace::TrackScope track_scope(r);
+    // emits lands on the rank's trace track, namespaced per sweep
+    // point; the data-plane/cache traffic it generates lands on this
+    // run's sink the same way. (Ownership split of the byte tallies is
+    // a pure function of the spec — which hand-off paths execute — so
+    // it is deterministic across thread counts and repeat runs.)
+    const trace::TrackScope track_scope(ctx.trace_track_base + r);
+    const RunSinkScope sink_scope(&run_sink);
     core::RankReport report;
     Bytes rank_transferred = 0;
     insitu::RobustnessReport rank_robustness;
@@ -325,8 +345,9 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
         if (spec.use_disk_proxy && t + 1 < spec.timesteps) {
           const std::uint64_t next_fp =
               share_fingerprint(app_fp, share_index(r, M, P_sim), P_sim, t + 1);
-          global_pool().submit([&cache, dir = spec.proxy_dir, case_name = sim_case,
-                                next_fp, t, r]() {
+          prefetch_group.launch(global_pool(), [&cache, dir = spec.proxy_dir,
+                                               case_name = sim_case, next_fp, t,
+                                               r]() {
             try {
               cache.prefetch({next_fp, "proxy.load"}, [&]() -> CacheArtifact {
                 ThreadCpuTimer timer;
@@ -613,16 +634,18 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
     }
   });
 
-  // Join in-flight read-ahead before accounting (and before callers
-  // delete proxy directories out from under a late prefetch).
-  if (cache_on) global_pool().wait_idle();
+  // Join THIS run's in-flight read-ahead before accounting (and before
+  // callers delete proxy directories out from under a late prefetch).
+  prefetch_group.wait();
 
   // ---- aggregate measurements and map onto the modelled machine.
-  const DataPlaneCounters plane_after = data_plane_counters();
+  const Bytes run_bytes_copied =
+      run_sink.bytes_copied.load(std::memory_order_relaxed);
+  const Bytes run_bytes_borrowed =
+      run_sink.bytes_borrowed.load(std::memory_order_relaxed);
   RunResult result;
-  result.counters.bytes_copied += plane_after.bytes_copied - plane_before.bytes_copied;
-  result.counters.bytes_borrowed +=
-      plane_after.bytes_borrowed - plane_before.bytes_borrowed;
+  result.counters.bytes_copied += run_bytes_copied;
+  result.counters.bytes_borrowed += run_bytes_borrowed;
   result.robustness = robustness_total;
   result.timesteps_dropped = timesteps_dropped_total;
   for (const core::RankReport& report : reports) {
@@ -630,16 +653,17 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
     for (const auto& [name, sample] : report.phases)
       result.measured_cpu_seconds += sample.cpu_seconds;
   }
-  // Memoization counters: this run's lookup deltas plus the cache's
-  // resident footprint when the run ended (observational — the ONLY
-  // counters allowed to differ between cache-on and cache-off runs).
+  // Memoization counters: this run's own lookups (teed into the run
+  // sink by the cache) plus the shared cache's resident footprint when
+  // the run ended (observational — the ONLY counters allowed to differ
+  // between cache-on and cache-off runs).
   const CacheStats cache_stats_after = cache.stats();
   result.counters.cache_hits +=
-      cache_stats_after.hits - cache_stats_before.hits;
+      run_sink.cache_hits.load(std::memory_order_relaxed);
   result.counters.cache_misses +=
-      cache_stats_after.misses - cache_stats_before.misses;
+      run_sink.cache_misses.load(std::memory_order_relaxed);
   result.counters.prefetch_hits +=
-      cache_stats_after.prefetch_hits - cache_stats_before.prefetch_hits;
+      run_sink.prefetch_hits.load(std::memory_order_relaxed);
   result.counters.cache_bytes =
       std::max(result.counters.cache_bytes, cache_stats_after.bytes_resident);
   // Scale per-rank transfer volume to the full modelled node count.
@@ -671,14 +695,13 @@ RunResult Harness::run(const ExperimentSpec& spec) const {
   // trace nanoseconds) so the simulated timeline sits next to the
   // measured wall spans in one Perfetto view.
   if (trace::enabled()) {
-    trace::counter("bytes_copied",
-                   double(plane_after.bytes_copied - plane_before.bytes_copied));
-    trace::counter("bytes_borrowed",
-                   double(plane_after.bytes_borrowed - plane_before.bytes_borrowed));
+    trace::counter("bytes_copied", double(run_bytes_copied));
+    trace::counter("bytes_borrowed", double(run_bytes_borrowed));
     trace::counter("cache_bytes", double(cache_stats_after.bytes_resident));
     for (const cluster::BusySpan& span : result.busy_spans)
       trace::emit_span_at(span.label,
-                          trace::kModelTrackBase + span.first_node,
+                          trace::kModelTrackBase + ctx.trace_track_base +
+                              span.first_node,
                           std::int64_t(span.start * 1e9),
                           std::int64_t(span.duration() * 1e9));
   }

@@ -16,11 +16,27 @@
 // r * P / M), so spatial load imbalance — e.g. HACC halos clustering in
 // some slabs — is captured by the max-over-ranks reduction.
 
+#include <cstdint>
+
 #include "core/experiment.hpp"
 #include "core/model.hpp"
 #include "core/table.hpp"
 
 namespace eth {
+
+/// Per-run execution context for re-entrant harness runs (DESIGN.md
+/// §12 "Concurrent sweeps"). A plain run uses the defaults; the sweep
+/// scheduler passes one context per sweep point so concurrent runs
+/// stay distinguishable in the trace.
+struct RunContext {
+  /// Added to every trace track this run emits: measurement rank r
+  /// lands on track `trace_track_base + r`, modelled node n on
+  /// `trace::kModelTrackBase + trace_track_base + n`. The sweep passes
+  /// `point_index * trace::kSweepTrackStride` — a pure function of the
+  /// submission index — so trace histograms are identical at every
+  /// worker count.
+  std::int32_t trace_track_base = 0;
+};
 
 class Harness {
 public:
@@ -29,7 +45,13 @@ public:
   const core::ModelOptions& options() const { return options_; }
 
   /// Run the experiment; throws eth::Error on misconfiguration.
-  RunResult run(const ExperimentSpec& spec) const;
+  /// Fully re-entrant: any number of runs may execute concurrently on
+  /// distinct threads (the sweep scheduler does). Each run joins only
+  /// its own read-ahead tasks and attributes only its own data-plane
+  /// and cache traffic (common/run_counters.hpp), while sharing the
+  /// process-wide artifact cache and thread pool.
+  RunResult run(const ExperimentSpec& spec) const { return run(spec, RunContext{}); }
+  RunResult run(const ExperimentSpec& spec, const RunContext& ctx) const;
 
   /// The camera every rank derives its image sequence from: framed on
   /// the workload's analytic global bounds, so it is identical across

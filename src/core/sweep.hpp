@@ -23,8 +23,31 @@ struct SweepOutcome {
   RunResult result;
 };
 
-/// Run every point in order (deterministic). `on_result`, when set, is
-/// called after each point (progress reporting in long benches).
+/// Sweep concurrency (DESIGN.md §12): number of sweep points run_sweep
+/// executes concurrently. Resolution order: set_sweep_worker_override
+/// (tests, eth_explore --workers) wins, else the ETH_SWEEP_WORKERS
+/// environment variable (positive integer, capped at 256), else 1 —
+/// the historical serial sweep.
+int sweep_worker_count();
+
+/// Override sweep_worker_count() process-wide; pass 0 to drop the
+/// override and fall back to the environment.
+void set_sweep_worker_override(int workers);
+
+/// Run every point and return outcomes in SUBMISSION ORDER.
+/// `on_result`, when set, is called once per point (progress reporting
+/// in long benches) — serially and in submission order, regardless of
+/// worker count.
+///
+/// Determinism contract: with sweep_worker_count() > 1 the points
+/// execute concurrently on dedicated threads, but every artifact — the
+/// returned outcomes, images, metrics/robustness tables, modelled
+/// time/power/energy, dropped-timestep counts, and the trace's
+/// (name, track) event histogram — is bit-identical to the serial
+/// sweep. Each point runs under a RunContext whose trace track base is
+/// a pure function of its submission index. If any point throws, the
+/// lowest-index failure is rethrown after in-flight points finish (and
+/// no further points start).
 std::vector<SweepOutcome> run_sweep(
     const Harness& harness, const std::vector<SweepPoint>& points,
     const std::function<void(const SweepOutcome&)>& on_result = {});

@@ -40,7 +40,21 @@ const std::string& ResultTable::cell(std::size_t row, std::size_t col) const {
   return rows_[row][col];
 }
 
+void ResultTable::require_rows_complete(const char* where) const {
+  // begin_row() only validates the PREVIOUS row, so a short FINAL row
+  // slips through construction and used to serialize ragged — to_text
+  // padded it with empty cells, to_csv emitted a short line that
+  // shifts every downstream column. Serialization is the last gate, so
+  // it re-validates every row.
+  for (const auto& row : rows_)
+    require(row.size() == columns_.size(),
+            std::string("ResultTable::") + where + ": incomplete row (" +
+                std::to_string(row.size()) + " of " +
+                std::to_string(columns_.size()) + " cells)");
+}
+
 std::string ResultTable::to_text() const {
+  require_rows_complete("to_text");
   std::vector<std::size_t> widths(columns_.size());
   for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
   for (const auto& row : rows_)
@@ -68,6 +82,7 @@ std::string ResultTable::to_text() const {
 }
 
 std::string ResultTable::to_csv() const {
+  require_rows_complete("to_csv");
   const auto quote = [](const std::string& v) {
     if (v.find_first_of(",\"\n") == std::string::npos) return v;
     std::string q = "\"";

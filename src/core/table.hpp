@@ -25,14 +25,19 @@ public:
   const std::vector<std::string>& columns() const { return columns_; }
   const std::string& cell(std::size_t row, std::size_t col) const;
 
-  /// Column-aligned, pipe-separated rendering.
+  /// Column-aligned, pipe-separated rendering. Throws if any row
+  /// (including the final one, which begin_row never re-checks) is
+  /// missing cells — serialization never emits ragged output.
   std::string to_text() const;
   /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  /// Same completeness check as to_text().
   std::string to_csv() const;
 
   void save_csv(const std::string& path) const;
 
 private:
+  void require_rows_complete(const char* where) const;
+
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };

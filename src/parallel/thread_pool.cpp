@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "common/error.hpp"
+#include "common/run_counters.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
 
@@ -60,6 +61,23 @@ void ThreadPool::wait_idle() {
 }
 
 bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
+
+void TaskGroup::launch(ThreadPool& pool, std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool.submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_ == 0) done_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
 
 void ThreadPool::worker_loop() {
   while (true) {
@@ -131,11 +149,16 @@ void run_chunks_on_pool(ThreadPool& pool, Index chunks,
   // Worker-executed chunks attribute to the ISSUING thread's trace
   // track, exactly as their CPU time credits its borrowed-CPU
   // accumulator: a chunk rendered by a pool worker belongs on the
-  // issuing rank's timeline.
+  // issuing rank's timeline. The issuing run's counter sink propagates
+  // the same way, so data-plane bytes moved inside a worker chunk are
+  // charged to the run that issued the loop, not to whichever run's
+  // rank happens to share the pool.
   const std::int32_t issuing_track = trace::current_track();
+  RunCounterSink* issuing_sink = current_run_sink();
   for (Index c = 0; c < chunks; ++c) {
     pool.submit([&, c] {
       const trace::TrackScope track_scope(issuing_track);
+      const RunSinkScope sink_scope(issuing_sink);
       const ThreadCpuTimer chunk_timer;
       std::exception_ptr error;
       try {

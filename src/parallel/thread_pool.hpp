@@ -61,6 +61,39 @@ private:
   bool shutting_down_ = false;
 };
 
+/// Tracks the tasks one issuer submitted so it can join exactly its own
+/// work. ThreadPool::wait_idle() drains the WHOLE pool — under
+/// concurrent harness runs that means waiting on (and potentially
+/// stalling forever behind) other runs' tasks, which is how the global
+/// read-ahead barrier bug of DESIGN.md §12 happened. A TaskGroup
+/// instead counts only the tasks launched through it and wait() blocks
+/// until those — and nothing else — have finished.
+///
+/// launch() wraps the task so the pending count drops on completion;
+/// the wrapped task inherits the pool's no-throw contract (a throwing
+/// task still terminates via the worker's noexcept boundary). wait()
+/// may be called repeatedly and from any thread; the destructor joins
+/// outstanding tasks so a group can never dangle out from under them.
+class TaskGroup {
+public:
+  TaskGroup() = default;
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submit `task` to `pool`, tracked by this group.
+  void launch(ThreadPool& pool, std::function<void()> task);
+
+  /// Block until every task launched through this group has finished.
+  void wait();
+
+private:
+  std::mutex mutex_;
+  std::condition_variable done_;
+  Index pending_ = 0;
+};
+
 /// Worker count for default-constructed pools: ETH_THREADS when set to a
 /// positive integer, else std::thread::hardware_concurrency().
 unsigned default_thread_count();

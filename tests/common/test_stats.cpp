@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -75,19 +77,45 @@ TEST(RmsDifference, KnownAndErrors) {
   EXPECT_THROW(rms_difference({1}, {1, 2}), Error);
 }
 
-TEST(Histogram, BinningAndClamping) {
+TEST(Histogram, BinningCountsOutOfRangeExplicitly) {
   Histogram h(0, 10, 5);
   h.add(0.5);   // bin 0
   h.add(9.5);   // bin 4
-  h.add(-3);    // clamps into bin 0
-  h.add(42);    // clamps into bin 4
+  h.add(-3);    // below lo: counted as underflow, NOT clamped into bin 0
+  h.add(42);    // above hi: counted as overflow, NOT clamped into bin 4
   h.add(5.0);   // bin 2 (exact boundary rounds into upper bin)
   EXPECT_EQ(h.count(), 5);
-  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.in_range(), 3);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.bin_count(0), 1);
   EXPECT_EQ(h.bin_count(2), 1);
-  EXPECT_EQ(h.bin_count(4), 2);
+  EXPECT_EQ(h.bin_count(4), 1);
   EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, UpperEdgeIsClosedAndBoundsAreInRange) {
+  Histogram h(0, 10, 5);
+  h.add(0.0);  // lo lands in the first bucket
+  h.add(10.0); // hi lands in the last bucket (closed upper edge)
+  EXPECT_EQ(h.in_range(), 2);
+  EXPECT_EQ(h.underflow(), 0);
+  EXPECT_EQ(h.overflow(), 0);
+  EXPECT_EQ(h.bin_count(0), 1);
+  EXPECT_EQ(h.bin_count(4), 1);
+}
+
+TEST(Histogram, NonFiniteSamplesAreCountedNotDropped) {
+  Histogram h(0, 10, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN()); // underflow (unordered)
+  h.add(-std::numeric_limits<double>::infinity()); // underflow
+  h.add(std::numeric_limits<double>::infinity());  // overflow
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.in_range(), 0);
+  EXPECT_EQ(h.underflow(), 2);
+  EXPECT_EQ(h.overflow(), 1);
+  for (int i = 0; i < h.bins(); ++i) EXPECT_EQ(h.bin_count(i), 0);
 }
 
 TEST(Histogram, RejectsBadConstruction) {

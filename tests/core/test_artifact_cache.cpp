@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -184,6 +186,62 @@ TEST(ArtifactCache, ClearDropsEntriesAndDumpRegistry) {
   EXPECT_FALSE(cache.contains({1, "op"}));
   EXPECT_EQ(cache.stats().bytes_resident, 0u);
   EXPECT_FALSE(cache.lookup_dump("/tmp/x.eth").has_value());
+}
+
+// Satellite regression (ISSUE 7): clear() must never sweep an
+// in-flight placeholder. A computation racing with clear() finds its
+// placeholder intact, publishes into it, and the entry is resident
+// afterwards; waiters blocked on the placeholder get the value. (An
+// earlier publish() carried a dead "placeholder swept; reinsert"
+// recovery branch for this case — it is now a hard invariant.)
+TEST(ArtifactCache, ClearDuringInFlightComputationStillPublishes) {
+  ArtifactCache cache(1 << 20);
+  (void)cache.get_or_compute({1, "resident"}, int_factory(1, 100));
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool factory_entered = false;
+  bool release_factory = false;
+  const ArtifactKey key{77, "slow"};
+
+  std::thread computer([&] {
+    (void)cache.get_or_compute(key, [&]() -> CacheArtifact {
+      {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        factory_entered = true;
+        gate_cv.notify_all();
+        gate_cv.wait(lock, [&] { return release_factory; });
+      }
+      return CacheArtifact{std::make_shared<int>(77), 100, {}, 77};
+    });
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return factory_entered; });
+  }
+
+  // A waiter arrives for the in-flight key while the factory runs.
+  std::atomic<int> waiter_value{0};
+  std::thread waiter([&] {
+    const CacheLookup lookup = cache.get_or_compute(key, int_factory(-1, 100));
+    waiter_value.store(*lookup.as<int>());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  cache.clear(); // sweeps the ready entry, must spare the placeholder
+  EXPECT_FALSE(cache.contains({1, "resident"}));
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release_factory = true;
+  }
+  gate_cv.notify_all();
+  computer.join();
+  waiter.join();
+
+  EXPECT_TRUE(cache.contains(key));
+  EXPECT_EQ(waiter_value.load(), 77);
+  EXPECT_EQ(cache.stats().bytes_resident, 100u);
 }
 
 TEST(ArtifactCache, DumpRegistryRoundTrip) {

@@ -67,6 +67,61 @@ TEST(ResultTable, MisuseThrows) {
   EXPECT_THROW(table.cell(5, 0), Error);
 }
 
+// Satellite regression (ISSUE 7): begin_row() only checks the row
+// BEFORE it, so a short final row used to slip through and serialize
+// ragged (to_text padded phantom cells, to_csv emitted a short line
+// that shifts every later column). Serialization must refuse instead.
+TEST(ResultTable, IncompleteFinalRowThrowsAtSerialization) {
+  ResultTable table({"a", "b"});
+  table.begin_row();
+  table.add_cell("row0-a");
+  table.add_cell("row0-b");
+  table.begin_row();
+  table.add_cell("row1-a"); // final row short by one cell
+  EXPECT_THROW(table.to_text(), Error);
+  EXPECT_THROW(table.to_csv(), Error);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "eth_ragged.csv").string();
+  EXPECT_THROW(table.save_csv(path), Error);
+
+  table.add_cell("row1-b"); // completing the row unblocks serialization
+  EXPECT_NE(table.to_text().find("row1-b"), std::string::npos);
+  EXPECT_NE(table.to_csv().find("row1-b"), std::string::npos);
+}
+
+// ---- golden renderings: the exact bytes of both serializations.
+// Width padding and quoting feed the sweep-equivalence suite's
+// byte-compare, so these are pinned literally.
+
+TEST(TableGolden, TextRenderingPadsToWidestCell) {
+  ResultTable table({"name", "v"});
+  table.begin_row();
+  table.add_cell("alpha");
+  table.add_cell(Index(7));
+  table.begin_row();
+  table.add_cell("b");
+  table.add_cell("wide-cell");
+  EXPECT_EQ(table.to_text(),
+            "| name  | v         |\n"
+            "|-------|-----------|\n"
+            "| alpha | 7         |\n"
+            "| b     | wide-cell |\n");
+}
+
+TEST(TableGolden, CsvQuotesExactlyTheCellsThatNeedIt) {
+  ResultTable table({"label", "note"});
+  table.begin_row();
+  table.add_cell("plain");
+  table.add_cell("a,b");
+  table.begin_row();
+  table.add_cell("line\nbreak");
+  table.add_cell("say \"hi\"");
+  EXPECT_EQ(table.to_csv(),
+            "label,note\n"
+            "plain,\"a,b\"\n"
+            "\"line\nbreak\",\"say \"\"hi\"\"\"\n");
+}
+
 TEST(SweepOver, BuildsLabeledVariants) {
   ExperimentSpec base;
   base.name = "base";

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <mutex>
 #include <numeric>
@@ -194,6 +196,65 @@ TEST(BorrowedCpu, WorkerChunksAreCreditedToTheCaller) {
   // worker-executed chunks' CPU must land here rather than vanish.
   EXPECT_GT(borrowed_cpu_seconds(), before);
   EXPECT_GE(timer.elapsed(), borrowed_cpu_seconds() - before);
+}
+
+// TaskGroup is the per-issuer join primitive: wait() must return once
+// the group's OWN tasks finish, even while unrelated tasks (another
+// concurrent harness run's work) still occupy the pool — the exact
+// hang ThreadPool::wait_idle() exhibits when pools are shared.
+TEST(TaskGroup, WaitJoinsOwnTasksWhileUnrelatedTaskStillRuns) {
+  ThreadPool pool(2);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool release_blocker = false;
+
+  // An unrelated long-running task parks on one worker.
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return release_blocker; });
+  });
+
+  std::atomic<int> completed{0};
+  TaskGroup group;
+  for (int i = 0; i < 8; ++i)
+    group.launch(pool, [&] { completed.fetch_add(1); });
+  group.wait(); // must NOT wait for the blocker
+  EXPECT_EQ(completed.load(), 8);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release_blocker = true;
+  }
+  gate_cv.notify_all();
+  pool.wait_idle();
+}
+
+TEST(TaskGroup, GroupsOnOnePoolJoinIndependently) {
+  ThreadPool pool(2);
+  std::atomic<int> fast_done{0};
+  std::atomic<int> slow_done{0};
+  TaskGroup fast;
+  TaskGroup slow;
+  for (int i = 0; i < 4; ++i)
+    slow.launch(pool, [&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      slow_done.fetch_add(1);
+    });
+  for (int i = 0; i < 4; ++i)
+    fast.launch(pool, [&] { fast_done.fetch_add(1); });
+  fast.wait();
+  EXPECT_EQ(fast_done.load(), 4);
+  slow.wait();
+  EXPECT_EQ(slow_done.load(), 4);
+}
+
+TEST(TaskGroup, WaitOnEmptyGroupReturnsAndIsRepeatable) {
+  ThreadPool pool(1);
+  TaskGroup group;
+  group.wait();
+  group.launch(pool, [] {});
+  group.wait();
+  group.wait();
 }
 
 TEST(DefaultThreadCount, HonorsEthThreadsEnv) {

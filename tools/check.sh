@@ -69,6 +69,20 @@ echo "==== trace tests (build-tsan) ===="
 ETH_THREADS="${ETH_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan --output-on-failure -R 'Trace'
 
+# SweepGate (DESIGN.md §12): the concurrent sweep scheduler promises
+# bit-identical artifacts at any ETH_SWEEP_WORKERS, which means
+# Harness::run must be fully re-entrant — per-run prefetch latches,
+# per-run counter sinks, namespaced trace tracks, and a shared
+# ArtifactCache whose in-flight dedup is hammered by concurrent points.
+# Run the scheduler + equivalence + TaskGroup suites under TSan with a
+# multi-worker pool AND multiple sweep workers, by name so a filter
+# typo cannot silently skip them.
+echo "==== sweep gate (build-tsan, ETH_SWEEP_WORKERS=4) ===="
+ETH_THREADS="${ETH_THREADS:-4}" ETH_SWEEP_WORKERS="${ETH_SWEEP_WORKERS:-4}" \
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir build-tsan --output-on-failure \
+  -R 'SweepScheduler|SweepEquivalence|TaskGroup'
+
 # AddressSanitizer over the data/in-situ suites: the zero-copy data
 # plane aliases receive buffers and peers' live arrays (common/buffer),
 # so the lifetime contract — keepalives pin every borrowed span — is

@@ -7,12 +7,18 @@
 // as a single command:
 //
 //   eth_explore sweep.cfg [--csv out.csv] [--best energy|time]
+//               [--workers N]
+
+//   --workers N (or ETH_SWEEP_WORKERS=N) runs N sweep points
+//   concurrently; all output stays bit-identical to the serial sweep
+//   (DESIGN.md §12).
 
 //   ETH_TRACE=out.json eth_explore sweep.cfg   additionally records a
 //   per-rank Chrome trace (load it in Perfetto / chrome://tracing) and
 //   prints the per-phase span summary.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -24,7 +30,7 @@ namespace {
 
 int usage() {
   std::printf("usage: eth_explore <config-file> [--csv <out.csv>] "
-              "[--best energy|time]\n\n%s",
+              "[--best energy|time] [--workers <n>]\n\n%s",
               eth::experiment_config_reference().c_str());
   return 2;
 }
@@ -43,6 +49,11 @@ int main(int argc, char** argv) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--best") == 0 && i + 1 < argc) {
       best_metric = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 1 || n > 256) return usage();
+      set_sweep_worker_override(static_cast<int>(n));
     } else if (std::strcmp(argv[i], "--help") == 0) {
       return usage();
     } else if (config_path.empty()) {
@@ -57,15 +68,24 @@ int main(int argc, char** argv) {
 
   try {
     const auto points = load_experiment_config(config_path);
-    std::printf("%s: %zu experiment%s\n", config_path.c_str(), points.size(),
+    const int workers = sweep_worker_count();
+    std::printf("%s: %zu experiment%s", config_path.c_str(), points.size(),
                 points.size() == 1 ? "" : "s");
+    if (workers > 1) std::printf(" (%d sweep workers)", workers);
+    std::printf("\n");
 
+    // run_sweep invokes on_result serially in submission order at any
+    // worker count, so the progress counter needs no synchronization.
+    std::size_t completed = 0;
     const Harness harness;
-    const auto outcomes = run_sweep(harness, points, [](const SweepOutcome& o) {
-      std::printf("  done %-40s %8.3f s  %7.2f kW  %9.3f kJ\n", o.label.c_str(),
-                  o.result.exec_seconds, o.result.average_power / 1e3,
-                  o.result.energy / 1e3);
-    });
+    const auto outcomes =
+        run_sweep(harness, points, [&](const SweepOutcome& o) {
+          ++completed;
+          std::printf("  done [%zu/%zu] %-40s %8.3f s  %7.2f kW  %9.3f kJ\n",
+                      completed, points.size(), o.label.c_str(),
+                      o.result.exec_seconds, o.result.average_power / 1e3,
+                      o.result.energy / 1e3);
+        });
 
     const ResultTable table = metrics_table("configuration", outcomes);
     std::printf("\n%s", table.to_text().c_str());
