@@ -13,6 +13,7 @@ const char* to_string(Coupling c) {
     case Coupling::kTight: return "tight";
     case Coupling::kIntercore: return "intercore";
     case Coupling::kInternode: return "internode";
+    case Coupling::kAsync: return "async";
   }
   return "?";
 }
@@ -21,6 +22,7 @@ Coupling coupling_from_string(std::string_view name) {
   if (name == "tight") return Coupling::kTight;
   if (name == "intercore") return Coupling::kIntercore;
   if (name == "internode") return Coupling::kInternode;
+  if (name == "async") return Coupling::kAsync;
   fail("unknown coupling strategy '" + std::string(name) + "'");
 }
 

@@ -14,11 +14,17 @@
 
 namespace eth::cluster {
 
-/// The paper's three sim-viz coupling strategies (Section IV-B).
+/// The paper's three sim-viz coupling strategies (Section IV-B), plus
+/// the pipelined variant the staged harness engine adds (DESIGN.md
+/// §13): `async` places sim and viz like intercore — separate
+/// processes time-sharing the same nodes — but overlaps them in time,
+/// the sim producing timestep t+1 while the viz renders t, up to the
+/// configured pipeline depth.
 enum class Coupling {
   kTight,     ///< merged into a single, unified process
   kIntercore, ///< time-shared: sim and viz alternate on the same nodes
   kInternode, ///< space-shared: sim on one half, viz on the other half
+  kAsync,     ///< time-shared but pipelined: sim overlaps viz by `depth` steps
 };
 
 const char* to_string(Coupling c);

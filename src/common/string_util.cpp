@@ -1,5 +1,6 @@
 #include "common/string_util.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
@@ -96,6 +97,36 @@ Index parse_index(std::string_view s, std::string_view context) {
   require(errno == 0 && end == buf.c_str() + buf.size(),
           std::string(context) + ": malformed integer '" + buf + "'");
   return static_cast<Index>(v);
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // Two-row dynamic program; rows are |b| + 1 wide.
+  std::vector<std::size_t> prev(b.size() + 1), curr(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min(sub, std::min(prev[j], curr[j - 1]) + 1);
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+std::string closest_match(std::string_view word,
+                          const std::vector<std::string>& candidates) {
+  const std::size_t budget = std::max<std::size_t>(2, word.size() / 2);
+  std::size_t best_distance = budget + 1;
+  std::string best;
+  for (const std::string& candidate : candidates) {
+    const std::size_t d = edit_distance(word, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
 }
 
 } // namespace eth

@@ -32,4 +32,15 @@ std::string format_seconds(double seconds);
 double parse_double(std::string_view s, std::string_view context);
 Index parse_index(std::string_view s, std::string_view context);
 
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `word` by edit distance — used for
+/// "did you mean ...?" suggestions on unknown config keys. Returns ""
+/// when `candidates` is empty or nothing is plausibly close (distance
+/// greater than half the word's length, minimum 2). Ties break to the
+/// first candidate in iteration order.
+std::string closest_match(std::string_view word,
+                          const std::vector<std::string>& candidates);
+
 } // namespace eth

@@ -1,11 +1,35 @@
 #include "core/experiment.hpp"
 
+#include <cstdlib>
+#include <sstream>
+
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 
 namespace eth {
 
+namespace {
+
+/// Hard ceiling on timesteps in flight: beyond this a "deeper"
+/// pipeline only holds more datasets live without any further overlap
+/// (the viz chain is serial), so large values are a configuration bug.
+constexpr int kMaxPipelineDepth = 32;
+
+} // namespace
+
 const char* to_string(Application app) {
   return app == Application::kHacc ? "hacc" : "xrage";
+}
+
+int ExperimentSpec::resolved_pipeline_depth() const {
+  if (pipeline_depth > 0) return pipeline_depth;
+  if (const char* env = std::getenv("ETH_PIPELINE_DEPTH")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n >= 1 && n <= kMaxPipelineDepth)
+      return static_cast<int>(n);
+  }
+  return 1;
 }
 
 void ExperimentSpec::validate() const {
@@ -38,6 +62,53 @@ void ExperimentSpec::validate() const {
           "ExperimentSpec: transfer retry budget must be >= 1 attempt");
   require(transfer_retry.recv_deadline_seconds > 0,
           "ExperimentSpec: transfer recv deadline must be positive");
+  require(pipeline_depth >= 0 && pipeline_depth <= kMaxPipelineDepth,
+          strprintf("ExperimentSpec: pipeline_depth must be 0 (auto) or in [1, %d]",
+                    kMaxPipelineDepth));
+}
+
+std::string spec_summary(const ExperimentSpec& spec) {
+  std::ostringstream os;
+  os << "name            " << spec.name << '\n';
+  os << "application     " << to_string(spec.application) << '\n';
+  if (spec.application == Application::kHacc) {
+    os << "particles       " << spec.hacc.num_particles << '\n';
+    os << "halos           " << spec.hacc.num_halos << '\n';
+  } else {
+    os << "grid            " << spec.xrage.dims.x << 'x' << spec.xrage.dims.y
+       << 'x' << spec.xrage.dims.z << '\n';
+  }
+  os << "timesteps       " << spec.timesteps << '\n';
+  os << "algorithm       " << insitu::to_string(spec.viz.algorithm) << '\n';
+  os << "sampling        " << spec.viz.sampling_ratio << " ("
+     << to_string(spec.viz.sampling_mode) << ")\n";
+  os << "images          " << spec.viz.images_per_timestep << " @ "
+     << spec.viz.image_width << 'x' << spec.viz.image_height << '\n';
+  os << "coupling        " << cluster::to_string(spec.layout.coupling) << '\n';
+  if (spec.layout.coupling == cluster::Coupling::kAsync)
+    os << "pipeline_depth  " << spec.resolved_pipeline_depth()
+       << (spec.pipeline_depth > 0 ? "" : " (resolved)") << '\n';
+  os << "nodes           " << spec.layout.nodes << '\n';
+  os << "ranks           " << spec.layout.ranks << '\n';
+  if (spec.layout.coupling == cluster::Coupling::kInternode)
+    os << "viz_nodes       " << spec.layout.viz_node_count() << '\n';
+  if (spec.transport_quantization_bits > 0)
+    os << "quantization    " << spec.transport_quantization_bits << " bits\n";
+  os << "data_scale      " << spec.data_scale << '\n';
+  os << "pixel_scale     " << spec.pixel_scale << '\n';
+  if (spec.fault.any()) {
+    os << strprintf("fault           seed=%llu bit_flip=%g truncate=%g "
+                    "recv_timeout=%g delay=%g delay_ms=%g\n",
+                    static_cast<unsigned long long>(spec.fault.seed),
+                    spec.fault.p_bit_flip, spec.fault.p_truncate,
+                    spec.fault.p_recv_timeout, spec.fault.p_delay,
+                    spec.fault.delay_ms);
+    os << "retry_attempts  " << spec.transfer_retry.max_attempts << '\n';
+  }
+  if (spec.use_disk_proxy) os << "proxy_dir       " << spec.proxy_dir << '\n';
+  if (!spec.artifact_dir.empty())
+    os << "artifact_dir    " << spec.artifact_dir << '\n';
+  return os.str();
 }
 
 } // namespace eth

@@ -8,8 +8,10 @@
 // it and reports the paper's four metrics — performance, power, energy,
 // scalability inputs — plus image artifacts for quality (RMSE) studies.
 
+#include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cluster/job.hpp"
 #include "cluster/machine.hpp"
@@ -57,6 +59,19 @@ struct ExperimentSpec {
   /// count and the reconstruction loss both show up in the metrics.
   int transport_quantization_bits = 0;
 
+  /// Timestep pipeline depth for `coupling async` (DESIGN.md §13): the
+  /// number of timesteps allowed in flight at once — 1 runs the serial
+  /// loop, 2 double-buffers (the sim proxy produces t+1 while the viz
+  /// proxy renders t). 0 (the default) resolves from ETH_PIPELINE_DEPTH,
+  /// falling back to 1. Ignored by the synchronous couplings. Images,
+  /// counters and robustness tables are bit-identical at every depth;
+  /// only the modelled makespan/power/energy change.
+  int pipeline_depth = 0;
+
+  /// The depth Harness::run will actually use: `pipeline_depth` when
+  /// set, else ETH_PIPELINE_DEPTH, else 1.
+  int resolved_pipeline_depth() const;
+
   /// Seeded transport fault injection (DESIGN.md §8). All-zero
   /// probabilities (the default) run the coupling unperturbed; any
   /// non-zero probability wraps the coupling channel in a FaultInjector
@@ -85,6 +100,12 @@ struct ExperimentSpec {
   void validate() const;
 };
 
+/// Human-readable dump of the FULLY RESOLVED spec — every field after
+/// defaulting and environment resolution (pipeline depth included), in
+/// a stable key-per-line format. `eth_explore --dry-run` prints this
+/// instead of running.
+std::string spec_summary(const ExperimentSpec& spec);
+
 struct RunResult {
   // ----- the paper's metrics (modelled machine)
   Seconds exec_seconds = 0;          ///< Performance (§V-C)
@@ -98,6 +119,17 @@ struct RunResult {
   double measured_cpu_seconds = 0;   ///< raw host-side kernel time
   cluster::PerfCounters counters;    ///< aggregated over all ranks
   Bytes bytes_transferred = 0;       ///< sim->viz payload (all ranks/steps)
+
+  /// Per-rank phase accounting for the invariant test (DESIGN.md §13):
+  /// rank_phase_cpu[r] maps phase name -> cpu seconds exactly as the
+  /// rank reported them, and rank_cpu_total[r] is the rank's whole-body
+  /// KernelTimer (thread CPU + borrowed pool-worker chunks + async
+  /// stage workers). Summing rank_phase_cpu reproduces
+  /// measured_cpu_seconds term for term, and each rank's phase sum is
+  /// bounded by its rank_cpu_total — so a refactor cannot silently
+  /// drop or double-count a phase.
+  std::vector<std::map<std::string, double>> rank_phase_cpu;
+  std::vector<double> rank_cpu_total;
 
   // ----- robustness (frames sent/retried/dropped/corrupt across all
   // ranks and timesteps; deterministic for a fixed fault seed)

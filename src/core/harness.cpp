@@ -21,6 +21,7 @@
 #include "data/structured_grid.hpp"
 #include "insitu/transport.hpp"
 #include "parallel/minimpi.hpp"
+#include "parallel/pipeline.hpp"
 #include "parallel/thread_pool.hpp"
 #include "render/compositor.hpp"
 #include "sim/dump.hpp"
@@ -290,6 +291,7 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
   }
 
   std::vector<core::RankReport> reports(static_cast<std::size_t>(M));
+  std::vector<double> rank_totals(static_cast<std::size_t>(M), 0.0);
   ImageBuffer final_image;
   Bytes transferred_total = 0;
   insitu::RobustnessReport robustness_total;
@@ -302,6 +304,20 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
   // unrelated work.
   TaskGroup prefetch_group;
 
+  // Staged pipeline engine (DESIGN.md §13): each rank's timestep loop
+  // is a five-stage graph — produce, couple, viz, composite, write.
+  // The synchronous couplings (and `coupling async` at depth 1) run
+  // every stage inline in strict (timestep, stage) order: byte for
+  // byte the historical serial loop. `coupling async` at depth >= 2
+  // runs produce and couple on per-rank worker threads so the sim
+  // proxy builds timestep t+1 while the viz proxy renders t; the
+  // viz/composite/write tail stays on the rank thread because those
+  // stages run minimpi collectives, which every rank must issue in one
+  // identical order.
+  const bool async_coupling = spec.layout.coupling == cluster::Coupling::kAsync;
+  const bool tight = spec.layout.coupling == cluster::Coupling::kTight;
+  const int pipeline_depth = async_coupling ? spec.resolved_pipeline_depth() : 1;
+
   mpi::run_world(M, [&](mpi::Comm& comm) {
     const int r = comm.rank();
     // Every span this rank (and any pool worker executing its chunks)
@@ -312,21 +328,53 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
     // it is deterministic across thread counts and repeat runs.)
     const trace::TrackScope track_scope(ctx.trace_track_base + r);
     const RunSinkScope sink_scope(&run_sink);
+    // Whole-body CPU of the rank thread (plus pool chunks borrowed by
+    // it); stage-worker CPU folds in below. Together these bound the
+    // per-phase accounting (RunResult::rank_cpu_total).
+    KernelTimer rank_timer;
+    double stage_worker_cpu = 0;
+    std::mutex stage_worker_cpu_mutex;
     core::RankReport report;
     Bytes rank_transferred = 0;
     insitu::RobustnessReport rank_robustness;
 
-    for (Index t = 0; t < spec.timesteps; ++t) {
-      // ---- 1. simulation proxy produces this modelled node's share:
-      // a disk read of the preliminary dump ("reads the simulation data
-      // into memory and presents it ... as if by the simulation
-      // itself"), or an in-memory synthesis when no proxy dir is used.
-      // Cache on: the share resolves through the artifact cache (each
-      // (timestep, rank) dump is read at most once per sweep) and the
-      // recorded first-load cost is charged on hit and miss alike.
+    // Per-timestep state travelling between stages. Slot t % depth is
+    // free by the time timestep t starts: the pipeline's in-flight
+    // limiter admits at most `depth` timesteps at once. Measurements
+    // land in the slot (stages may run on worker threads) and are
+    // folded into the rank report by the viz stage in timestep order.
+    struct TimestepSlot {
       std::shared_ptr<const DataSet> sim_data;
-      std::uint64_t data_fp = 0; // provenance of the share viz consumes
-      auto& gen_phase = report.phases["generate"];
+      std::shared_ptr<const DataSet> viz_data;
+      std::uint64_t data_fp = 0; ///< provenance of the share viz consumes
+      std::uint64_t viz_fp = 0;  ///< provenance of what the viz consumed
+      double generate_cpu = 0;
+      Index generate_items = 0;
+      Bytes replay_copied = 0;   ///< cache-replayed data-plane bytes
+      Bytes replay_borrowed = 0;
+      double transfer_cpu = 0;
+      Bytes transferred = 0;
+      insitu::RobustnessReport robustness;
+      insitu::VizRankOutput viz_out;
+      std::vector<std::size_t> view_order;
+      std::vector<ImageBuffer> merged; ///< rank 0: composited images
+      bool delivered = false;
+    };
+    std::vector<TimestepSlot> slots(static_cast<std::size_t>(pipeline_depth));
+    const auto slot_for = [&](Index t) -> TimestepSlot& {
+      return slots[static_cast<std::size_t>(t % pipeline_depth)];
+    };
+
+    // ---- stage "produce": the simulation proxy produces this modelled
+    // node's share: a disk read of the preliminary dump ("reads the
+    // simulation data into memory and presents it ... as if by the
+    // simulation itself"), or an in-memory synthesis when no proxy dir
+    // is used. Cache on: the share resolves through the artifact cache
+    // (each (timestep, rank) dump is read at most once per sweep) and
+    // the recorded first-load cost is charged on hit and miss alike.
+    const auto produce_stage = [&](Index t) {
+      TimestepSlot& slot = slot_for(t);
+      slot = TimestepSlot{};
       if (cache_on) {
         const CacheLookup lookup = [&] {
           const trace::Span span("sim.load");
@@ -334,11 +382,11 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
                               share_index(r, M, P_sim), P_sim, t, r,
                               spec.use_disk_proxy);
         }();
-        sim_data = lookup.as<DataSet>();
-        data_fp = lookup.content_fp;
-        gen_phase.cpu_seconds += lookup.recorded.phases.get("generate");
-        report.counters.bytes_copied += lookup.recorded.bytes_copied;
-        report.counters.bytes_borrowed += lookup.recorded.bytes_borrowed;
+        slot.sim_data = lookup.as<DataSet>();
+        slot.data_fp = lookup.content_fp;
+        slot.generate_cpu += lookup.recorded.phases.get("generate");
+        slot.replay_copied += lookup.recorded.bytes_copied;
+        slot.replay_borrowed += lookup.recorded.bytes_borrowed;
         // Read-ahead: warm the NEXT timestep's share on the pool while
         // this one renders. Value captures only — the task may outlive
         // this iteration (run() joins the pool before returning).
@@ -372,152 +420,178 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
         ThreadCpuTimer gen_timer;
         if (spec.use_disk_proxy) {
           const sim::SimulationProxy proxy(spec.proxy_dir, sim_case);
-          sim_data = proxy.load(t, r);
+          slot.sim_data = proxy.load(t, r);
         } else {
-          sim_data = produce_share(spec, share_index(r, M, P_sim), P_sim, t);
+          slot.sim_data = produce_share(spec, share_index(r, M, P_sim), P_sim, t);
         }
-        gen_phase.cpu_seconds += gen_timer.elapsed();
+        slot.generate_cpu += gen_timer.elapsed();
       }
-      gen_phase.parallel_items = std::max(
-          gen_phase.parallel_items,
-          Index(double(dataset_elements(*sim_data)) * spec.data_scale));
+      slot.generate_items =
+          Index(double(dataset_elements(*slot.sim_data)) * spec.data_scale);
+    };
 
-      // ---- 2. coupling hand-off.
-      std::shared_ptr<const DataSet> viz_data;
-      std::uint64_t viz_fp = 0; // provenance of what the viz consumes
-      if (spec.layout.coupling == cluster::Coupling::kTight) {
+    // ---- stage "couple": the sim -> viz hand-off. Tight coupling
+    // moves the buffers; the process-separated couplings (intercore,
+    // internode, async) run the real serialize -> copy -> deserialize
+    // cycle through the in-proc channel (optionally quantized: the
+    // paper's compression technique as an in-situ parameter), with the
+    // channel ends wrapped in FaultInjectors when fault injection is
+    // active: a frame still failing after the retry budget is dropped —
+    // counted, never fatal. Rank-local by construction (no
+    // collectives), so it may run on a stage worker; the ALL-ranks drop
+    // decision happens at the head of the viz stage.
+    const auto couple_stage = [&](Index t) {
+      TimestepSlot& slot = slot_for(t);
+      if (tight) {
         // Merged process: the visualization consumes the simulation's
         // buffers directly.
-        viz_data = std::move(sim_data);
-        viz_fp = data_fp;
-      } else {
-        // Internode redistributes sim shares (1/P_sim each) into viz
-        // shares (1/P_viz each); the modelled exchange is charged by
-        // the interconnect model, and here the receiving side
-        // materializes its share directly.
-        if (internode && P_sim != P_viz) {
-          const trace::Span span("sim.load");
-          if (cache_on) {
-            const CacheLookup lookup =
-                cached_share(cache, spec, app_fp, viz_case, share_index(r, M, P_viz),
-                             P_viz, t, r, spec.use_disk_proxy);
-            sim_data = lookup.as<DataSet>();
-            data_fp = lookup.content_fp;
-            gen_phase.cpu_seconds += lookup.recorded.phases.get("generate");
-            report.counters.bytes_copied += lookup.recorded.bytes_copied;
-            report.counters.bytes_borrowed += lookup.recorded.bytes_borrowed;
-          } else if (spec.use_disk_proxy) {
-            const sim::SimulationProxy proxy(spec.proxy_dir, viz_case);
-            sim_data = proxy.load(t, r);
-          } else {
-            sim_data = produce_share(spec, share_index(r, M, P_viz), P_viz, t);
-          }
-        }
-        // Real serialize -> copy -> deserialize through the channel
-        // (optionally quantized: the paper's compression technique as
-        // an in-situ parameter); CPU cost lands in the "transfer"
-        // phase (informational) and the byte count feeds the
-        // interconnect model. With fault injection active, the channel
-        // ends are wrapped in FaultInjectors and delivery runs through
-        // the retry loop: a frame still failing after the budget is
-        // dropped — counted, never fatal.
-        ThreadCpuTimer xfer_timer;
-        auto [sim_end, viz_end] = insitu::make_inproc_channel();
-        if (spec.fault.any()) {
-          sim_end = std::make_unique<insitu::FaultInjector>(
-              std::move(sim_end), spec.fault, std::uint64_t(2 * r));
-          viz_end = std::make_unique<insitu::FaultInjector>(
-              std::move(viz_end), spec.fault, std::uint64_t(2 * r + 1));
-        }
-        if (spec.transport_quantization_bits > 0) {
-          const std::vector<std::uint8_t> payload = [&] {
-            const trace::Span span("serialize");
-            return compress_dataset(*sim_data, spec.transport_quantization_bits);
-          }();
-          const auto delivered = insitu::transfer_with_retry(
-              *sim_end, *viz_end, payload, spec.transfer_retry, rank_robustness);
-          if (delivered.has_value()) {
-            const trace::Span span("deserialize");
-            viz_data = decompress_dataset(*delivered);
-          }
-          // Quantization is lossy: the delivered content is a pure
-          // function of (input, bit width), so chain the provenance.
-          viz_fp = data_fp != 0
-                       ? fingerprint_chain(
-                             data_fp, strprintf("quantized bits=%d",
-                                                spec.transport_quantization_bits))
-                       : 0;
+        slot.viz_data = std::move(slot.sim_data);
+        slot.viz_fp = slot.data_fp;
+        slot.delivered = true;
+        return;
+      }
+      // Internode redistributes sim shares (1/P_sim each) into viz
+      // shares (1/P_viz each); the modelled exchange is charged by
+      // the interconnect model, and here the receiving side
+      // materializes its share directly.
+      if (internode && P_sim != P_viz) {
+        const trace::Span span("sim.load");
+        if (cache_on) {
+          const CacheLookup lookup =
+              cached_share(cache, spec, app_fp, viz_case, share_index(r, M, P_viz),
+                           P_viz, t, r, spec.use_disk_proxy);
+          slot.sim_data = lookup.as<DataSet>();
+          slot.data_fp = lookup.content_fp;
+          slot.generate_cpu += lookup.recorded.phases.get("generate");
+          slot.replay_copied += lookup.recorded.bytes_copied;
+          slot.replay_borrowed += lookup.recorded.bytes_borrowed;
+        } else if (spec.use_disk_proxy) {
+          const sim::SimulationProxy proxy(spec.proxy_dir, viz_case);
+          slot.sim_data = proxy.load(t, r);
         } else {
-          // Zero-copy hand-off: the wire message borrows the dataset's
-          // bulk arrays (kept alive by the shared_ptr keepalive) and the
-          // delivered message's segments back the received dataset
-          // copy-on-write, so the payload crosses the channel without a
-          // userspace memcpy.
-          std::shared_ptr<const DataSet> shared = std::move(sim_data);
-          const WireMessage msg = [&] {
-            const trace::Span span("serialize");
-            return wire_message_for_dataset(shared);
-          }();
-          const auto delivered = insitu::transfer_with_retry(
-              *sim_end, *viz_end, msg, spec.transfer_retry, rank_robustness);
-          if (delivered.has_value()) {
-            const trace::Span span("deserialize");
-            viz_data = deserialize_dataset(*delivered);
-          }
-          // The lossless round trip is bit-exact: same content identity.
-          viz_fp = data_fp;
+          slot.sim_data = produce_share(spec, share_index(r, M, P_viz), P_viz, t);
         }
-        report.phases["transfer"].cpu_seconds += xfer_timer.elapsed();
-        rank_transferred += sim_end->bytes_sent();
-        report.dataset_bytes = std::max(report.dataset_bytes, Bytes(sim_end->bytes_sent()));
-        sim_data.reset();
+      }
+      ThreadCpuTimer xfer_timer;
+      auto [sim_end, viz_end] = insitu::make_inproc_channel();
+      if (spec.fault.any()) {
+        sim_end = std::make_unique<insitu::FaultInjector>(
+            std::move(sim_end), spec.fault, std::uint64_t(2 * r));
+        viz_end = std::make_unique<insitu::FaultInjector>(
+            std::move(viz_end), spec.fault, std::uint64_t(2 * r + 1));
+      }
+      if (spec.transport_quantization_bits > 0) {
+        const std::vector<std::uint8_t> payload = [&] {
+          const trace::Span span("serialize");
+          return compress_dataset(*slot.sim_data, spec.transport_quantization_bits);
+        }();
+        const auto delivered = insitu::transfer_with_retry(
+            *sim_end, *viz_end, payload, spec.transfer_retry, slot.robustness);
+        if (delivered.has_value()) {
+          const trace::Span span("deserialize");
+          slot.viz_data = decompress_dataset(*delivered);
+        }
+        // Quantization is lossy: the delivered content is a pure
+        // function of (input, bit width), so chain the provenance.
+        slot.viz_fp = slot.data_fp != 0
+                          ? fingerprint_chain(
+                                slot.data_fp,
+                                strprintf("quantized bits=%d",
+                                          spec.transport_quantization_bits))
+                          : 0;
+      } else {
+        // Zero-copy hand-off: the wire message borrows the dataset's
+        // bulk arrays (kept alive by the shared_ptr keepalive) and the
+        // delivered message's segments back the received dataset
+        // copy-on-write, so the payload crosses the channel without a
+        // userspace memcpy.
+        std::shared_ptr<const DataSet> shared = std::move(slot.sim_data);
+        const WireMessage msg = [&] {
+          const trace::Span span("serialize");
+          return wire_message_for_dataset(shared);
+        }();
+        const auto delivered = insitu::transfer_with_retry(
+            *sim_end, *viz_end, msg, spec.transfer_retry, slot.robustness);
+        if (delivered.has_value()) {
+          const trace::Span span("deserialize");
+          slot.viz_data = deserialize_dataset(*delivered);
+        }
+        // The lossless round trip is bit-exact: same content identity.
+        slot.viz_fp = slot.data_fp;
+      }
+      slot.transfer_cpu += xfer_timer.elapsed();
+      slot.transferred = sim_end->bytes_sent();
+      slot.sim_data.reset();
+    };
+
+    // ---- stage "viz": first collective-bearing stage, always on the
+    // rank thread in timestep order. Folds the produce/couple slot
+    // measurements into the rank report, settles the all-ranks drop
+    // decision, then runs the visualization proxy. All ranks must color
+    // on the same scale for partial images to composite, so the active
+    // scalar's range is allreduced across ranks first (unless the spec
+    // pinned one explicitly).
+    const auto viz_stage = [&](Index t) {
+      TimestepSlot& slot = slot_for(t);
+      auto& gen_phase = report.phases["generate"];
+      gen_phase.cpu_seconds += slot.generate_cpu;
+      gen_phase.parallel_items =
+          std::max(gen_phase.parallel_items, slot.generate_items);
+      report.counters.bytes_copied += slot.replay_copied;
+      report.counters.bytes_borrowed += slot.replay_borrowed;
+      if (!tight) {
+        // CPU cost lands in the "transfer" phase (informational) and
+        // the byte count feeds the interconnect model.
+        report.phases["transfer"].cpu_seconds += slot.transfer_cpu;
+        rank_transferred += slot.transferred;
+        report.dataset_bytes =
+            std::max(report.dataset_bytes, Bytes(slot.transferred));
+        rank_robustness.merge(slot.robustness);
 
         // Degrade gracefully and stay collective-consistent: if ANY
         // rank lost this timestep's frame, every rank skips the
         // timestep together (the viz/composite path below runs
         // collectives, so a lone rank cannot drop out on its own).
-        const bool delivered_everywhere =
-            comm.allreduce_scalar(viz_data != nullptr ? 1.0 : 0.0,
+        slot.delivered =
+            comm.allreduce_scalar(slot.viz_data != nullptr ? 1.0 : 0.0,
                                   mpi::ReduceOp::kMin) > 0.5;
-        if (!delivered_everywhere) {
+        if (!slot.delivered) {
+          slot.viz_data.reset();
           if (r == 0) {
             std::lock_guard<std::mutex> lock(harness_mutex);
             ++timesteps_dropped_total;
           }
-          continue;
+          return;
         }
       }
 
-      // ---- 3. visualization proxy. All ranks must color on the same
-      // scale for partial images to composite, so the active scalar's
-      // range is allreduced across ranks first (unless the spec pinned
-      // one explicitly).
       insitu::VizConfig rank_cfg = spec.viz;
       rank_cfg.timestep = t; // drives the per-timestep plane/iso phase
       if (cache_on) {
         rank_cfg.artifact_cache = &cache;
-        rank_cfg.input_fingerprint = viz_fp;
+        rank_cfg.input_fingerprint = slot.viz_fp;
       }
       if (!rank_cfg.has_explicit_scalar_range()) {
         const std::string& field_name =
             insitu::is_particle_algorithm(rank_cfg.algorithm)
                 ? rank_cfg.particle_scalar
                 : rank_cfg.volume_field;
-        if (!field_name.empty() && viz_data->point_fields().has(field_name)) {
-          const auto [lo, hi] = viz_data->point_fields().get(field_name).range();
+        if (!field_name.empty() && slot.viz_data->point_fields().has(field_name)) {
+          const auto [lo, hi] =
+              slot.viz_data->point_fields().get(field_name).range();
           rank_cfg.scalar_range_lo =
               Real(comm.allreduce_scalar(lo, mpi::ReduceOp::kMin));
           rank_cfg.scalar_range_hi =
               Real(comm.allreduce_scalar(hi, mpi::ReduceOp::kMax));
         }
       }
-      insitu::VizRankOutput viz_out =
-          insitu::run_viz_rank(*viz_data, rank_cfg, base_camera);
+      slot.viz_out = insitu::run_viz_rank(*slot.viz_data, rank_cfg, base_camera);
+      insitu::VizRankOutput& viz_out = slot.viz_out;
       for (const char* phase : {"sample", "extract", "build", "render"}) {
         const double cpu = viz_out.counters.phases.get(phase);
         if (cpu <= 0) continue;
-        auto& slot = report.phases[phase];
-        slot.cpu_seconds += cpu;
+        auto& phase_slot = report.phases[phase];
+        phase_slot.cpu_seconds += cpu;
       }
       // Item counts enter the utilization model at PAPER scale.
       const auto data_items = [&](Index items) {
@@ -539,17 +613,21 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
           pixel_bound ? Index(double(raw_render_items) * spec.pixel_scale)
                       : data_items(raw_render_items);
       report.counters.merge(viz_out.counters);
+    };
 
-      // ---- 4. composite each image at rank 0 over minimpi. Opaque
-      // pipelines merge by depth (order-independent); the DVR pipeline's
-      // premultiplied partials must blend in view order, so ranks first
-      // share their partition's eye distance.
+    // ---- stage "composite": each image merges at rank 0 over minimpi
+    // (collectives — rank thread, timestep order). Opaque pipelines
+    // merge by depth (order-independent); the DVR pipeline's
+    // premultiplied partials must blend in view order, so ranks first
+    // share their partition's eye distance.
+    const auto composite_stage = [&](Index t) {
+      TimestepSlot& slot = slot_for(t);
+      if (!slot.delivered) return;
       const bool ordered_alpha =
           spec.viz.algorithm == insitu::VizAlgorithm::kRaycastDvr;
-      std::vector<std::size_t> view_order_indices;
       if (ordered_alpha) {
         const double my_dist =
-            double(length(viz_data->bounds().center() - base_camera.eye()));
+            double(length(slot.viz_data->bounds().center() - base_camera.eye()));
         const auto dist_bytes = comm.gather(
             std::span<const std::uint8_t>(
                 reinterpret_cast<const std::uint8_t*>(&my_dist), sizeof my_dist),
@@ -560,21 +638,21 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
             std::memcpy(&dists[static_cast<std::size_t>(src)],
                         dist_bytes[static_cast<std::size_t>(src)].data(),
                         sizeof(double));
-          view_order_indices.resize(static_cast<std::size_t>(M));
-          std::iota(view_order_indices.begin(), view_order_indices.end(),
+          slot.view_order.resize(static_cast<std::size_t>(M));
+          std::iota(slot.view_order.begin(), slot.view_order.end(),
                     std::size_t(0));
           // Equal view distances (symmetric partitions) tie-break on
           // rank so the blend order — and therefore the composited
           // image — never depends on the sort implementation.
-          std::sort(view_order_indices.begin(), view_order_indices.end(),
+          std::sort(slot.view_order.begin(), slot.view_order.end(),
                     [&](std::size_t a, std::size_t b) {
                       return dists[a] != dists[b] ? dists[a] < dists[b] : a < b;
                     });
         }
       }
 
-      for (std::size_t img = 0; img < viz_out.images.size(); ++img) {
-        const std::vector<std::uint8_t> packed = pack_image(viz_out.images[img]);
+      for (std::size_t img = 0; img < slot.viz_out.images.size(); ++img) {
+        const std::vector<std::uint8_t> packed = pack_image(slot.viz_out.images[img]);
         report.image_bytes = std::max(report.image_bytes, Bytes(packed.size()));
         const auto gathered = comm.gather(packed, 0);
         report.counters.bytes_communicated += packed.size();
@@ -584,25 +662,20 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
         // rank 0 must be charged for the worker-executed pixel chunks.
         KernelTimer comp_timer;
         ImageBuffer merged;
+        std::vector<ImageBuffer> partials;
+        partials.reserve(static_cast<std::size_t>(M));
+        partials.push_back(std::move(slot.viz_out.images[img]));
+        for (int src = 1; src < M; ++src)
+          partials.push_back(unpack_image(gathered[static_cast<std::size_t>(src)]));
         if (ordered_alpha) {
-          std::vector<ImageBuffer> partials;
-          partials.reserve(static_cast<std::size_t>(M));
-          partials.push_back(std::move(viz_out.images[img]));
-          for (int src = 1; src < M; ++src)
-            partials.push_back(unpack_image(gathered[static_cast<std::size_t>(src)]));
           merged = ImageBuffer(partials[0].width(), partials[0].height());
           merged.clear({0, 0, 0, 0});
-          alpha_composite_premultiplied(partials, view_order_indices, merged,
+          alpha_composite_premultiplied(partials, slot.view_order, merged,
                                         report.counters);
         } else {
           // Pairwise reduction tree in ascending rank order: bit-
           // identical to the sequential rank-order fold (ties resolve
           // to the lower rank) but with log2(M) parallel levels.
-          std::vector<ImageBuffer> partials;
-          partials.reserve(static_cast<std::size_t>(M));
-          partials.push_back(std::move(viz_out.images[img]));
-          for (int src = 1; src < M; ++src)
-            partials.push_back(unpack_image(gathered[static_cast<std::size_t>(src)]));
           depth_composite_tree(partials, report.counters);
           merged = std::move(partials[0]);
         }
@@ -610,7 +683,17 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
         comp_phase.cpu_seconds += comp_timer.elapsed();
         comp_phase.parallel_items =
             Index(double(merged.num_pixels()) * spec.pixel_scale);
+        slot.merged.push_back(std::move(merged));
+      }
+    };
 
+    // ---- stage "write": artifact output + final-image capture, then
+    // the slot's payloads release (freeing its in-flight token is the
+    // pipeline's job). Only rank 0 holds composited images.
+    const auto write_stage = [&](Index t) {
+      TimestepSlot& slot = slot_for(t);
+      for (std::size_t img = 0; img < slot.merged.size(); ++img) {
+        ImageBuffer& merged = slot.merged[img];
         if (!spec.artifact_dir.empty()) {
           const trace::Span span("write");
           ThreadCpuTimer write_timer;
@@ -619,18 +702,48 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
                                      img));
           report.phases["write"].cpu_seconds += write_timer.elapsed();
         }
-        if (t == spec.timesteps - 1 && img + 1 == viz_out.images.size()) {
+        if (t == spec.timesteps - 1 && img + 1 == slot.merged.size()) {
           std::lock_guard<std::mutex> lock(harness_mutex);
           final_image = std::move(merged);
         }
       }
-    }
+      slot.viz_data.reset();
+      slot.viz_out = insitu::VizRankOutput{};
+      slot.merged.clear();
+    };
+
+    StagePipeline::Options pipe_options;
+    pipe_options.depth = pipeline_depth;
+    // produce + couple are rank-local (no collectives) — only they may
+    // leave the rank thread. Depth 1 keeps everything inline.
+    pipe_options.async_stages = pipeline_depth > 1 ? 2 : 0;
+    pipe_options.worker_wrap = [&](const std::function<void()>& loop) {
+      // Stage workers attribute exactly like the rank thread they
+      // serve: same trace track, same run sink; their CPU (plus pool
+      // chunks they borrowed) folds into the rank total.
+      const trace::TrackScope worker_track(ctx.trace_track_base + r);
+      const RunSinkScope worker_sink(&run_sink);
+      KernelTimer worker_timer;
+      loop();
+      const double cpu = worker_timer.elapsed();
+      std::lock_guard<std::mutex> lock(stage_worker_cpu_mutex);
+      stage_worker_cpu += cpu;
+    };
+    StagePipeline pipeline({{"produce", produce_stage},
+                            {"couple", couple_stage},
+                            {"viz", viz_stage},
+                            {"composite", composite_stage},
+                            {"write", write_stage}},
+                           pipe_options);
+    pipeline.run(spec.timesteps);
 
     {
       std::lock_guard<std::mutex> lock(harness_mutex);
       reports[static_cast<std::size_t>(r)] = std::move(report);
       transferred_total += rank_transferred;
       robustness_total.merge(rank_robustness);
+      rank_totals[static_cast<std::size_t>(r)] =
+          rank_timer.elapsed() + stage_worker_cpu;
     }
   });
 
@@ -650,9 +763,13 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
   result.timesteps_dropped = timesteps_dropped_total;
   for (const core::RankReport& report : reports) {
     result.counters.merge(report.counters);
-    for (const auto& [name, sample] : report.phases)
+    std::map<std::string, double>& phase_cpu = result.rank_phase_cpu.emplace_back();
+    for (const auto& [name, sample] : report.phases) {
+      phase_cpu[name] = sample.cpu_seconds;
       result.measured_cpu_seconds += sample.cpu_seconds;
+    }
   }
+  result.rank_cpu_total = rank_totals;
   // Memoization counters: this run's own lookups (teed into the run
   // sink by the cache) plus the shared cache's resident footprint when
   // the run ended (observational — the ONLY counters allowed to differ
@@ -685,7 +802,7 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
   const cluster::Timeline timeline =
       core::compose_timeline(times, spec.layout, spec.machine, options_,
                              spec.timesteps, spec.viz.images_per_timestep,
-                             options_.direct_send_composite);
+                             options_.direct_send_composite, pipeline_depth);
   const cluster::RunPowerReport power = timeline.report();
   result.busy_spans = timeline.spans();
 

@@ -93,9 +93,11 @@ cluster::Timeline compose_timeline(const NodePhaseTimes& times,
                                    const cluster::MachineSpec& machine,
                                    const ModelOptions& options, Index timesteps,
                                    Index images_per_timestep,
-                                   bool direct_send_composite) {
+                                   bool direct_send_composite,
+                                   Index pipeline_depth) {
   layout.validate();
   require(timesteps > 0, "compose_timeline: need at least one timestep");
+  require(pipeline_depth >= 1, "compose_timeline: pipeline_depth must be >= 1");
   cluster::Timeline timeline(machine, layout.nodes);
   const cluster::InterconnectModel net(machine);
 
@@ -151,6 +153,60 @@ cluster::Timeline compose_timeline(const NodePhaseTimes& times,
         timeline.add_span(
             cluster::BusySpan{t, t + write, 0, 1, 1.0, "model.write"});
         t += write;
+      }
+      break;
+    }
+    case cluster::Coupling::kAsync: {
+      // Time-shared like intercore — separate sim and viz processes on
+      // the SAME nodes, with a shared-memory hand-off — but software-
+      // pipelined (DESIGN.md §13): the sim proxy may run up to
+      // `pipeline_depth` timesteps ahead of the viz chain, bounded by
+      // the harness's in-flight limiter. Overlapping generate and viz
+      // spans land on the same nodes; the Timeline adds their
+      // utilizations (capped at full occupancy), which is where the
+      // async coupling's power/energy picture differs from intercore's.
+      //
+      // Recurrence: step s's generate may start once the previous
+      // generate finished AND step s - depth has fully drained (its
+      // write completed — that is when the in-flight token frees).
+      // Depth 1 therefore reproduces the intercore sequence exactly:
+      // every generate waits for the previous step's write.
+      const Seconds copy = net.shm_copy_time(times.dataset_bytes);
+      std::vector<Seconds> drained(static_cast<std::size_t>(timesteps), 0);
+      Seconds sim_free = 0;
+      Seconds viz_free = 0;
+      for (Index step = 0; step < timesteps; ++step) {
+        Seconds sim_start = sim_free;
+        if (step >= pipeline_depth)
+          sim_start = std::max(
+              sim_start, drained[static_cast<std::size_t>(step - pipeline_depth)]);
+        const Seconds sim_end = sim_start + gen;
+        timeline.add_full_span(sim_start, sim_end, times.generate_utilization,
+                               "model.generate");
+        // The producer side also performs the hand-off copy before
+        // starting the next generate.
+        Seconds data_ready = sim_end;
+        if (copy > 0) {
+          timeline.add_full_span(sim_end, sim_end + copy,
+                                 options.copy_utilization, "model.copy");
+          data_ready += copy;
+        }
+        sim_free = data_ready;
+
+        const Seconds viz_start = std::max(viz_free, data_ready);
+        const Seconds viz_end = viz_start + viz;
+        timeline.add_full_span(viz_start, viz_end, times.viz_utilization,
+                               "model.viz");
+        if (direct_send_composite)
+          timeline.add_span(cluster::BusySpan{viz_end, viz_end + comp, 0, 1, 1.0,
+                                              "model.composite"});
+        else
+          timeline.add_full_span(viz_end, viz_end + comp, 1.0, "model.composite");
+        const Seconds write_start = viz_end + comp + swap;
+        timeline.add_span(cluster::BusySpan{write_start, write_start + write, 0,
+                                            1, 1.0, "model.write"});
+        viz_free = write_start + write;
+        drained[static_cast<std::size_t>(step)] = viz_free;
       }
       break;
     }

@@ -97,11 +97,18 @@ NodePhaseTimes reduce_reports(const std::vector<RankReport>& reports,
 /// geometry path, whose gather link serializes across senders; this is
 /// the "contention in a shared resource" behind the paper's Finding 7
 /// degradation of VTK at high node counts).
+///
+/// `pipeline_depth` only affects `Coupling::kAsync` (DESIGN.md §13):
+/// the sim proxy may run up to `depth` timesteps ahead of the viz
+/// proxy, so generate spans overlap viz/composite/write spans on the
+/// same nodes (the Timeline adds concurrent utilizations, capped at
+/// full). Depth 1 degenerates to the intercore sequence exactly.
 cluster::Timeline compose_timeline(const NodePhaseTimes& times,
                                    const cluster::JobLayout& layout,
                                    const cluster::MachineSpec& machine,
                                    const ModelOptions& options, Index timesteps,
                                    Index images_per_timestep,
-                                   bool direct_send_composite = false);
+                                   bool direct_send_composite = false,
+                                   Index pipeline_depth = 1);
 
 } // namespace eth::core

@@ -120,6 +120,10 @@ const std::map<std::string, Applier>& appliers() {
          s.transport_quantization_bits =
              static_cast<int>(parse_index(v, "quantization_bits"));
        }},
+      {"pipeline_depth",
+       [](const std::string& v, ExperimentSpec& s) {
+         s.pipeline_depth = static_cast<int>(parse_index(v, "pipeline_depth"));
+       }},
       {"data_scale",
        [](const std::string& v, ExperimentSpec& s) {
          s.data_scale = parse_double(v, "data_scale");
@@ -186,8 +190,19 @@ std::vector<SweepPoint> parse_experiment_config(const std::string& text) {
     std::istringstream is(line);
     std::string key;
     is >> key;
-    require(appliers().count(key) == 1,
-            "experiment config: unknown key '" + key + "'");
+    if (appliers().count(key) != 1) {
+      // Strict validation with a nearest-match hint: a typo'd key must
+      // fail loudly (a silently ignored "couplng async" would quietly
+      // run the wrong experiment), and the hint makes the fix obvious.
+      std::string message = "experiment config: unknown key '" + key + "'";
+      std::vector<std::string> known;
+      known.reserve(appliers().size());
+      for (const auto& [name, applier] : appliers()) known.push_back(name);
+      const std::string suggestion = closest_match(key, known);
+      if (!suggestion.empty())
+        message += " (did you mean '" + suggestion + "'?)";
+      fail(message);
+    }
     std::vector<std::string> values;
     std::string value;
     while (is >> value) values.push_back(value);
@@ -247,7 +262,7 @@ std::string experiment_config_reference() {
          "  timesteps <N>\n"
          "  algorithm <name...>       raycast-spheres gaussian-splat vtk-points\n"
          "                            vtk-geometry raycast-volume raycast-dvr\n"
-         "  coupling <name...>        tight intercore internode\n"
+         "  coupling <name...>        tight intercore internode async\n"
          "  nodes <N...>              modelled allocation size\n"
          "  ranks <N>                 measurement ranks\n"
          "  viz_nodes <N>             internode viz partition\n"
@@ -258,6 +273,8 @@ std::string experiment_config_reference() {
          "  isovalue <R>\n"
          "  slices <N>\n"
          "  quantization_bits <B...>  transport compression (0 = off)\n"
+         "  pipeline_depth <N...>     async coupling: timesteps in flight\n"
+         "                            (0 = ETH_PIPELINE_DEPTH, default 1)\n"
          "  data_scale <R>            paper/executed workload ratio\n"
          "  pixel_scale <R>\n"
          "  core_speed_ratio <R>      modelled-core / host-core speed\n"

@@ -1,0 +1,300 @@
+#include "parallel/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/trace.hpp"
+
+namespace eth {
+
+namespace {
+
+// The tracer requires event names to outlive the session, and stage
+// names arrive at runtime — intern "stage.<name>.queue" once per
+// distinct stage name in a never-freed registry.
+const char* intern_queue_counter_name(const char* stage_name) {
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<std::string>>& names =
+      *new std::map<std::string, std::unique_ptr<std::string>>();
+  std::string key = "stage." + std::string(stage_name) + ".queue";
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = names.find(key);
+  if (it == names.end()) {
+    auto owned = std::make_unique<std::string>(key);
+    it = names.emplace(std::move(key), std::move(owned)).first;
+  }
+  return it->second->c_str();
+}
+
+constexpr Index kNoItem = std::numeric_limits<Index>::max();
+
+// Mutable accounting shared between a stage's worker and the joiner.
+struct StageShared {
+  std::atomic<Index> items{0};
+  std::atomic<std::int64_t> wait_ns{0};
+  std::atomic<std::size_t> max_occupancy{0};
+
+  void note_occupancy(std::size_t occupancy) {
+    std::size_t seen = max_occupancy.load(std::memory_order_relaxed);
+    while (occupancy > seen &&
+           !max_occupancy.compare_exchange_weak(seen, occupancy,
+                                                std::memory_order_relaxed)) {
+    }
+  }
+};
+
+// Lowest-item-wins error collection: matches the sweep scheduler's
+// contract so a depth-4 failure reports the same exception a serial
+// run would have hit first.
+struct ErrorState {
+  std::mutex mutex;
+  std::atomic<bool> failed{false};
+  Index item = kNoItem;
+  std::exception_ptr error;
+
+  void record(Index failed_item, std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (item == kNoItem || failed_item < item) {
+      item = failed_item;
+      error = std::move(e);
+    }
+    failed.store(true, std::memory_order_release);
+  }
+
+  void rethrow_if_failed() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+} // namespace
+
+// Counting limiter bounding the number of items in flight across the
+// whole stage graph. The head stage acquires a token before starting
+// item i; the final stage releases it — so `permits` IS the pipeline
+// depth. abort() wakes blocked acquirers on the error path.
+struct StagePipeline::InFlightLimiter {
+  std::mutex mutex;
+  std::condition_variable available;
+  int permits;
+  bool aborted = false;
+
+  explicit InFlightLimiter(int depth) : permits(depth) {}
+
+  bool acquire() {
+    std::unique_lock<std::mutex> lock(mutex);
+    available.wait(lock, [&] { return aborted || permits > 0; });
+    if (aborted) return false;
+    --permits;
+    return true;
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++permits;
+    }
+    available.notify_one();
+  }
+
+  void abort() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      aborted = true;
+    }
+    available.notify_all();
+  }
+};
+
+StagePipeline::StagePipeline(std::vector<StageDef> stages, Options options)
+    : stages_(std::move(stages)), options_(options) {
+  require(!stages_.empty(), "StagePipeline: no stages");
+  for (const StageDef& stage : stages_) {
+    require(static_cast<bool>(stage.body),
+            "StagePipeline: stage '" + std::string(stage.name) +
+                "' has no body");
+  }
+  require(options_.depth >= 1, "StagePipeline: depth must be >= 1");
+  require(options_.async_stages >= 0,
+          "StagePipeline: async_stages must be >= 0");
+  options_.async_stages = std::min<int>(options_.async_stages,
+                                        static_cast<int>(stages_.size()));
+}
+
+StagePipeline::~StagePipeline() = default;
+
+void StagePipeline::run(Index num_items) {
+  stats_.assign(stages_.size(), StageStats{});
+  for (std::size_t s = 0; s < stages_.size(); ++s) stats_[s].name = stages_[s].name;
+  if (num_items <= 0) return;
+  if (options_.depth <= 1 || options_.async_stages <= 0) {
+    run_inline(num_items);
+  } else {
+    run_async(num_items);
+  }
+}
+
+void StagePipeline::run_inline(Index num_items) {
+  // The historical serial loop, verbatim: every stage on the calling
+  // thread in strict (item, stage) order, no queues, no trace events —
+  // the depth-1 bit-identity contract rests on this path adding
+  // NOTHING around the stage bodies.
+  for (Index item = 0; item < num_items; ++item) {
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      stages_[s].body(item);
+      stats_[s].items += 1;
+    }
+  }
+}
+
+void StagePipeline::run_async(Index num_items) {
+  const int async_stages = options_.async_stages;
+  const auto capacity = static_cast<std::size_t>(options_.depth);
+
+  InFlightLimiter limiter(options_.depth);
+  ErrorState errors;
+
+  // channel[s] carries item indices from stage s to stage s+1 (the
+  // channel after the last async stage feeds the inline tail). Item
+  // payloads live in the caller's slot ring; indices are enough.
+  std::vector<std::unique_ptr<BoundedChannel<Index>>> channels;
+  channels.reserve(static_cast<std::size_t>(async_stages));
+  for (int s = 0; s < async_stages; ++s) {
+    channels.push_back(std::make_unique<BoundedChannel<Index>>(capacity));
+  }
+
+  std::vector<std::unique_ptr<StageShared>> shared;
+  shared.reserve(stages_.size());
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    shared.push_back(std::make_unique<StageShared>());
+  }
+
+  auto shutdown = [&] {
+    limiter.abort();
+    for (auto& channel : channels) channel->close();
+  };
+
+  // Body of the worker thread owning async stage `s`. Stage 0 claims
+  // ascending item indices gated by the in-flight limiter; later
+  // stages pop their predecessor's channel (FIFO, single producer —
+  // item order stays ascending at every stage).
+  auto stage_worker = [&](int s) {
+    const StageDef& stage = stages_[static_cast<std::size_t>(s)];
+    StageShared& acct = *shared[static_cast<std::size_t>(s)];
+    const char* queue_counter =
+        intern_queue_counter_name(s > 0 ? stages_[static_cast<std::size_t>(s - 1)].name
+                                        : stage.name);
+    Index next_item = 0;
+    for (;;) {
+      Index item = kNoItem;
+      const std::int64_t wait_start = trace::now_ns();
+      if (s == 0) {
+        if (next_item >= num_items) break;
+        trace::Span wait_span("stage.queue_wait");
+        if (!limiter.acquire()) break;
+        item = next_item++;
+      } else {
+        BoundedChannel<Index>& input = *channels[static_cast<std::size_t>(s - 1)];
+        std::optional<Index> popped;
+        {
+          trace::Span wait_span("stage.queue_wait");
+          popped = input.pop();
+        }
+        if (!popped) break;
+        trace::counter(queue_counter, static_cast<double>(input.size()));
+        item = *popped;
+      }
+      acct.wait_ns.fetch_add(trace::now_ns() - wait_start,
+                             std::memory_order_relaxed);
+      if (errors.failed.load(std::memory_order_acquire)) break;
+      try {
+        stage.body(item);
+      } catch (...) {
+        errors.record(item, std::current_exception());
+        shutdown();
+        break;
+      }
+      acct.items.fetch_add(1, std::memory_order_relaxed);
+      BoundedChannel<Index>& output = *channels[static_cast<std::size_t>(s)];
+      if (!output.push(item)) break;
+      acct.note_occupancy(output.size());
+      trace::counter(intern_queue_counter_name(stage.name),
+                     static_cast<double>(output.size()));
+    }
+    // Done (all items pushed, upstream drained, or the run is
+    // aborting): close the output so the next stage's pop() drains the
+    // buffered items and then unblocks instead of waiting forever.
+    channels[static_cast<std::size_t>(s)]->close();
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(async_stages));
+  for (int s = 0; s < async_stages; ++s) {
+    workers.emplace_back([&, s] {
+      if (options_.worker_wrap) {
+        options_.worker_wrap([&] { stage_worker(s); });
+      } else {
+        stage_worker(s);
+      }
+    });
+  }
+
+  // Inline tail on the calling thread: pops completed items from the
+  // last async stage and runs every remaining stage in strict item
+  // order — one ordered stream for the harness's collectives.
+  BoundedChannel<Index>& tail_input = *channels[static_cast<std::size_t>(async_stages - 1)];
+  const char* tail_counter =
+      intern_queue_counter_name(stages_[static_cast<std::size_t>(async_stages - 1)].name);
+  Index completed = 0;
+  while (completed < num_items) {
+    const std::int64_t wait_start = trace::now_ns();
+    std::optional<Index> popped;
+    {
+      trace::Span wait_span("stage.queue_wait");
+      popped = tail_input.pop();
+    }
+    if (!popped) break;
+    trace::counter(tail_counter, static_cast<double>(tail_input.size()));
+    const Index item = *popped;
+    if (static_cast<std::size_t>(async_stages) < stages_.size()) {
+      shared[static_cast<std::size_t>(async_stages)]->wait_ns.fetch_add(
+          trace::now_ns() - wait_start, std::memory_order_relaxed);
+    }
+    bool ok = true;
+    for (std::size_t s = static_cast<std::size_t>(async_stages); s < stages_.size(); ++s) {
+      try {
+        stages_[s].body(item);
+      } catch (...) {
+        errors.record(item, std::current_exception());
+        shutdown();
+        ok = false;
+        break;
+      }
+      shared[s]->items.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!ok) break;
+    limiter.release();
+    ++completed;
+  }
+
+  for (std::thread& worker : workers) worker.join();
+
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    stats_[s].items = shared[s]->items.load(std::memory_order_relaxed);
+    stats_[s].queue_wait_seconds =
+        static_cast<double>(shared[s]->wait_ns.load(std::memory_order_relaxed)) * 1e-9;
+    stats_[s].max_occupancy = shared[s]->max_occupancy.load(std::memory_order_relaxed);
+  }
+
+  errors.rethrow_if_failed();
+  require(completed == num_items || errors.failed.load(std::memory_order_acquire),
+          "StagePipeline: pipeline drained early without an error");
+}
+
+} // namespace eth

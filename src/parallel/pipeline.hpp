@@ -1,0 +1,189 @@
+#pragma once
+// Staged pipeline engine (DESIGN.md §13 "Staged pipeline & async
+// coupling").
+//
+// Harness::run used to be one monolithic per-rank loop in which
+// produce -> couple -> viz -> composite -> write strictly alternated,
+// so the simulation proxy idled while the visualization proxy worked
+// and vice versa. This module provides the execution substrate that
+// lets those phase bodies run as named Stage units connected by
+// bounded queues, overlapping timestep t+1's production with timestep
+// t's rendering when the spec asks for it (`coupling async`,
+// `pipeline_depth N`).
+//
+// Two layers:
+//   * BoundedChannel<T> — a small bounded MPMC channel: push blocks
+//     while full (backpressure), pop blocks while empty, close() wakes
+//     everyone. The general template is unit-tested directly; the
+//     executor uses it with one producer/consumer per stage boundary.
+//   * StagePipeline — a linear graph of named stages applied to items
+//     0..n-1. At depth 1 every stage runs INLINE on the calling thread
+//     in strict item order — bit-identical to the historical serial
+//     loop, no threads, no queues, no trace events. At depth >= 2 the
+//     leading `async_stages` stages each get a dedicated worker thread
+//     (per-run ownership: the pipeline object joins them, so
+//     concurrent sweep workers stay isolated), connected by
+//     BoundedChannels; the remaining stages run on the calling thread
+//     in item order, which is what keeps collective operations (the
+//     harness's allreduces and gathers) in one ordered stream per
+//     rank. A counting limiter bounds the number of items in flight
+//     across the WHOLE graph to `depth`, so depth 2 is exactly the
+//     double-buffered "sim produces t+1 while viz renders t" regime.
+//
+// Determinism contract: stage bodies see items in ascending order at
+// every stage regardless of depth, and the tail (collective) stages
+// additionally run on one thread — so any per-item computation that is
+// itself deterministic yields bit-identical artifacts at every depth.
+// Exceptions thrown by a stage body propagate to run(): the failure on
+// the lowest item index wins, later items stop, workers are joined.
+//
+// Observability (DESIGN.md §11): in async mode every blocking pop is
+// wrapped in a `stage.queue_wait` span (one per item per boundary, so
+// span COUNTS stay deterministic even though durations vary) and every
+// push/pop samples a per-stage occupancy counter `stage.<name>.queue`.
+// Inline mode emits nothing, keeping depth-1 trace histograms
+// identical to the pre-pipeline serial loop.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace eth {
+
+/// Bounded multi-producer multi-consumer channel. All operations are
+/// thread-safe; FIFO order is global (items pop in push order).
+template <typename T>
+class BoundedChannel {
+public:
+  explicit BoundedChannel(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedChannel(const BoundedChannel&) = delete;
+  BoundedChannel& operator=(const BoundedChannel&) = delete;
+
+  /// Block until there is room (backpressure), then enqueue. Returns
+  /// false — without enqueueing — once the channel is closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available and dequeue it. Returns nullopt
+  /// once the channel is closed AND drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Idempotent: no further pushes succeed; blocked pushers and (after
+  /// the queue drains) blocked poppers wake.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// One named unit of per-item work in a StagePipeline. The body is
+/// invoked with the item index; item state lives with the caller
+/// (typically a depth-sized ring of slots indexed by `item % depth`,
+/// which is safe because at most `depth` items are ever in flight).
+struct StageDef {
+  const char* name = "stage"; ///< string literal (outlives the tracer)
+  std::function<void(Index)> body;
+};
+
+/// Post-run accounting for one stage.
+struct StageStats {
+  const char* name = "stage";
+  Index items = 0;                ///< items this stage processed
+  double queue_wait_seconds = 0;  ///< time blocked on the input queue
+  std::size_t max_occupancy = 0;  ///< high-water mark of the input queue
+};
+
+class StagePipeline {
+public:
+  struct Options {
+    /// Maximum items in flight across the whole stage graph. 1 = run
+    /// every stage inline on the calling thread (the serial loop).
+    int depth = 1;
+    /// Leading stages that run on dedicated worker threads when
+    /// depth > 1. Stages past this prefix — in the harness, everything
+    /// from the first collective stage on — run on the calling thread
+    /// in strict item order. 0 = always inline.
+    int async_stages = 0;
+    /// Wraps each worker thread's whole loop; the harness installs its
+    /// per-rank TrackScope / RunSinkScope / KernelTimer here so stage
+    /// workers attribute traffic, trace spans and borrowed CPU exactly
+    /// like the rank thread they serve. Default: run the loop bare.
+    std::function<void(const std::function<void()>&)> worker_wrap;
+  };
+
+  StagePipeline(std::vector<StageDef> stages, Options options);
+  ~StagePipeline();
+
+  StagePipeline(const StagePipeline&) = delete;
+  StagePipeline& operator=(const StagePipeline&) = delete;
+
+  /// Process items 0..num_items-1 through every stage. Blocks until
+  /// all items completed every stage, or a stage body threw — then the
+  /// exception of the LOWEST failed item index is rethrown after all
+  /// workers have been joined (no leaked threads, no hang).
+  void run(Index num_items);
+
+  /// Per-stage accounting of the last run().
+  const std::vector<StageStats>& stats() const { return stats_; }
+
+private:
+  struct InFlightLimiter;
+
+  void run_inline(Index num_items);
+  void run_async(Index num_items);
+
+  std::vector<StageDef> stages_;
+  Options options_;
+  std::vector<StageStats> stats_;
+};
+
+} // namespace eth

@@ -10,11 +10,33 @@ namespace eth::cluster {
 namespace {
 
 TEST(Coupling, StringRoundTrip) {
-  for (const Coupling c :
-       {Coupling::kTight, Coupling::kIntercore, Coupling::kInternode}) {
+  for (const Coupling c : {Coupling::kTight, Coupling::kIntercore,
+                           Coupling::kInternode, Coupling::kAsync}) {
     EXPECT_EQ(coupling_from_string(to_string(c)), c);
   }
   EXPECT_THROW(coupling_from_string("bogus"), Error);
+}
+
+TEST(JobLayout, AsyncIsTimeSharedLikeIntercore) {
+  // The async coupling time-shares every node between the sim and viz
+  // processes — the partitioning helpers must mirror intercore, and a
+  // viz partition is as nonsensical here as it is for tight/intercore.
+  JobLayout async_layout{Coupling::kAsync, 8, 4, 0};
+  EXPECT_NO_THROW(async_layout.validate());
+  EXPECT_EQ(async_layout.sim_nodes(), 8);
+  EXPECT_EQ(async_layout.viz_node_count(), 8);
+  EXPECT_EQ(async_layout.viz_first_node(), 0);
+
+  JobLayout viz_on_async{Coupling::kAsync, 8, 4, 2};
+  EXPECT_THROW(viz_on_async.validate(), Error);
+}
+
+TEST(JobLayout, AsyncTextRoundTrip) {
+  JobLayout layout{Coupling::kAsync, 16, 4, 0};
+  const JobLayout restored = JobLayout::from_text(layout.to_text());
+  EXPECT_EQ(restored.coupling, Coupling::kAsync);
+  EXPECT_EQ(restored.nodes, 16);
+  EXPECT_EQ(restored.ranks, 4);
 }
 
 TEST(JobLayout, NodePartitioningPerCoupling) {

@@ -70,5 +70,34 @@ TEST(ParseIndex, AcceptsValidRejectsJunk) {
   EXPECT_THROW(parse_index("12ab", "t"), Error);
 }
 
+TEST(EditDistance, KnownDistances) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("coupling", "couplng"), 1u);   // deletion
+  EXPECT_EQ(edit_distance("timesteps", "timestpes"), 2u); // transposition = 2 subs
+  EXPECT_EQ(edit_distance("flaw", "lawn"), 2u);
+}
+
+TEST(ClosestMatch, SuggestsWithinBudgetOnly) {
+  const std::vector<std::string> keys = {"coupling", "nodes", "ranks",
+                                         "pipeline_depth", "timesteps"};
+  EXPECT_EQ(closest_match("couplng", keys), "coupling");
+  EXPECT_EQ(closest_match("Nodes", keys), "nodes");
+  EXPECT_EQ(closest_match("pipeline_deph", keys), "pipeline_depth");
+  // Exact hits are distance 0 (the caller normally filters these first).
+  EXPECT_EQ(closest_match("ranks", keys), "ranks");
+  // Nothing plausibly close: budget is max(2, len/2).
+  EXPECT_EQ(closest_match("zzzzzzzz", keys), "");
+  EXPECT_EQ(closest_match("x", keys), "");
+  EXPECT_EQ(closest_match("anything", {}), "");
+}
+
+TEST(ClosestMatch, TiesBreakToFirstCandidate) {
+  EXPECT_EQ(closest_match("ab", {"ax", "ay"}), "ax");
+}
+
 } // namespace
 } // namespace eth

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "common/error.hpp"
 
 namespace eth {
@@ -71,6 +74,63 @@ TEST(ExperimentSpec, RejectsSubUnityScaleFactors) {
 TEST(Application, Names) {
   EXPECT_STREQ(to_string(Application::kHacc), "hacc");
   EXPECT_STREQ(to_string(Application::kXrage), "xrage");
+}
+
+TEST(ExperimentSpec, PipelineDepthBounds) {
+  ExperimentSpec spec = valid_hacc();
+  spec.pipeline_depth = 0; // auto
+  EXPECT_NO_THROW(spec.validate());
+  spec.pipeline_depth = 32;
+  EXPECT_NO_THROW(spec.validate());
+  spec.pipeline_depth = 33;
+  EXPECT_THROW(spec.validate(), Error);
+  spec.pipeline_depth = -1;
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+TEST(ExperimentSpec, ResolvedPipelineDepthPrefersSpecOverEnvironment) {
+  ExperimentSpec spec = valid_hacc();
+
+  const char* saved = std::getenv("ETH_PIPELINE_DEPTH");
+  const std::string saved_value = saved ? saved : "";
+
+  ::setenv("ETH_PIPELINE_DEPTH", "3", 1);
+  spec.pipeline_depth = 0;
+  EXPECT_EQ(spec.resolved_pipeline_depth(), 3);
+  spec.pipeline_depth = 2; // explicit spec value beats the environment
+  EXPECT_EQ(spec.resolved_pipeline_depth(), 2);
+
+  // Malformed or out-of-range environment values fall back to 1.
+  spec.pipeline_depth = 0;
+  ::setenv("ETH_PIPELINE_DEPTH", "banana", 1);
+  EXPECT_EQ(spec.resolved_pipeline_depth(), 1);
+  ::setenv("ETH_PIPELINE_DEPTH", "0", 1);
+  EXPECT_EQ(spec.resolved_pipeline_depth(), 1);
+  ::setenv("ETH_PIPELINE_DEPTH", "999", 1);
+  EXPECT_EQ(spec.resolved_pipeline_depth(), 1);
+
+  ::unsetenv("ETH_PIPELINE_DEPTH");
+  EXPECT_EQ(spec.resolved_pipeline_depth(), 1);
+
+  if (saved)
+    ::setenv("ETH_PIPELINE_DEPTH", saved_value.c_str(), 1);
+}
+
+TEST(SpecSummary, ListsEveryEffectiveValue) {
+  ExperimentSpec spec = valid_hacc();
+  spec.name = "summary-test";
+  spec.fault.p_bit_flip = 0.25;
+  spec.fault.seed = 42;
+  const std::string text = spec_summary(spec);
+  for (const char* needle :
+       {"summary-test", "application", "hacc", "timesteps", "coupling",
+        "nodes", "ranks", "fault", "bit_flip=0.25", "seed=42"})
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  // pipeline_depth only appears for the async coupling.
+  EXPECT_EQ(text.find("pipeline_depth"), std::string::npos);
+  spec.layout.coupling = cluster::Coupling::kAsync;
+  spec.pipeline_depth = 2;
+  EXPECT_NE(spec_summary(spec).find("pipeline_depth  2"), std::string::npos);
 }
 
 } // namespace

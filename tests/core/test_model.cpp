@@ -186,6 +186,57 @@ TEST(ComposeTimeline, ValidatesInputs) {
   EXPECT_THROW(
       compose_timeline(t, layout(cluster::Coupling::kTight), machine(), {}, 0, 1),
       Error);
+  EXPECT_THROW(compose_timeline(t, layout(cluster::Coupling::kAsync), machine(),
+                                {}, 1, 1, false, 0),
+               Error);
+}
+
+TEST(ComposeTimeline, AsyncDepthOneDegeneratesToIntercoreExactly) {
+  // The determinism contract's model half (DESIGN.md §13): at depth 1
+  // the async recurrence reproduces the intercore span sequence span
+  // for span, so makespan/power/energy cannot drift either.
+  const auto t = sample_times();
+  for (const bool direct : {false, true}) {
+    const auto intercore = compose_timeline(
+        t, layout(cluster::Coupling::kIntercore), machine(), {}, 3, 2, direct);
+    const auto async1 = compose_timeline(t, layout(cluster::Coupling::kAsync),
+                                         machine(), {}, 3, 2, direct, 1);
+    ASSERT_EQ(async1.spans().size(), intercore.spans().size());
+    for (std::size_t i = 0; i < intercore.spans().size(); ++i) {
+      const cluster::BusySpan& a = async1.spans()[i];
+      const cluster::BusySpan& b = intercore.spans()[i];
+      EXPECT_DOUBLE_EQ(a.start, b.start);
+      EXPECT_DOUBLE_EQ(a.end, b.end);
+      EXPECT_EQ(a.first_node, b.first_node);
+      EXPECT_EQ(a.last_node, b.last_node);
+      EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+      EXPECT_STREQ(a.label, b.label);
+    }
+    EXPECT_DOUBLE_EQ(async1.makespan(), intercore.makespan());
+    EXPECT_DOUBLE_EQ(async1.report().energy, intercore.report().energy);
+  }
+}
+
+TEST(ComposeTimeline, AsyncDepthOverlapsSimWithViz) {
+  // Depth 2 hides each generate behind the previous viz chain, so the
+  // makespan approaches gen + copy + T * (viz + composite + write)
+  // instead of the serial sum. Deeper than the structural lookahead
+  // changes nothing further here (generate is the only producer stage).
+  const auto t = sample_times();
+  const auto at_depth = [&](Index depth) {
+    return compose_timeline(t, layout(cluster::Coupling::kAsync), machine(), {},
+                            4, 1, false, depth)
+        .makespan();
+  };
+  EXPECT_LT(at_depth(2), at_depth(1));
+  EXPECT_LE(at_depth(3), at_depth(2));
+  EXPECT_LE(at_depth(8), at_depth(3));
+  // The overlap hides producer time but never invents capacity: the
+  // viz chain alone still bounds the makespan from below.
+  const auto intercore = compose_timeline(
+      t, layout(cluster::Coupling::kIntercore), machine(), {}, 4, 1);
+  EXPECT_LT(at_depth(2), intercore.makespan());
+  EXPECT_GT(at_depth(8), 0.0);
 }
 
 } // namespace

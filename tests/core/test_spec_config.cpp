@@ -114,8 +114,58 @@ TEST(SpecConfig, LoadFromFile) {
 TEST(SpecConfig, ReferenceMentionsEveryKey) {
   const std::string ref = experiment_config_reference();
   for (const char* key : {"application", "particles", "grid", "algorithm", "coupling",
-                          "nodes", "sampling", "quantization_bits", "proxy_dir"})
+                          "nodes", "sampling", "quantization_bits", "proxy_dir",
+                          "pipeline_depth", "async"})
     EXPECT_NE(ref.find(key), std::string::npos) << key;
+}
+
+TEST(SpecConfig, UnknownKeySuggestsNearestMatch) {
+  // Strict validation: a typo'd key fails loudly AND points at the fix.
+  const auto message_for = [](const char* text) -> std::string {
+    try {
+      parse_experiment_config(text);
+    } catch (const Error& e) {
+      return e.what();
+    }
+    ADD_FAILURE() << "expected a parse failure for: " << text;
+    return "";
+  };
+  const std::string typo = message_for("couplng async\nnodes 2\nranks 2\n");
+  EXPECT_NE(typo.find("unknown key 'couplng'"), std::string::npos) << typo;
+  EXPECT_NE(typo.find("did you mean 'coupling'?"), std::string::npos) << typo;
+
+  const std::string depth =
+      message_for("application hacc\npipeline_deph 2\nnodes 2\nranks 2\n");
+  EXPECT_NE(depth.find("did you mean 'pipeline_depth'?"), std::string::npos)
+      << depth;
+
+  // Nothing plausibly close: the error stays, the suggestion is omitted.
+  const std::string junk = message_for("zzqqxxyy 1\nnodes 2\nranks 2\n");
+  EXPECT_NE(junk.find("unknown key 'zzqqxxyy'"), std::string::npos) << junk;
+  EXPECT_EQ(junk.find("did you mean"), std::string::npos) << junk;
+}
+
+TEST(SpecConfig, AsyncCouplingAndPipelineDepthSweep) {
+  const auto points = parse_experiment_config(R"(
+application hacc
+algorithm vtk-points
+coupling async
+pipeline_depth 1 2 4
+nodes 2
+ranks 2
+)");
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& point : points)
+    EXPECT_EQ(point.spec.layout.coupling, cluster::Coupling::kAsync);
+  EXPECT_EQ(points[0].spec.pipeline_depth, 1);
+  EXPECT_EQ(points[1].spec.pipeline_depth, 2);
+  EXPECT_EQ(points[2].spec.pipeline_depth, 4);
+  EXPECT_EQ(points[1].label, "pipeline_depth=2");
+  // Out-of-range depths are rejected by spec validation at parse time.
+  EXPECT_THROW(parse_experiment_config("application hacc\nalgorithm vtk-points\n"
+                                       "coupling async\npipeline_depth 99\n"
+                                       "nodes 2\nranks 2\n"),
+               Error);
 }
 
 } // namespace

@@ -1,0 +1,272 @@
+// Unit tests for the staged pipeline engine (parallel/pipeline):
+// BoundedChannel semantics (capacity, blocking, close) and StagePipeline
+// ordering, backpressure, exception propagation and stage statistics.
+
+#include "parallel/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace eth {
+namespace {
+
+TEST(BoundedChannel, PushPopRoundTripInOrder) {
+  BoundedChannel<int> ch(4);
+  EXPECT_EQ(ch.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ch.push(i));
+  EXPECT_EQ(ch.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto v = ch.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(BoundedChannel, PushBlocksWhileFullUntilPopped) {
+  BoundedChannel<int> ch(1);
+  ASSERT_TRUE(ch.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(ch.push(2)); // blocks: capacity 1, channel full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(ch.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(ch.pop().value(), 2);
+}
+
+TEST(BoundedChannel, PopBlocksUntilPushArrives) {
+  BoundedChannel<int> ch(2);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] { got.store(ch.pop().value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), -1);
+  ASSERT_TRUE(ch.push(7));
+  consumer.join();
+  EXPECT_EQ(got.load(), 7);
+}
+
+TEST(BoundedChannel, CloseDrainsBufferedItemsThenReturnsNullopt) {
+  BoundedChannel<int> ch(4);
+  ASSERT_TRUE(ch.push(1));
+  ASSERT_TRUE(ch.push(2));
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+  // Buffered items survive the close; only then does pop() drain out.
+  EXPECT_EQ(ch.pop().value(), 1);
+  EXPECT_EQ(ch.pop().value(), 2);
+  EXPECT_FALSE(ch.pop().has_value());
+  // Pushing into a closed channel reports failure.
+  EXPECT_FALSE(ch.push(3));
+}
+
+TEST(BoundedChannel, CloseWakesBlockedProducerAndConsumer) {
+  BoundedChannel<int> full(1);
+  ASSERT_TRUE(full.push(1));
+  std::atomic<bool> push_returned{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(full.push(2)); // blocked on full channel, woken by close
+    push_returned.store(true);
+  });
+  BoundedChannel<int> empty(1);
+  std::atomic<bool> pop_returned{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(empty.pop().has_value()); // blocked on empty, woken by close
+    pop_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  full.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(push_returned.load());
+  EXPECT_TRUE(pop_returned.load());
+}
+
+TEST(StagePipeline, RejectsBadConstruction) {
+  const StageDef stage{"s", [](Index) {}};
+  EXPECT_THROW(StagePipeline({}, {}), Error);
+  EXPECT_THROW(StagePipeline({{"s", nullptr}}, {}), Error);
+  StagePipeline::Options bad_depth;
+  bad_depth.depth = 0;
+  EXPECT_THROW(StagePipeline({stage}, bad_depth), Error);
+}
+
+TEST(StagePipeline, InlineModeRunsStagesInStrictTimestepOrder) {
+  std::vector<std::pair<int, Index>> order; // (stage, item) execution log
+  StagePipeline pipeline(
+      {{"a", [&](Index t) { order.push_back({0, t}); }},
+       {"b", [&](Index t) { order.push_back({1, t}); }},
+       {"c", [&](Index t) { order.push_back({2, t}); }}},
+      {});
+  pipeline.run(3);
+  const std::vector<std::pair<int, Index>> expected = {
+      {0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}, {0, 2}, {1, 2}, {2, 2}};
+  EXPECT_EQ(order, expected);
+  ASSERT_EQ(pipeline.stats().size(), 3u);
+  for (const StageStats& s : pipeline.stats()) EXPECT_EQ(s.items, 3);
+}
+
+TEST(StagePipeline, AsyncPreservesPerStageItemOrderAndInFlightBound) {
+  constexpr int kDepth = 3;
+  StagePipeline::Options options;
+  options.depth = kDepth;
+  options.async_stages = 2;
+  std::mutex mutex;
+  std::vector<Index> head_order, tail_order;
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  StagePipeline pipeline(
+      {{"head",
+        [&](Index t) {
+          const int now = in_flight.fetch_add(1) + 1;
+          int seen = max_in_flight.load();
+          while (now > seen && !max_in_flight.compare_exchange_weak(seen, now)) {
+          }
+          std::lock_guard<std::mutex> lock(mutex);
+          head_order.push_back(t);
+        }},
+       {"mid", [&](Index) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }},
+       {"tail",
+        [&](Index t) {
+          in_flight.fetch_sub(1);
+          std::lock_guard<std::mutex> lock(mutex);
+          tail_order.push_back(t);
+        }}},
+      options);
+  pipeline.run(16);
+  std::vector<Index> expected(16);
+  for (Index t = 0; t < 16; ++t) expected[static_cast<std::size_t>(t)] = t;
+  // Worker stages process their queue in order; the inline tail runs in
+  // submission order by construction.
+  EXPECT_EQ(head_order, expected);
+  EXPECT_EQ(tail_order, expected);
+  // Backpressure: never more than `depth` items between head and tail.
+  EXPECT_LE(max_in_flight.load(), kDepth);
+  EXPECT_GE(max_in_flight.load(), 2); // and the overlap actually happened
+}
+
+TEST(StagePipeline, AsyncMatchesInlineResults) {
+  const auto run_mode = [](int depth, int async_stages) {
+    std::vector<long long> out(32, 0);
+    StagePipeline::Options options;
+    options.depth = depth;
+    options.async_stages = async_stages;
+    StagePipeline pipeline(
+        {{"square", [&](Index t) { out[static_cast<std::size_t>(t)] = t * t; }},
+         {"bias",
+          [&](Index t) { out[static_cast<std::size_t>(t)] += 3; }}},
+        options);
+    pipeline.run(32);
+    return out;
+  };
+  EXPECT_EQ(run_mode(1, 0), run_mode(4, 1));
+  EXPECT_EQ(run_mode(1, 0), run_mode(2, 2));
+}
+
+TEST(StagePipeline, InlineExceptionPropagatesWithStageContext) {
+  StagePipeline pipeline(
+      {{"boom", [](Index t) {
+         if (t == 2) fail("boom at 2");
+       }}},
+      {});
+  EXPECT_THROW(pipeline.run(4), Error);
+}
+
+TEST(StagePipeline, AsyncExceptionInWorkerStagePropagates) {
+  StagePipeline::Options options;
+  options.depth = 2;
+  options.async_stages = 1;
+  std::atomic<Index> tail_items{0};
+  StagePipeline pipeline({{"worker",
+                           [](Index t) {
+                             if (t == 3) fail("worker stage failure");
+                           }},
+                          {"tail", [&](Index) { ++tail_items; }}},
+                         options);
+  EXPECT_THROW(pipeline.run(8), Error);
+  // The failure cancels the run: the tail never sees all eight items.
+  EXPECT_LT(tail_items.load(), 8);
+}
+
+TEST(StagePipeline, AsyncExceptionInInlineTailPropagates) {
+  StagePipeline::Options options;
+  options.depth = 2;
+  options.async_stages = 1;
+  StagePipeline pipeline({{"worker", [](Index) {}},
+                          {"tail",
+                           [](Index t) {
+                             if (t == 1) fail("tail stage failure");
+                           }}},
+                         options);
+  EXPECT_THROW(pipeline.run(8), Error);
+}
+
+TEST(StagePipeline, WorkerWrapRunsOncePerWorkerStage) {
+  StagePipeline::Options options;
+  options.depth = 2;
+  options.async_stages = 2;
+  std::atomic<int> wraps{0};
+  options.worker_wrap = [&](const std::function<void()>& loop) {
+    ++wraps;
+    loop();
+  };
+  std::atomic<Index> items{0};
+  StagePipeline pipeline({{"a", [&](Index) { ++items; }},
+                          {"b", [](Index) {}},
+                          {"tail", [](Index) {}}},
+                         options);
+  pipeline.run(5);
+  EXPECT_EQ(wraps.load(), 2); // one wrap per async stage worker
+  EXPECT_EQ(items.load(), 5);
+}
+
+TEST(StagePipeline, StatsCountItemsAndOccupancy) {
+  StagePipeline::Options options;
+  options.depth = 3;
+  options.async_stages = 1;
+  StagePipeline pipeline(
+      {{"head", [](Index) {}},
+       {"tail", [](Index) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }}},
+      options);
+  pipeline.run(12);
+  ASSERT_EQ(pipeline.stats().size(), 2u);
+  const StageStats& head = pipeline.stats()[0];
+  const StageStats& tail = pipeline.stats()[1];
+  EXPECT_STREQ(head.name, "head");
+  EXPECT_EQ(head.items, 12);
+  EXPECT_EQ(tail.items, 12);
+  // The slow tail forces the head's output queue to fill at least once.
+  EXPECT_GE(head.max_occupancy, 1);
+  EXPECT_GE(tail.queue_wait_seconds, 0.0);
+}
+
+TEST(StagePipeline, ZeroItemsIsANoOp) {
+  StagePipeline::Options options;
+  options.depth = 2;
+  options.async_stages = 1;
+  std::atomic<int> calls{0};
+  StagePipeline pipeline(
+      {{"a", [&](Index) { ++calls; }}, {"b", [&](Index) { ++calls; }}}, options);
+  pipeline.run(0);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+} // namespace
+} // namespace eth

@@ -83,6 +83,36 @@ ETH_THREADS="${ETH_THREADS:-4}" ETH_SWEEP_WORKERS="${ETH_SWEEP_WORKERS:-4}" \
   ctest --test-dir build-tsan --output-on-failure \
   -R 'SweepScheduler|SweepEquivalence|TaskGroup'
 
+# AsyncGate (DESIGN.md §13): the staged pipeline engine promises
+# depth-1 bit-identity with the pre-refactor serial loop and
+# depth-invariant artifacts under `coupling async` — and the bounded
+# channels, in-flight limiter and slot ring it runs on are shared
+# mutable state between stage workers and the rank thread, i.e. TSan
+# territory. Run the pipeline + equivalence + accounting suites under
+# TSan with a multi-worker pool, concurrent sweep workers AND an async
+# pipeline depth exported into the environment, by name so a filter
+# typo cannot silently skip them.
+echo "==== async gate (build-tsan, ETH_PIPELINE_DEPTH=2) ===="
+ETH_THREADS="${ETH_THREADS:-4}" ETH_SWEEP_WORKERS="${ETH_SWEEP_WORKERS:-2}" \
+  ETH_PIPELINE_DEPTH="${ETH_PIPELINE_DEPTH:-2}" \
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir build-tsan --output-on-failure \
+  -R 'PipelineEquivalence|StagePipeline|BoundedChannel|PhaseAccounting'
+
+# Second half of the async gate, on the release build: resolve the gate
+# sweep with --dry-run (strict spec validation must accept it and print
+# the fully resolved spec), then run it with ETH_TRACE on and require
+# the pipeline's own instrumentation — `stage.queue_wait` spans and the
+# per-stage `stage.*` occupancy counters — in the exported trace.
+echo "==== async gate (build-release, traced async sweep) ===="
+./build-release/tools/eth_explore --dry-run tools/async_gate.cfg
+async_json="$(mktemp /tmp/eth_async_gate.XXXXXX.json)"
+ETH_TRACE="${async_json}" ./build-release/tools/eth_explore tools/async_gate.cfg
+./build-release/tools/eth_trace_check "${async_json}" \
+  sim.load transfer filter.sample render.raycast composite pack_image \
+  model.generate model.viz 'stage.queue_wait' 'stage.*'
+rm -f "${async_json}"
+
 # AddressSanitizer over the data/in-situ suites: the zero-copy data
 # plane aliases receive buffers and peers' live arrays (common/buffer),
 # so the lifetime contract — keepalives pin every borrowed span — is

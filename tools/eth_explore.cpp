@@ -7,7 +7,12 @@
 // as a single command:
 //
 //   eth_explore sweep.cfg [--csv out.csv] [--best energy|time]
-//               [--workers N]
+//               [--workers N] [--dry-run]
+
+//   --dry-run expands the sweep and prints each point's fully resolved
+//   spec (every effective value, including defaults and values pulled
+//   from the environment such as ETH_PIPELINE_DEPTH) without running
+//   anything — the way to audit what a config will actually execute.
 
 //   --workers N (or ETH_SWEEP_WORKERS=N) runs N sweep points
 //   concurrently; all output stays bit-identical to the serial sweep
@@ -30,7 +35,7 @@ namespace {
 
 int usage() {
   std::printf("usage: eth_explore <config-file> [--csv <out.csv>] "
-              "[--best energy|time] [--workers <n>]\n\n%s",
+              "[--best energy|time] [--workers <n>] [--dry-run]\n\n%s",
               eth::experiment_config_reference().c_str());
   return 2;
 }
@@ -44,8 +49,11 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::string csv_path;
   std::string best_metric;
+  bool dry_run = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--dry-run") == 0) {
+      dry_run = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--best") == 0 && i + 1 < argc) {
       best_metric = argv[++i];
@@ -68,6 +76,14 @@ int main(int argc, char** argv) {
 
   try {
     const auto points = load_experiment_config(config_path);
+    if (dry_run) {
+      std::printf("%s: %zu experiment%s (dry run)\n", config_path.c_str(),
+                  points.size(), points.size() == 1 ? "" : "s");
+      for (const auto& point : points)
+        std::printf("\n[%s]\n%s", point.label.c_str(),
+                    spec_summary(point.spec).c_str());
+      return 0;
+    }
     const int workers = sweep_worker_count();
     std::printf("%s: %zu experiment%s", config_path.c_str(), points.size(),
                 points.size() == 1 ? "" : "s");

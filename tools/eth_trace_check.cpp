@@ -14,7 +14,11 @@
 //      additionally a numeric "ts" and non-negative "dur", "C" events a
 //      numeric args.value, "i" events a scope "s",
 //   4. every name listed on the command line occurs in at least one
-//      non-metadata event (phase-coverage check for the gate run).
+//      non-metadata event (phase-coverage check for the gate run). A
+//      trailing '*' makes a name a prefix pattern: "stage.*" requires
+//      at least one event whose name starts with "stage." — used for
+//      per-stage queue counters whose full names depend on the stage
+//      vocabulary ("stage.produce.queue", ...).
 //
 // Exits 0 on success; prints the first failure and exits 1 otherwise.
 
@@ -281,9 +285,17 @@ int check(const std::string& path, const std::vector<std::string>& required) {
     }
   }
 
-  for (const std::string& name : required)
+  for (const std::string& name : required) {
+    if (!name.empty() && name.back() == '*') {
+      const std::string prefix = name.substr(0, name.size() - 1);
+      const auto it = seen.lower_bound(prefix);
+      require(it != seen.end() && it->compare(0, prefix.size(), prefix) == 0,
+              "trace json: no event matches required prefix \"" + name + "\"");
+      continue;
+    }
     require(seen.count(name) > 0,
             "trace json: required event \"" + name + "\" not present");
+  }
 
   std::printf("%s: ok (%zu spans, %zu counters, %zu instants, %zu metadata, "
               "%zu distinct names)\n",
