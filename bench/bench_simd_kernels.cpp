@@ -1,0 +1,412 @@
+// bench_simd_kernels — per-kernel scalar-vs-vector throughput for the
+// SIMD kernel table (DESIGN.md §14).
+//
+// Each row times ONE kernel two ways on identical inputs: the scalar
+// loop exactly as the call site's fallback writes it, and the widest
+// vector table this build dispatches (`native`: AVX2 when available,
+// else the 4-wide build). Outputs are memcmp'd — the speedup column is
+// only meaningful because the results are bit-identical, which is the
+// whole point of the lane abstraction. march_iso is timed through the
+// volume raycaster (its scalar twin lives inside render_volume_scene),
+// with ETH_SIMD pinned per run via the dispatch override.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "common/simd_kernels.hpp"
+#include "common/timer.hpp"
+#include "data/structured_grid.hpp"
+#include "render/ray/bvh.hpp"
+#include "render/ray/raycaster.hpp"
+
+namespace eth::bench {
+namespace {
+
+constexpr int kRepeats = 5;
+
+double best_of(const std::function<void()>& fn) {
+  double best = 1e30;
+  for (int r = 0; r < kRepeats; ++r) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.elapsed());
+  }
+  return best;
+}
+
+const simd::KernelTable* native_table() {
+  return simd::kernels_w8() != nullptr ? simd::kernels_w8() : simd::kernels_w4();
+}
+
+struct Row {
+  std::string kernel;
+  Index n = 0;
+  double scalar_s = 0;
+  double simd_s = 0;
+  bool identical = false;
+};
+
+// ------------------------------------------------------------ leaf batch
+
+Row bench_leaf_intersect() {
+  const Index n = 100'000;
+  const int n_rays = 24;
+  Rng rng(7);
+  std::vector<float> cx(n), cy(n), cz(n);
+  std::vector<Vec3f> centers(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    const Vec3f c{Real(rng.uniform(-4, 4)), Real(rng.uniform(-4, 4)),
+                  Real(rng.uniform(-4, 4))};
+    centers[std::size_t(i)] = c;
+    cx[std::size_t(i)] = c.x;
+    cy[std::size_t(i)] = c.y;
+    cz[std::size_t(i)] = c.z;
+  }
+  std::vector<Ray> rays;
+  for (int r = 0; r < n_rays; ++r)
+    rays.push_back({{0, 0, -10},
+                    normalize(Vec3f{Real(rng.uniform(-0.3, 0.3)),
+                                    Real(rng.uniform(-0.3, 0.3)), 1})});
+  const float radius = 0.05f, tmin = 0.1f, tmax = 100.0f;
+
+  std::vector<float> scalar_t(rays.size()), simd_t(rays.size());
+  std::vector<std::int64_t> scalar_slot(rays.size()), simd_slot(rays.size());
+
+  Row row{"leaf_intersect", n * n_rays, 0, 0, false};
+  row.scalar_s = best_of([&] {
+    for (std::size_t r = 0; r < rays.size(); ++r) {
+      float closest = tmax;
+      std::int64_t slot = -1;
+      for (Index i = 0; i < n; ++i) {
+        const Real t = ray_sphere(rays[r], centers[std::size_t(i)], radius, tmin,
+                                  closest);
+        if (t > 0) {
+          closest = t;
+          slot = i;
+        }
+      }
+      scalar_t[r] = closest;
+      scalar_slot[r] = slot;
+    }
+  });
+  const simd::KernelTable* table = native_table();
+  row.simd_s = best_of([&] {
+    for (std::size_t r = 0; r < rays.size(); ++r) {
+      float closest = tmax;
+      std::int64_t slot = -1;
+      table->leaf_intersect(cx.data(), cy.data(), cz.data(), n, 0,
+                            rays[r].origin.x, rays[r].origin.y, rays[r].origin.z,
+                            rays[r].direction.x, rays[r].direction.y,
+                            rays[r].direction.z, radius, tmin, closest, slot);
+      simd_t[r] = closest;
+      simd_slot[r] = slot;
+    }
+  });
+  row.identical =
+      std::memcmp(scalar_t.data(), simd_t.data(),
+                  scalar_t.size() * sizeof(float)) == 0 &&
+      scalar_slot == simd_slot;
+  return row;
+}
+
+// ----------------------------------------------------------- iso march
+
+Row bench_march_iso() {
+  const Index dim = 96, image_dim = 256;
+  const Real step = Real(6) / Real(dim - 1);
+  auto grid = std::make_shared<StructuredGrid>(Vec3i{int(dim), int(dim), int(dim)},
+                                               Vec3f{-3, -3, -3},
+                                               Vec3f{step, step, step});
+  Field& f = grid->add_scalar_field("v");
+  for (Index k = 0; k < dim; ++k)
+    for (Index j = 0; j < dim; ++j)
+      for (Index i = 0; i < dim; ++i) {
+        const Vec3f p = grid->point_position(i, j, k);
+        f.set(grid->point_index(i, j, k),
+              std::sin(p.x * Real(1.3)) * std::cos(p.y) + Real(0.3) * p.z);
+      }
+  const Camera camera({0, 0, 10}, {0, 0, 0}, {0, 1, 0}, 0.6f, 0.1f, 100);
+  RaycastRenderer renderer;
+  cluster::PerfCounters build_c;
+  renderer.build_volume(*grid, "v", build_c);
+
+  const auto render = [&] {
+    ImageBuffer img(image_dim, image_dim);
+    img.clear();
+    cluster::PerfCounters c;
+    IsoRaycastOptions iso;
+    iso.isovalue = 0.4f;
+    renderer.render_volume_scene(*grid, "v", camera, img, iso, {}, c);
+    return img;
+  };
+
+  Row row{"march_iso(raycast_volume)", image_dim * image_dim, 0, 0, false};
+  ImageBuffer scalar_img, simd_img;
+  {
+    simd::set_isa_override("scalar");
+    row.scalar_s = best_of([&] { scalar_img = render(); });
+  }
+  {
+    simd::set_isa_override("native");
+    row.simd_s = best_of([&] { simd_img = render(); });
+  }
+  simd::set_isa_override(nullptr);
+  row.identical =
+      std::memcmp(scalar_img.colors().data(), simd_img.colors().data(),
+                  scalar_img.colors().size() * sizeof(Vec4f)) == 0 &&
+      std::memcmp(scalar_img.depths().data(), simd_img.depths().data(),
+                  scalar_img.depths().size() * sizeof(Real)) == 0;
+  return row;
+}
+
+// ------------------------------------------------- blends / depth merge
+
+struct PixelRun {
+  std::vector<float> rgba_a, rgba_b, depth_a, depth_b;
+};
+
+PixelRun make_pixels(Index n) {
+  Rng rng(11);
+  PixelRun p;
+  p.rgba_a.resize(std::size_t(4 * n));
+  p.rgba_b.resize(std::size_t(4 * n));
+  p.depth_a.resize(std::size_t(n));
+  p.depth_b.resize(std::size_t(n));
+  for (Index i = 0; i < 4 * n; ++i) {
+    p.rgba_a[std::size_t(i)] = Real(rng.uniform());
+    p.rgba_b[std::size_t(i)] = Real(rng.uniform());
+  }
+  // ~50/50 depth winners: both merge branches stay hot.
+  for (Index i = 0; i < n; ++i) {
+    p.depth_a[std::size_t(i)] = Real(rng.uniform(0, 2));
+    p.depth_b[std::size_t(i)] = Real(rng.uniform(0, 2));
+  }
+  return p;
+}
+
+Row bench_depth_merge() {
+  const Index n = 1 << 20;
+  const PixelRun base = make_pixels(n);
+  std::vector<float> s_rgba, s_depth, v_rgba, v_depth;
+
+  Row row{"depth_merge", n, 0, 0, false};
+  row.scalar_s = best_of([&] {
+    s_rgba = base.rgba_a;
+    s_depth = base.depth_a;
+    for (Index p = 0; p < n; ++p) {
+      const auto sp = std::size_t(p);
+      if (base.depth_b[sp] < s_depth[sp]) {
+        s_depth[sp] = base.depth_b[sp];
+        std::memcpy(&s_rgba[4 * sp], &base.rgba_b[4 * sp], 4 * sizeof(float));
+      }
+    }
+  });
+  const simd::KernelTable* table = native_table();
+  row.simd_s = best_of([&] {
+    v_rgba = base.rgba_a;
+    v_depth = base.depth_a;
+    table->depth_merge(v_rgba.data(), v_depth.data(), base.rgba_b.data(),
+                       base.depth_b.data(), n);
+  });
+  row.identical = s_rgba == v_rgba &&
+                  std::memcmp(s_depth.data(), v_depth.data(),
+                              s_depth.size() * sizeof(float)) == 0;
+  return row;
+}
+
+Row bench_premul_blend() {
+  const Index n = 1 << 20;
+  const PixelRun base = make_pixels(n);
+  std::vector<float> s_rgba, s_depth, v_rgba, v_depth;
+
+  Row row{"premul_blend", n, 0, 0, false};
+  row.scalar_s = best_of([&] {
+    s_rgba = base.rgba_a;
+    s_depth = base.depth_a;
+    for (Index p = 0; p < n; ++p) {
+      const auto sp = std::size_t(p);
+      const float sw = base.rgba_b[4 * sp + 3];
+      if (sw <= 0) continue;
+      const float trans = 1.0f - s_rgba[4 * sp + 3];
+      for (int c = 0; c < 4; ++c)
+        s_rgba[4 * sp + c] = s_rgba[4 * sp + c] + base.rgba_b[4 * sp + c] * trans;
+      if (base.depth_b[sp] < s_depth[sp]) s_depth[sp] = base.depth_b[sp];
+    }
+  });
+  const simd::KernelTable* table = native_table();
+  row.simd_s = best_of([&] {
+    v_rgba = base.rgba_a;
+    v_depth = base.depth_a;
+    table->premul_blend(v_rgba.data(), v_depth.data(), base.rgba_b.data(),
+                        base.depth_b.data(), n);
+  });
+  row.identical = s_rgba == v_rgba && s_depth == v_depth;
+  return row;
+}
+
+Row bench_blend_over() {
+  const Index n = 1 << 20;
+  const PixelRun base = make_pixels(n);
+  std::vector<float> s_rgba, v_rgba;
+
+  Row row{"blend_over", n, 0, 0, false};
+  row.scalar_s = best_of([&] {
+    s_rgba = base.rgba_a;
+    for (Index p = 0; p < n; ++p) {
+      const auto sp = std::size_t(p);
+      const float sw = base.rgba_b[4 * sp + 3];
+      const float dw = s_rgba[4 * sp + 3];
+      const float trans = 1.0f - dw;
+      for (int c = 0; c < 3; ++c)
+        s_rgba[4 * sp + c] =
+            s_rgba[4 * sp + c] + base.rgba_b[4 * sp + c] * sw * trans;
+      s_rgba[4 * sp + 3] = dw + sw * trans;
+    }
+  });
+  const simd::KernelTable* table = native_table();
+  row.simd_s = best_of([&] {
+    v_rgba = base.rgba_a;
+    table->blend_over(v_rgba.data(), base.rgba_b.data(), n);
+  });
+  row.identical = s_rgba == v_rgba;
+  return row;
+}
+
+// --------------------------------------------------- predicate / gather
+
+Row bench_threshold_scan() {
+  const Index n = 1 << 22;
+  Rng rng(13);
+  std::vector<float> values(static_cast<std::size_t>(n));
+  for (auto& v : values) v = Real(rng.uniform());
+  const float lo = 0.25f, hi = 0.75f;
+  std::vector<std::int64_t> s_out(static_cast<std::size_t>(n)), v_out(static_cast<std::size_t>(n));
+  std::int64_t s_count = 0, v_count = 0;
+
+  Row row{"threshold_scan", n, 0, 0, false};
+  row.scalar_s = best_of([&] {
+    s_count = 0;
+    for (Index i = 0; i < n; ++i)
+      if (values[std::size_t(i)] >= lo && values[std::size_t(i)] <= hi)
+        s_out[std::size_t(s_count++)] = i;
+  });
+  const simd::KernelTable* table = native_table();
+  row.simd_s = best_of(
+      [&] { v_count = table->threshold_scan(values.data(), n, lo, hi, 0, v_out.data()); });
+  row.identical = s_count == v_count &&
+                  std::memcmp(s_out.data(), v_out.data(),
+                              std::size_t(s_count) * sizeof(std::int64_t)) == 0;
+  return row;
+}
+
+Row bench_stride_copy() {
+  const Index n = 1 << 20, stride = 2;
+  const Index max_src = n * stride - 1;
+  Rng rng(17);
+  std::vector<float> src(static_cast<std::size_t>(n * stride));
+  for (auto& v : src) v = Real(rng.uniform());
+  std::vector<float> s_dst(static_cast<std::size_t>(n)), v_dst(static_cast<std::size_t>(n));
+
+  Row row{"stride_copy", n, 0, 0, false};
+  row.scalar_s = best_of([&] {
+    for (Index i = 0; i < n; ++i)
+      s_dst[std::size_t(i)] = src[std::size_t(std::min(i * stride, max_src))];
+  });
+  const simd::KernelTable* table = native_table();
+  row.simd_s =
+      best_of([&] { table->stride_copy(src.data(), v_dst.data(), n, stride, max_src); });
+  row.identical = s_dst == v_dst;
+  return row;
+}
+
+Row bench_splat_row() {
+  const Index rows = 20'000, n = 48;
+  const float org_x = -1.0f, sp_x = 2.0f / float(n), dy2 = 0.02f, dz2 = 0.01f;
+  const float cutoff2 = 0.4f, inv_2s2 = 6.0f;
+  Rng rng(19);
+  std::vector<float> px(static_cast<std::size_t>(rows));
+  for (auto& v : px) v = Real(rng.uniform(-1, 1));
+  std::vector<float> s_acc(std::size_t(n), 0), v_acc(std::size_t(n), 0);
+  std::int64_t s_updates = 0, v_updates = 0;
+
+  Row row{"splat_row", rows * n, 0, 0, false};
+  row.scalar_s = best_of([&] {
+    std::fill(s_acc.begin(), s_acc.end(), 0.0f);
+    s_updates = 0;
+    for (Index r = 0; r < rows; ++r) {
+      const float p = px[std::size_t(r)];
+      for (Index i = 0; i < n; ++i) {
+        const float gx = org_x + sp_x * float(i);
+        const float ddx = gx - p;
+        const float d2 = (ddx * ddx + dy2) + dz2;
+        if (d2 > cutoff2) continue;
+        s_acc[std::size_t(i)] += std::exp(-d2 * inv_2s2);
+        ++s_updates;
+      }
+    }
+  });
+  const simd::KernelTable* table = native_table();
+  row.simd_s = best_of([&] {
+    std::fill(v_acc.begin(), v_acc.end(), 0.0f);
+    v_updates = 0;
+    for (Index r = 0; r < rows; ++r)
+      table->splat_row(v_acc.data(), 0, n, org_x, sp_x, px[std::size_t(r)], dy2,
+                       dz2, cutoff2, inv_2s2, v_updates);
+  });
+  row.identical = s_acc == v_acc && s_updates == v_updates;
+  return row;
+}
+
+} // namespace
+} // namespace eth::bench
+
+int main() {
+  using namespace eth;
+  using namespace eth::bench;
+
+  print_header("bench_simd_kernels", "the SIMD lane tentpole (DESIGN.md §14)",
+               "Scalar loop vs dispatched vector kernel, identical inputs, "
+               "bit-identical outputs.");
+  std::printf("vector table: %s (width %d)\n", native_table()->name,
+              native_table()->width);
+
+  const std::vector<Row> rows = {
+      bench_leaf_intersect(), bench_march_iso(),     bench_depth_merge(),
+      bench_premul_blend(),   bench_blend_over(),    bench_threshold_scan(),
+      bench_stride_copy(),    bench_splat_row(),
+  };
+
+  ResultTable table({"kernel", "elements", "scalar_s", "simd_s", "speedup",
+                     "identical"});
+  bool all_identical = true;
+  double leaf_speedup = 0, blend_speedup = 0;
+  for (const Row& row : rows) {
+    const double speedup = row.scalar_s / row.simd_s;
+    all_identical = all_identical && row.identical;
+    if (row.kernel == "leaf_intersect") leaf_speedup = speedup;
+    if (row.kernel == "depth_merge" || row.kernel == "premul_blend" ||
+        row.kernel == "blend_over")
+      blend_speedup = std::max(blend_speedup, speedup);
+    table.begin_row();
+    table.add_cell(row.kernel);
+    table.add_cell(row.n);
+    table.add_cell(row.scalar_s, "%.5f");
+    table.add_cell(row.simd_s, "%.5f");
+    table.add_cell(speedup, "%.2f");
+    table.add_cell(row.identical ? "yes" : "NO");
+  }
+
+  std::printf("%s\n", table.to_text().c_str());
+  check_shape(all_identical, "vector outputs bit-identical to scalar loops");
+  check_shape(leaf_speedup >= 2.0, "BVH leaf intersection >= 2x over scalar");
+  check_shape(blend_speedup >= 2.0, "compositor blend >= 2x over scalar");
+  save_table(table, "simd_kernels");
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/simd_kernels.hpp"
+
+namespace eth::simd {
+namespace {
+
+std::atomic<int> g_isa{-1}; // -1 = unresolved; else int(Isa)
+std::atomic<const KernelTable*> g_table{nullptr};
+std::mutex g_mutex;
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool avx2_available() { return kernels_w8() != nullptr && cpu_has_avx2(); }
+
+Isa parse_isa(const std::string& name, const char* who) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "sse2") return Isa::kSse2;
+  if (name == "avx2") {
+    require(avx2_available(),
+            std::string(who) + "=avx2 requested but this build/CPU has no AVX2 "
+                               "(use scalar, sse2 or native)");
+    return Isa::kAvx2;
+  }
+  if (name == "native") return avx2_available() ? Isa::kAvx2 : Isa::kSse2;
+  fail(std::string(who) + ": unknown SIMD ISA '" + name +
+       "' (expected scalar|sse2|avx2|native)");
+}
+
+// Publish table first, then the isa guard with release ordering so a
+// reader that observes the resolved isa also observes its table.
+void apply(Isa isa) {
+  const KernelTable* table = nullptr;
+  if (isa == Isa::kAvx2)
+    table = kernels_w8();
+  else if (isa == Isa::kSse2)
+    table = kernels_w4();
+  g_table.store(table, std::memory_order_relaxed);
+  g_isa.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+void resolve_from_env() {
+  const char* env = std::getenv("ETH_SIMD");
+  apply(parse_isa(env != nullptr && env[0] != '\0' ? env : "native", "ETH_SIMD"));
+}
+
+ETH_SIMD_INLINE Isa ensure_resolved() {
+  int isa = g_isa.load(std::memory_order_acquire);
+  if (isa < 0) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    isa = g_isa.load(std::memory_order_acquire);
+    if (isa < 0) {
+      resolve_from_env();
+      isa = g_isa.load(std::memory_order_acquire);
+    }
+  }
+  return static_cast<Isa>(isa);
+}
+
+} // namespace
+
+Isa resolved_isa() { return ensure_resolved(); }
+
+void set_isa_override(const char* name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (name == nullptr || name[0] == '\0')
+    resolve_from_env();
+  else
+    apply(parse_isa(name, "simd override"));
+}
+
+const KernelTable* active_kernels() {
+  ensure_resolved();
+  return g_table.load(std::memory_order_relaxed);
+}
+
+std::string isa_label() {
+  const Isa isa = ensure_resolved();
+  if (isa == Isa::kScalar) return "scalar";
+  const KernelTable* table = g_table.load(std::memory_order_relaxed);
+  return table != nullptr ? table->name : "scalar";
+}
+
+} // namespace eth::simd

@@ -1,0 +1,25 @@
+// 4-wide kernel table: SSE2 on x86, NEON on aarch64, the generic
+// reference loops elsewhere. Compiled with the project's baseline flags
+// (no extra -m options) so this TU is safe to execute on any target CPU.
+
+#include "common/simd_kernels_impl.hpp"
+
+namespace eth::simd {
+namespace {
+
+constexpr const char* kIsaName =
+#if defined(__SSE2__)
+    "sse2";
+#elif defined(__ARM_NEON)
+    "neon";
+#else
+    "generic4";
+#endif
+
+constexpr KernelTable kTable = impl::make_table<4>(kIsaName);
+
+} // namespace
+
+const KernelTable* kernels_w4() { return &kTable; }
+
+} // namespace eth::simd

@@ -1,0 +1,30 @@
+// 8-wide AVX2 kernel table. This is the ONLY translation unit compiled
+// with -mavx2 (see src/common/CMakeLists.txt); pack<_, 8> must not be
+// instantiated anywhere else or VEX-encoded code could leak into
+// baseline objects. When the toolchain or target has no AVX2 the TU
+// still builds and kernels_w8() reports the tier as unavailable.
+
+#include "common/simd_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include "common/simd_kernels_impl.hpp"
+
+namespace eth::simd {
+namespace {
+constexpr KernelTable kTable = impl::make_table<8>("avx2");
+} // namespace
+
+const KernelTable* kernels_w8() { return &kTable; }
+
+} // namespace eth::simd
+
+#else // !__AVX2__
+
+namespace eth::simd {
+
+const KernelTable* kernels_w8() { return nullptr; }
+
+} // namespace eth::simd
+
+#endif

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace eth::trace {
 
@@ -209,7 +210,10 @@ void append_json_escaped(std::string& out, const char* s) {
 }
 
 std::string track_name(std::int32_t track) {
-  if (track == kHostTrack) return "host";
+  // The host track carries the resolved SIMD ISA so every trace (and
+  // the CSVs derived from it) is attributable to the lane width that
+  // produced it, like ETH_THREADS is visible via the worker tracks.
+  if (track == kHostTrack) return "host [simd=" + simd::isa_label() + "]";
   // Decode the sweep-point namespacing (kSweepTrackStride): point 0
   // keeps the bare "rank R" / "model node N" names so single runs and
   // pre-sweep traces read unchanged.

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/simd_kernels.hpp"
 
 namespace eth {
 
@@ -35,11 +36,20 @@ SphereBVH::SphereBVH(std::span<const Vec3f> centers, Real radius, SplitMethod sp
   nodes_.reserve(static_cast<std::size_t>(2 * n));
   build_recursive(centers, 0, n, split, max_leaf_size, 0);
 
-  // Gather centers into BVH leaf order for cache-coherent traversal.
+  // Gather centers into BVH leaf order for cache-coherent traversal,
+  // plus SoA copies for the SIMD leaf kernel.
   centers_.resize(static_cast<std::size_t>(n));
-  for (Index slot = 0; slot < n; ++slot)
-    centers_[static_cast<std::size_t>(slot)] =
+  cx_.resize(static_cast<std::size_t>(n));
+  cy_.resize(static_cast<std::size_t>(n));
+  cz_.resize(static_cast<std::size_t>(n));
+  for (Index slot = 0; slot < n; ++slot) {
+    const Vec3f c =
         centers[static_cast<std::size_t>(prim_order_[static_cast<std::size_t>(slot)])];
+    centers_[static_cast<std::size_t>(slot)] = c;
+    cx_[static_cast<std::size_t>(slot)] = c.x;
+    cy_[static_cast<std::size_t>(slot)] = c.y;
+    cz_[static_cast<std::size_t>(slot)] = c.z;
+  }
 }
 
 Index SphereBVH::build_recursive(std::span<const Vec3f> centers, Index begin, Index end,
@@ -151,6 +161,8 @@ SphereHit SphereBVH::intersect(const Ray& ray, Real tmin, Real tmax,
                     Real(1) / ray.direction.z};
   Real closest = tmax;
   Index visited = 0;
+  Index slot = -1; // leaf-order slot of the accepted sphere
+  const simd::KernelTable* table = simd::active_kernels();
 
   Index stack[64];
   int top = 0;
@@ -160,14 +172,22 @@ SphereHit SphereBVH::intersect(const Ray& ray, Real tmin, Real tmax,
     ++visited;
     if (!node.box.hit(ray.origin, inv_d, tmin, closest)) continue;
     if (node.is_leaf()) {
-      for (Index s = node.right_or_first; s < node.right_or_first + node.count; ++s) {
-        const Vec3f c = centers_[static_cast<std::size_t>(s)];
-        const Real t = ray_sphere(ray, c, radius_, tmin, closest);
-        if (t > 0) {
-          closest = t;
-          hit.t = t;
-          hit.primitive = prim_order_[static_cast<std::size_t>(s)];
-          hit.normal = normalize(ray.origin + ray.direction * t - c);
+      if (table != nullptr) {
+        const auto first = static_cast<std::size_t>(node.right_or_first);
+        table->leaf_intersect(cx_.data() + first, cy_.data() + first,
+                              cz_.data() + first, node.count, node.right_or_first,
+                              ray.origin.x, ray.origin.y, ray.origin.z,
+                              ray.direction.x, ray.direction.y, ray.direction.z,
+                              radius_, tmin, closest, slot);
+      } else {
+        for (Index s = node.right_or_first; s < node.right_or_first + node.count;
+             ++s) {
+          const Vec3f c = centers_[static_cast<std::size_t>(s)];
+          const Real t = ray_sphere(ray, c, radius_, tmin, closest);
+          if (t > 0) {
+            closest = t;
+            slot = s;
+          }
         }
       }
     } else {
@@ -178,6 +198,14 @@ SphereHit SphereBVH::intersect(const Ray& ray, Real tmin, Real tmax,
       stack[top++] = static_cast<Index>(&node - nodes_.data()) + 1;
       require(top <= 64, "SphereBVH: traversal stack overflow");
     }
+  }
+  if (slot >= 0) {
+    // Same expression and inputs as the old per-accept update, deferred
+    // to the winning sphere so the leaf loop only tracks (closest, slot).
+    const Vec3f c = centers_[static_cast<std::size_t>(slot)];
+    hit.t = closest;
+    hit.primitive = prim_order_[static_cast<std::size_t>(slot)];
+    hit.normal = normalize(ray.origin + ray.direction * closest - c);
   }
   counters.bvh_nodes_visited += visited;
   return hit;

@@ -46,7 +46,8 @@ public:
   Bytes byte_size() const {
     return static_cast<Bytes>(nodes_.size() * sizeof(Node) +
                               prim_order_.size() * sizeof(Index) +
-                              centers_.size() * sizeof(Vec3f));
+                              centers_.size() * sizeof(Vec3f) +
+                              3 * cx_.size() * sizeof(Real));
   }
 
   /// Nearest sphere intersection along `ray` within (tmin, tmax).
@@ -79,6 +80,9 @@ private:
   std::vector<Node> nodes_;
   std::vector<Index> prim_order_;
   std::vector<Vec3f> centers_; ///< copy in BVH order for cache-coherent leaves
+  // Leaf-order SoA copies of the centers: the SIMD leaf kernel loads W
+  // contiguous spheres per axis (DESIGN.md §14).
+  std::vector<Real> cx_, cy_, cz_;
   Real radius_ = 0;
 };
 

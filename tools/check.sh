@@ -33,6 +33,16 @@ run_variant build-release -DCMAKE_BUILD_TYPE=Release
 echo "==== cache equivalence (build-release) ===="
 ctest --test-dir build-release --output-on-failure -R 'CacheEquivalence'
 
+# SimdGate (DESIGN.md §14): the lane layer promises every image,
+# counter table and robustness row bit-identical across ETH_SIMD=scalar
+# and native at any thread count. The suite carries per-kernel unit
+# vectors (edge masks, tail elements, NaN payloads) plus HACC+xRAGE
+# mini-sweeps memcmp'd scalar-vs-native at 1 and 8 threads; the tests
+# pin the ISA internally, so one pass covers every dispatch path the
+# host supports. Run it by name so a filter typo can't silently skip it.
+echo "==== simd gate (build-release) ===="
+ctest --test-dir build-release --output-on-failure -R 'SimdGate'
+
 # Trace gate (DESIGN.md §11): run a miniature faulted sweep end-to-end
 # with ETH_TRACE on and validate the exported Chrome trace — JSON
 # schema plus presence of a span from every pipeline phase (sim load,
@@ -68,6 +78,15 @@ ETH_THREADS="${ETH_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" 
 echo "==== trace tests (build-tsan) ===="
 ETH_THREADS="${ETH_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan --output-on-failure -R 'Trace'
+
+# SimdGate under TSan: the vector march and blend kernels run inside
+# the same pool fan-out as the scalar paths, and the dispatch table is
+# resolved once per process from the environment — the sanitizer
+# confirms neither the per-ISA kernel tables nor the override hook
+# introduce shared mutable state between pool workers.
+echo "==== simd gate (build-tsan) ===="
+ETH_THREADS="${ETH_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir build-tsan --output-on-failure -R 'SimdGate'
 
 # SweepGate (DESIGN.md §12): the concurrent sweep scheduler promises
 # bit-identical artifacts at any ETH_SWEEP_WORKERS, which means
