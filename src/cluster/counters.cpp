@@ -18,6 +18,8 @@ void PerfCounters::merge(const PerfCounters& other) {
   bytes_communicated += other.bytes_communicated;
   bytes_copied += other.bytes_copied;
   bytes_borrowed += other.bytes_borrowed;
+  bytes_on_wire += other.bytes_on_wire;
+  compress_cpu_seconds += other.compress_cpu_seconds;
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
   prefetch_hits += other.prefetch_hits;
@@ -45,6 +47,8 @@ std::string PerfCounters::summary() const {
   out += strprintf("bytes_communicated: %s\n", format_bytes(bytes_communicated).c_str());
   out += strprintf("bytes_copied: %s\n", format_bytes(bytes_copied).c_str());
   out += strprintf("bytes_borrowed: %s\n", format_bytes(bytes_borrowed).c_str());
+  out += strprintf("bytes_on_wire: %s\n", format_bytes(bytes_on_wire).c_str());
+  out += strprintf("compress_cpu_seconds: %.4f\n", compress_cpu_seconds);
   out += strprintf("cache_hits: %lld\n", static_cast<long long>(cache_hits));
   out += strprintf("cache_misses: %lld\n", static_cast<long long>(cache_misses));
   out += strprintf("prefetch_hits: %lld\n", static_cast<long long>(prefetch_hits));

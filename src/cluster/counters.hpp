@@ -37,6 +37,15 @@ struct PerfCounters {
   Bytes bytes_copied = 0;
   Bytes bytes_borrowed = 0;
 
+  // Wire-codec counters (insitu/transport.hpp, DESIGN.md §15): framed
+  // bytes actually put on the wire (post-codec, headers included) and
+  // thread CPU spent inside codec (de)compression. bytes_on_wire is a
+  // pure function of the payload bytes and the codec, so it is
+  // deterministic and safe to bit-compare; compress_cpu_seconds is
+  // measured time and must never enter a bit-compared table.
+  Bytes bytes_on_wire = 0;
+  double compress_cpu_seconds = 0;
+
   // Memoization counters (core/artifact_cache.hpp): demand lookups
   // that hit / ran the producer, hits the read-ahead prefetcher had
   // warmed, and the cache's resident footprint when the run ended.

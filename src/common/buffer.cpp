@@ -46,6 +46,45 @@ void note_bytes_borrowed(Bytes n) {
     sink->bytes_borrowed.fetch_add(n, std::memory_order_relaxed);
 }
 
+namespace {
+
+std::atomic<Bytes> g_bytes_on_wire{0};
+std::atomic<double> g_compress_cpu_seconds{0.0};
+
+// atomic<double>::fetch_add is a C++20 library feature not every
+// toolchain ships; a relaxed CAS loop is equivalent for statistics.
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+} // namespace
+
+void note_bytes_on_wire(Bytes n) {
+  if (!n) return;
+  g_bytes_on_wire.fetch_add(n, std::memory_order_relaxed);
+  if (RunCounterSink* sink = current_run_sink())
+    sink->bytes_on_wire.fetch_add(n, std::memory_order_relaxed);
+}
+
+void note_compress_cpu_seconds(double s) {
+  if (s <= 0) return;
+  atomic_add(g_compress_cpu_seconds, s);
+  if (RunCounterSink* sink = current_run_sink())
+    sink->add_compress_cpu_seconds(s);
+}
+
+WireCounters wire_counters() {
+  return {g_bytes_on_wire.load(std::memory_order_relaxed),
+          g_compress_cpu_seconds.load(std::memory_order_relaxed)};
+}
+
+void reset_wire_counters() {
+  g_bytes_on_wire.store(0, std::memory_order_relaxed);
+  g_compress_cpu_seconds.store(0.0, std::memory_order_relaxed);
+}
+
 DataPlaneCapture::DataPlaneCapture() : prev_(t_capture_sink) {
   t_capture_sink = &local_;
 }

@@ -59,6 +59,23 @@ void note_bytes_borrowed(Bytes n);
 DataPlaneCounters data_plane_counters();
 void reset_data_plane_counters();
 
+// -------------------------------------------------- wire-codec counters
+// Process-wide tallies of the transport codec (DESIGN.md §15): framed
+// bytes actually put on the wire (send side, headers included) and the
+// CPU spent inside compress/decompress. bytes_on_wire is deterministic
+// for a fixed configuration; compress_cpu_seconds is a measured time
+// and therefore never flows into a bit-compared table.
+
+struct WireCounters {
+  Bytes bytes_on_wire = 0;          ///< framed bytes sent (post-codec)
+  double compress_cpu_seconds = 0;  ///< thread CPU in codec (de)compress
+};
+
+void note_bytes_on_wire(Bytes n);
+void note_compress_cpu_seconds(double s);
+WireCounters wire_counters();
+void reset_wire_counters();
+
 /// RAII redirect of THIS THREAD's data-plane notes into a private
 /// tally instead of the process-wide counters. The memoization layer
 /// wraps cached producers (e.g. proxy disk loads) in a capture so the

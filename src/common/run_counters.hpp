@@ -35,10 +35,23 @@ struct RunCounterSink {
   std::atomic<Bytes> bytes_copied{0};
   std::atomic<Bytes> bytes_borrowed{0};
 
+  // Wire-codec accounting (common/buffer.hpp note_bytes_on_wire /
+  // note_compress_cpu_seconds, emitted by the transport layer).
+  std::atomic<Bytes> bytes_on_wire{0};
+  std::atomic<double> compress_cpu_seconds{0.0};
+
   // Artifact-cache demand accounting (core/artifact_cache.hpp).
   std::atomic<Index> cache_hits{0};
   std::atomic<Index> cache_misses{0};
   std::atomic<Index> prefetch_hits{0};
+
+  /// CAS add (atomic<double>::fetch_add is C++20-library-optional).
+  void add_compress_cpu_seconds(double s) {
+    double cur = compress_cpu_seconds.load(std::memory_order_relaxed);
+    while (!compress_cpu_seconds.compare_exchange_weak(
+        cur, cur + s, std::memory_order_relaxed)) {
+    }
+  }
 };
 
 /// The sink the calling thread attributes to, or nullptr when the

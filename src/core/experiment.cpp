@@ -32,6 +32,11 @@ int ExperimentSpec::resolved_pipeline_depth() const {
   return 1;
 }
 
+insitu::WireCodec ExperimentSpec::resolved_transport_codec() const {
+  if (!transport_codec.empty()) return insitu::codec_from_string(transport_codec);
+  return insitu::resolved_wire_codec();
+}
+
 void ExperimentSpec::validate() const {
   require(!name.empty(), "ExperimentSpec: name must not be empty");
   require(timesteps > 0, "ExperimentSpec: need at least one timestep");
@@ -51,6 +56,10 @@ void ExperimentSpec::validate() const {
   require(transport_quantization_bits == 0 ||
               (transport_quantization_bits >= 1 && transport_quantization_bits <= 24),
           "ExperimentSpec: quantization bits must be 0 (off) or in [1, 24]");
+  require(transport_codec.empty() || transport_codec == "none" ||
+              transport_codec == "lz4",
+          "ExperimentSpec: transport_codec must be \"\" (resolve from "
+          "ETH_WIRE_CODEC), \"none\" or \"lz4\"");
   if (use_disk_proxy)
     require(!proxy_dir.empty(), "ExperimentSpec: disk proxy needs proxy_dir");
   for (const double p : {fault.p_connect_refused, fault.p_recv_timeout,
@@ -94,6 +103,9 @@ std::string spec_summary(const ExperimentSpec& spec) {
     os << "viz_nodes       " << spec.layout.viz_node_count() << '\n';
   if (spec.transport_quantization_bits > 0)
     os << "quantization    " << spec.transport_quantization_bits << " bits\n";
+  if (spec.resolved_transport_codec() != insitu::WireCodec::kNone)
+    os << "transport_codec " << insitu::to_string(spec.resolved_transport_codec())
+       << (spec.transport_codec.empty() ? " (resolved)" : "") << '\n';
   os << "data_scale      " << spec.data_scale << '\n';
   os << "pixel_scale     " << spec.pixel_scale << '\n';
   if (spec.fault.any()) {

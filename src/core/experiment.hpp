@@ -59,6 +59,21 @@ struct ExperimentSpec {
   /// count and the reconstruction loss both show up in the metrics.
   int transport_quantization_bits = 0;
 
+  /// Lossless wire compression for the coupling hand-off (DESIGN.md
+  /// §15): "" (the default) resolves from ETH_WIRE_CODEC, falling back
+  /// to "none"; "none" and "lz4" pin the codec explicitly. Composes
+  /// with quantization (the quantized payload is what gets framed).
+  /// Decompressed payloads are bit-identical, so images and the fault/
+  /// retry robustness counts do not depend on the codec; what does is
+  /// the wire accounting — bytes_on_wire, compress_cpu_seconds, and
+  /// the data-plane copy/borrow split (a compressed frame decodes into
+  /// an owned buffer instead of borrowing the wire frame zero-copy).
+  std::string transport_codec;
+
+  /// The wire codec Harness::run will actually use: `transport_codec`
+  /// when set, else ETH_WIRE_CODEC, else none.
+  insitu::WireCodec resolved_transport_codec() const;
+
   /// Timestep pipeline depth for `coupling async` (DESIGN.md §13): the
   /// number of timesteps allowed in flight at once — 1 runs the serial
   /// loop, 2 double-buffers (the sim proxy produces t+1 while the viz

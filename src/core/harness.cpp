@@ -180,6 +180,9 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
   const int P_sim = spec.layout.sim_nodes();
   const int P_viz = spec.layout.viz_node_count();
   const bool internode = spec.layout.coupling == cluster::Coupling::kInternode;
+  // Resolve the wire codec once per run (spec field > ETH_WIRE_CODEC >
+  // none) so every rank/timestep frames with the same codec.
+  const insitu::WireCodec wire_codec = spec.resolved_transport_codec();
   const Camera base_camera = global_camera(spec);
 
   if (!spec.artifact_dir.empty())
@@ -485,8 +488,10 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
           const trace::Span span("serialize");
           return compress_dataset(*slot.sim_data, spec.transport_quantization_bits);
         }();
-        const auto delivered = insitu::transfer_with_retry(
-            *sim_end, *viz_end, payload, spec.transfer_retry, slot.robustness);
+        const auto delivered =
+            insitu::transfer_with_retry(*sim_end, *viz_end, payload,
+                                        spec.transfer_retry, slot.robustness,
+                                        wire_codec);
         if (delivered.has_value()) {
           const trace::Span span("deserialize");
           slot.viz_data = decompress_dataset(*delivered);
@@ -510,8 +515,10 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
           const trace::Span span("serialize");
           return wire_message_for_dataset(shared);
         }();
-        const auto delivered = insitu::transfer_with_retry(
-            *sim_end, *viz_end, msg, spec.transfer_retry, slot.robustness);
+        const auto delivered =
+            insitu::transfer_with_retry(*sim_end, *viz_end, msg,
+                                        spec.transfer_retry, slot.robustness,
+                                        wire_codec);
         if (delivered.has_value()) {
           const trace::Span span("deserialize");
           slot.viz_data = deserialize_dataset(*delivered);
@@ -756,9 +763,14 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
       run_sink.bytes_copied.load(std::memory_order_relaxed);
   const Bytes run_bytes_borrowed =
       run_sink.bytes_borrowed.load(std::memory_order_relaxed);
+  const Bytes run_bytes_on_wire =
+      run_sink.bytes_on_wire.load(std::memory_order_relaxed);
   RunResult result;
   result.counters.bytes_copied += run_bytes_copied;
   result.counters.bytes_borrowed += run_bytes_borrowed;
+  result.counters.bytes_on_wire += run_bytes_on_wire;
+  result.counters.compress_cpu_seconds +=
+      run_sink.compress_cpu_seconds.load(std::memory_order_relaxed);
   result.robustness = robustness_total;
   result.timesteps_dropped = timesteps_dropped_total;
   for (const core::RankReport& report : reports) {
@@ -814,6 +826,7 @@ RunResult Harness::run(const ExperimentSpec& spec, const RunContext& ctx) const 
   if (trace::enabled()) {
     trace::counter("bytes_copied", double(run_bytes_copied));
     trace::counter("bytes_borrowed", double(run_bytes_borrowed));
+    trace::counter("bytes_on_wire", double(run_bytes_on_wire));
     trace::counter("cache_bytes", double(cache_stats_after.bytes_resident));
     for (const cluster::BusySpan& span : result.busy_spans)
       trace::emit_span_at(span.label,
@@ -837,8 +850,8 @@ ResultTable robustness_table(const RunResult& result) {
   ResultTable table({"frames_sent", "frames_delivered", "frames_retried",
                      "frames_dropped", "frames_corrupt", "frames_timed_out",
                      "timesteps_dropped", "bytes_copied", "bytes_borrowed",
-                     "cache_hits", "cache_misses", "cache_bytes",
-                     "prefetch_hits"});
+                     "bytes_on_wire", "cache_hits", "cache_misses",
+                     "cache_bytes", "prefetch_hits"});
   table.begin_row();
   table.add_cell(result.robustness.frames_sent);
   table.add_cell(result.robustness.frames_delivered);
@@ -849,6 +862,7 @@ ResultTable robustness_table(const RunResult& result) {
   table.add_cell(result.timesteps_dropped);
   table.add_cell(Index(result.counters.bytes_copied));
   table.add_cell(Index(result.counters.bytes_borrowed));
+  table.add_cell(Index(result.counters.bytes_on_wire));
   table.add_cell(result.counters.cache_hits);
   table.add_cell(result.counters.cache_misses);
   table.add_cell(Index(result.counters.cache_bytes));

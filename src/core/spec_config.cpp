@@ -120,6 +120,11 @@ const std::map<std::string, Applier>& appliers() {
          s.transport_quantization_bits =
              static_cast<int>(parse_index(v, "quantization_bits"));
        }},
+      {"transport_codec",
+       [](const std::string& v, ExperimentSpec& s) {
+         insitu::codec_from_string(v); // validate: throws on unknown names
+         s.transport_codec = v;
+       }},
       {"pipeline_depth",
        [](const std::string& v, ExperimentSpec& s) {
          s.pipeline_depth = static_cast<int>(parse_index(v, "pipeline_depth"));
@@ -273,6 +278,8 @@ std::string experiment_config_reference() {
          "  isovalue <R>\n"
          "  slices <N>\n"
          "  quantization_bits <B...>  transport compression (0 = off)\n"
+         "  transport_codec none|lz4  lossless wire compression\n"
+         "                            (\"\" = ETH_WIRE_CODEC, default none)\n"
          "  pipeline_depth <N...>     async coupling: timesteps in flight\n"
          "                            (0 = ETH_PIPELINE_DEPTH, default 1)\n"
          "  data_scale <R>            paper/executed workload ratio\n"

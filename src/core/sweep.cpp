@@ -142,7 +142,7 @@ ResultTable metrics_table(const std::string& label_column,
                           const std::vector<SweepOutcome>& outcomes) {
   ResultTable table({label_column, "time_s", "power_kW", "dyn_power_kW",
                      "energy_MJ", "cache_hits", "cache_misses", "cache_bytes",
-                     "prefetch_hits"});
+                     "prefetch_hits", "bytes_on_wire"});
   for (const SweepOutcome& o : outcomes) {
     table.begin_row();
     table.add_cell(o.label);
@@ -154,6 +154,7 @@ ResultTable metrics_table(const std::string& label_column,
     table.add_cell(o.result.counters.cache_misses);
     table.add_cell(Index(o.result.counters.cache_bytes));
     table.add_cell(o.result.counters.prefetch_hits);
+    table.add_cell(Index(o.result.counters.bytes_on_wire));
   }
   return table;
 }
@@ -163,8 +164,8 @@ ResultTable robustness_table(const std::string& label_column,
   ResultTable table({label_column, "frames_sent", "frames_delivered",
                      "frames_retried", "frames_dropped", "frames_corrupt",
                      "frames_timed_out", "timesteps_dropped", "bytes_copied",
-                     "bytes_borrowed", "cache_hits", "cache_misses",
-                     "cache_bytes", "prefetch_hits"});
+                     "bytes_borrowed", "bytes_on_wire", "cache_hits",
+                     "cache_misses", "cache_bytes", "prefetch_hits"});
   for (const SweepOutcome& o : outcomes) {
     table.begin_row();
     table.add_cell(o.label);
@@ -177,6 +178,7 @@ ResultTable robustness_table(const std::string& label_column,
     table.add_cell(o.result.timesteps_dropped);
     table.add_cell(Index(o.result.counters.bytes_copied));
     table.add_cell(Index(o.result.counters.bytes_borrowed));
+    table.add_cell(Index(o.result.counters.bytes_on_wire));
     table.add_cell(o.result.counters.cache_hits);
     table.add_cell(o.result.counters.cache_misses);
     table.add_cell(Index(o.result.counters.cache_bytes));

@@ -53,7 +53,8 @@ public:
 
   std::uint32_t get(int bits) {
     while (fill_ < bits) {
-      require(pos_ < in_.size(), "compression: truncated bit stream");
+      require_transport(pos_ < in_.size(), TransportErrorCode::kTruncated,
+                        "compression: truncated bit stream");
       acc_ |= std::uint64_t(in_[pos_++]) << fill_;
       fill_ += 8;
     }
@@ -72,10 +73,22 @@ private:
   int fill_ = 0;
 };
 
+/// Range of the FINITE values only. A NaN at element 0 used to poison
+/// both bounds (std::min/std::max propagate it) and abort the run at
+/// quantize_pack's `hi >= lo` contract; Inf would stretch the range
+/// until every finite value quantized to one code. Non-finite inputs
+/// are instead mapped to a deterministic code by quantize_pack below.
+/// All-non-finite (or empty) input yields the degenerate range {0, 0}.
 std::pair<Real, Real> value_range(std::span<const Real> values) {
-  if (values.empty()) return {0, 0};
-  Real lo = values[0], hi = values[0];
+  bool seen = false;
+  Real lo = 0, hi = 0;
   for (const Real v : values) {
+    if (!std::isfinite(v)) continue;
+    if (!seen) {
+      lo = hi = v;
+      seen = true;
+      continue;
+    }
     lo = std::min(lo, v);
     hi = std::max(hi, v);
   }
@@ -87,6 +100,8 @@ std::pair<Real, Real> value_range(std::span<const Real> values) {
 std::size_t quantize_pack(std::span<const Real> values, int bits, Real lo, Real hi,
                           std::vector<std::uint8_t>& out) {
   check_bits(bits);
+  require(std::isfinite(lo) && std::isfinite(hi),
+          "quantize_pack: range bounds must be finite");
   require(hi >= lo, "quantize_pack: inverted range");
   const std::size_t before = out.size();
   const auto levels = (std::uint32_t(1) << bits) - 1;
@@ -94,6 +109,13 @@ std::size_t quantize_pack(std::span<const Real> values, int bits, Real lo, Real 
   const Real scale = span > 0 ? Real(levels) / span : Real(0);
   BitWriter writer(out);
   for (const Real v : values) {
+    // Non-finite values get the deterministic code 0 (they are outside
+    // any finite range anyway; lround on a NaN is UB otherwise). They
+    // reconstruct as `lo` — lossy, like every other value here.
+    if (!std::isfinite(v)) {
+      writer.put(0u, bits);
+      continue;
+    }
     const Real t = clamp((v - lo) * scale, Real(0), Real(levels));
     writer.put(static_cast<std::uint32_t>(std::lround(t)), bits);
   }
@@ -105,8 +127,22 @@ std::size_t unpack_dequantize(std::span<const std::uint8_t> in, std::size_t offs
                               Index count, int bits, Real lo, Real hi,
                               std::span<Real> values) {
   check_bits(bits);
+  require(count >= 0, "unpack_dequantize: negative count");
   require(values.size() == static_cast<std::size_t>(count),
           "unpack_dequantize: output span size mismatch");
+  // Untrusted-input contract: validate that the packed stream actually
+  // carries `count` codes before reading any of them, so a truncated
+  // payload is rejected up front (TransportError, like the frame
+  // decoder) rather than read past. The division avoids overflow of
+  // count * bits for adversarial counts.
+  require_transport(offset <= in.size(), TransportErrorCode::kTruncated,
+                    "unpack_dequantize: offset past end of packed payload");
+  const std::uint64_t capacity_codes =
+      std::uint64_t(in.size() - offset) * 8 / std::uint64_t(bits);
+  require_transport(static_cast<std::uint64_t>(count) <= capacity_codes,
+                    TransportErrorCode::kTruncated,
+                    "unpack_dequantize: packed payload shorter than its "
+                    "declared code count");
   const auto levels = (std::uint32_t(1) << bits) - 1;
   const Real step = levels > 0 ? (hi - lo) / Real(levels) : Real(0);
   BitReader reader(in, offset);
@@ -123,6 +159,18 @@ Real quantization_error_bound(Real lo, Real hi, int bits) {
 
 namespace {
 
+// Wire-width contract: the quantization header stores each array's
+// reconstruction range as IEEE-754 binary32 via put_f32/get_f32. That
+// is exact while Real == float; a Real = double build would silently
+// narrow lo/hi here and corrupt every reconstructed value. Widening the
+// wire format is a golden-fixture break, so until that is done
+// deliberately, refuse to compile with a wider Real. (See the matching
+// contract note in data/compression.hpp.)
+static_assert(sizeof(Real) == sizeof(float),
+              "quantization header stores lo/hi as f32; widen the wire "
+              "format (and regenerate golden fixtures) before making "
+              "Real wider than float");
+
 void compress_array(std::span<const Real> values, int bits, ByteWriter& header,
                     std::vector<std::uint8_t>& payload) {
   const auto [lo, hi] = value_range(values);
@@ -137,7 +185,21 @@ std::size_t decompress_array(ByteReader& header, std::span<const std::uint8_t> p
   const Real lo = header.get_f32();
   const Real hi = header.get_f32();
   const Index count = header.get_i64();
-  require(count >= 0, "compression: negative array length");
+  require_transport(count >= 0, TransportErrorCode::kCorruptFrame,
+                    "compression: negative array length");
+  require_transport(std::isfinite(lo) && std::isfinite(hi) && hi >= lo,
+                    TransportErrorCode::kCorruptFrame,
+                    "compression: corrupt reconstruction range");
+  // Validate the payload carries this array BEFORE allocating `count`
+  // elements — an adversarial length must not trigger a huge resize.
+  require_transport(offset <= payload.size(), TransportErrorCode::kTruncated,
+                    "compression: packed payload offset out of bounds");
+  require_transport(static_cast<std::uint64_t>(count) <=
+                        std::uint64_t(payload.size() - offset) * 8 /
+                            std::uint64_t(bits),
+                    TransportErrorCode::kTruncated,
+                    "compression: packed payload shorter than its declared "
+                    "array length");
   out.resize(static_cast<std::size_t>(count));
   return unpack_dequantize(payload, offset, count, bits, lo, hi, out);
 }
@@ -188,15 +250,45 @@ std::vector<std::uint8_t> compress_dataset(const DataSet& ds, int bits) {
   return framed;
 }
 
+namespace {
+
+std::unique_ptr<DataSet> decompress_dataset_body(
+    std::span<const std::uint8_t> bytes, std::uint64_t header_size);
+
+} // namespace
+
 std::unique_ptr<DataSet> decompress_dataset(std::span<const std::uint8_t> bytes) {
-  require(bytes.size() >= 8, "decompress_dataset: truncated frame");
+  // Untrusted-input contract: `bytes` may arrive off the wire, so every
+  // malformed shape — truncation, oversized lengths, trailing bytes —
+  // is rejected as a classified TransportError (like the frame
+  // decoder), never read past or surfaced as a crash. Parse errors
+  // raised as generic eth::Error inside the readers are translated to
+  // kCorruptFrame by the wrapper below.
+  require_transport(bytes.size() >= 8, TransportErrorCode::kTruncated,
+                    "decompress_dataset: truncated frame");
   std::uint64_t header_size = 0;
   for (int i = 0; i < 8; ++i) header_size |= std::uint64_t(bytes[static_cast<std::size_t>(i)]) << (8 * i);
-  require(8 + header_size <= bytes.size(), "decompress_dataset: corrupt header size");
+  require_transport(header_size <= bytes.size() - 8,
+                    TransportErrorCode::kTruncated,
+                    "decompress_dataset: corrupt header size");
+  try {
+    return decompress_dataset_body(bytes, header_size);
+  } catch (const TransportError&) {
+    throw;
+  } catch (const Error& error) {
+    throw TransportError(TransportErrorCode::kCorruptFrame, error.what());
+  }
+}
 
+namespace {
+
+std::unique_ptr<DataSet> decompress_dataset_body(
+    std::span<const std::uint8_t> bytes, std::uint64_t header_size) {
   ByteReader header(bytes.subspan(8, header_size));
   const std::span<const std::uint8_t> payload = bytes.subspan(8 + header_size);
-  require(header.get_u32() == kMagic, "decompress_dataset: bad magic");
+  require_transport(header.remaining() >= 4 && header.get_u32() == kMagic,
+                    TransportErrorCode::kCorruptFrame,
+                    "decompress_dataset: bad magic");
   const auto kind = static_cast<DataSetKind>(header.get_u8());
   const int bits = header.get_u8();
   check_bits(bits);
@@ -235,7 +327,15 @@ std::unique_ptr<DataSet> decompress_dataset(std::span<const std::uint8_t> bytes)
     std::copy(scratch.begin(), scratch.end(), field.values().begin());
     ds->point_fields().add(std::move(field));
   }
+  // Oversized payloads are as suspect as truncated ones: every header
+  // and payload byte must be accounted for by the arrays just parsed.
+  require_transport(header.at_end(), TransportErrorCode::kCorruptFrame,
+                    "decompress_dataset: trailing header bytes");
+  require_transport(offset == payload.size(), TransportErrorCode::kCorruptFrame,
+                    "decompress_dataset: trailing payload bytes");
   return ds;
 }
+
+} // namespace
 
 } // namespace eth

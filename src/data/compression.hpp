@@ -10,6 +10,25 @@
 // Scheme: per float-array linear quantization. Positions and each field
 // store (min, max) and bit-packed fixed-point codes. Deterministic,
 // self-describing, byte-exact round trip of the QUANTIZED values.
+//
+// Non-finite policy: the (min, max) range is computed over FINITE
+// values only, and every non-finite input (NaN, ±Inf) quantizes to the
+// deterministic code 0 (reconstructing as `lo`) — a NaN can therefore
+// never poison the range or abort a run.
+//
+// Wire-width contract: each array's reconstruction range (lo, hi) is
+// stored as IEEE-754 binary32 on the wire, independent of what `Real`
+// is in memory. This is exact while Real == float; a build with a
+// wider Real must widen the wire format first (a deliberate
+// golden-fixture break) — compression.cpp enforces this with a
+// static_assert rather than silently narrowing.
+//
+// Untrusted-input contract: decompress_dataset / unpack_dequantize
+// validate every length against the bytes actually present and reject
+// truncated or oversized payloads as classified TransportError
+// (kTruncated / kCorruptFrame), exactly like the frame decoder — they
+// never read past the packed span and never allocate from an
+// unvalidated length.
 
 #include <cstdint>
 #include <span>

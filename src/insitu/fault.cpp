@@ -299,10 +299,14 @@ bool classify_recv_fault(const TransportError& error, RobustnessReport& report) 
 
 std::optional<std::vector<std::uint8_t>> transfer_with_retry(
     Transport& tx, Transport& rx, std::span<const std::uint8_t> payload,
-    const RetryPolicy& policy, RobustnessReport& report) {
+    const RetryPolicy& policy, RobustnessReport& report, WireCodec codec) {
   require(policy.max_attempts > 0, "transfer_with_retry: need >= 1 attempt");
   const trace::Span transfer_span("transfer");
   rx.set_recv_deadline(policy.recv_deadline_seconds);
+  // Encode (and compress) ONCE, outside the attempt loop: the injector
+  // damages its own copy of the frame, so retries put these exact
+  // pristine bytes back on the wire without paying the codec again.
+  const std::vector<std::uint8_t> frame = frame_encode(payload, codec);
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++report.frames_retried;
@@ -312,7 +316,11 @@ std::optional<std::vector<std::uint8_t>> transfer_with_retry(
     // Send-side failures (oversized payload, closed channel) are not
     // retryable and propagate; injected damage happens below the
     // framing, so every retryable fault surfaces on the receive side.
-    tx.send_framed(payload);
+    {
+      const trace::Span send_span("transport.send");
+      note_bytes_on_wire(frame.size());
+      tx.send(frame);
+    }
     try {
       std::vector<std::uint8_t> bytes = rx.recv_framed();
       ++report.frames_delivered;
@@ -328,20 +336,27 @@ std::optional<std::vector<std::uint8_t>> transfer_with_retry(
 
 std::optional<WireMessage> transfer_with_retry(
     Transport& tx, Transport& rx, const WireMessage& payload,
-    const RetryPolicy& policy, RobustnessReport& report) {
+    const RetryPolicy& policy, RobustnessReport& report, WireCodec codec) {
   require(policy.max_attempts > 0, "transfer_with_retry: need >= 1 attempt");
   const trace::Span transfer_span("transfer");
   rx.set_recv_deadline(policy.recv_deadline_seconds);
+  // Pristine-retry invariant: encode (and compress) once, before the
+  // attempt loop. Injected damage is applied to message COPIES below
+  // the framing, so `frame` — and the live dataset its stored-format
+  // segments alias — is intact for every retry; non-retryable send
+  // failures still propagate.
+  const WireMessage frame = frame_encode_msg(payload, codec);
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++report.frames_retried;
       trace::instant("transfer.retry");
     }
     ++report.frames_sent;
-    // Injected damage is applied to message COPIES below the framing,
-    // so `payload` (and the live dataset its segments alias) is intact
-    // for every retry; non-retryable send failures still propagate.
-    tx.send_framed_msg(payload);
+    {
+      const trace::Span send_span("transport.send");
+      note_bytes_on_wire(frame.total_bytes());
+      tx.send_msg(frame);
+    }
     try {
       WireMessage delivered = rx.recv_framed_msg();
       ++report.frames_delivered;

@@ -168,17 +168,25 @@ struct RetryPolicy {
 /// after the retry budget — the caller degrades gracefully instead of
 /// crashing. Send-side failures (oversized payload, closed connection)
 /// are protocol violations, not transit damage, and still propagate.
+///
+/// Pristine-retry invariant (DESIGN.md §15): the frame — including any
+/// codec work — is encoded ONCE before the attempt loop; the fault
+/// injector damages copies, so every retry puts the same pristine
+/// (compressed) bytes back on the wire, and compress_cpu_seconds is
+/// charged once per frame, not once per attempt.
 std::optional<std::vector<std::uint8_t>> transfer_with_retry(
     Transport& tx, Transport& rx, std::span<const std::uint8_t> payload,
-    const RetryPolicy& policy, RobustnessReport& report);
+    const RetryPolicy& policy, RobustnessReport& report,
+    WireCodec codec = WireCodec::kNone);
 
 /// Scatter-gather variant: pushes `payload` through the zero-copy
-/// framed path (send_framed_msg/recv_framed_msg) and returns the
-/// delivered message, whose segments may alias the receive buffer.
-/// `payload` is never mutated, so retries resend the original bytes.
+/// framed path and returns the delivered message, whose segments may
+/// alias the receive buffer. `payload` is never mutated, so retries
+/// resend the original bytes (same pristine-retry invariant as above).
 std::optional<WireMessage> transfer_with_retry(
     Transport& tx, Transport& rx, const WireMessage& payload,
-    const RetryPolicy& policy, RobustnessReport& report);
+    const RetryPolicy& policy, RobustnessReport& report,
+    WireCodec codec = WireCodec::kNone);
 
 /// Receive one framed message, classifying detected faults into
 /// `report` instead of throwing: corrupt/truncated/timed-out frames

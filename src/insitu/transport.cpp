@@ -1,16 +1,79 @@
 #include "insitu/transport.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <variant>
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/lz.hpp"
 #include "common/string_util.hpp"
+#include "common/timer.hpp"
 #include "common/trace.hpp"
 #include "data/serialize.hpp"
 
 namespace eth::insitu {
+
+// -------------------------------------------------- wire codec default
+// Mirrors the ETH_SIMD resolution in common/simd.cpp: the process
+// default is resolved once from the environment on first use, cached in
+// an atomic, and re-pinnable through the override hook (tests, tools).
+
+const char* to_string(WireCodec codec) {
+  return codec == WireCodec::kLz4 ? "lz4" : "none";
+}
+
+WireCodec codec_from_string(const std::string& name) {
+  if (name == "none") return WireCodec::kNone;
+  if (name == "lz4") return WireCodec::kLz4;
+  fail(strprintf("unknown wire codec '%s' (valid: none, lz4)", name.c_str()));
+}
+
+namespace {
+
+std::atomic<int> g_codec{-1}; // -1 = unresolved
+std::mutex g_codec_mutex;
+
+void apply_codec(WireCodec codec) {
+  g_codec.store(static_cast<int>(codec), std::memory_order_release);
+}
+
+void resolve_codec_from_env() {
+  const char* env = std::getenv("ETH_WIRE_CODEC");
+  apply_codec((env != nullptr && *env != '\0') ? codec_from_string(env)
+                                               : WireCodec::kNone);
+}
+
+WireCodec ensure_codec_resolved() {
+  int v = g_codec.load(std::memory_order_acquire);
+  if (v < 0) {
+    std::lock_guard<std::mutex> lock(g_codec_mutex);
+    v = g_codec.load(std::memory_order_acquire);
+    if (v < 0) {
+      resolve_codec_from_env();
+      v = g_codec.load(std::memory_order_acquire);
+    }
+  }
+  return static_cast<WireCodec>(v);
+}
+
+} // namespace
+
+WireCodec resolved_wire_codec() { return ensure_codec_resolved(); }
+
+void set_wire_codec_override(const char* name) {
+  std::lock_guard<std::mutex> lock(g_codec_mutex);
+  if (name == nullptr) {
+    resolve_codec_from_env();
+  } else {
+    apply_codec(codec_from_string(name));
+  }
+}
+
+const char* wire_codec_label() { return to_string(ensure_codec_resolved()); }
 
 // ------------------------------------------------------------- framing
 
@@ -52,10 +115,65 @@ std::uint32_t crc32_of_message(const WireMessage& msg) {
   return crc;
 }
 
+/// Gather a message into one vector WITHOUT touching the data-plane
+/// copy counters: this copy is internal to the codec (charged to
+/// compress_cpu_seconds), not a data-plane ownership decision, and the
+/// copied/borrowed tallies must not depend on the codec setting.
+std::vector<std::uint8_t> gather_message(const WireMessage& msg) {
+  std::vector<std::uint8_t> out(msg.total_bytes());
+  std::size_t at = 0;
+  for (const WireMessage::Segment& seg : msg.segments()) {
+    if (!seg.bytes.empty())
+      std::memcpy(out.data() + at, seg.bytes.data(), seg.bytes.size());
+    at += seg.bytes.size();
+  }
+  return out;
+}
+
+/// Byte-plane shuffle stride for the lz4 frame path: serialized
+/// payloads are dominated by f32 arrays (see the wire-width contract in
+/// data/compression.hpp), whose exponent bytes only compress once
+/// grouped plane-wise. Part of the ETHZ frame format — both ends must
+/// agree.
+constexpr std::size_t kCodecShuffleStride = 4;
+
+/// Ceiling on how much a well-formed LZ stream can expand while
+/// decoding: each coded byte yields at most ~255 output bytes (a
+/// match-length 255-run byte), so a header promising more than this is
+/// corrupt — reject it before allocating the declared raw size.
+std::uint64_t max_plausible_raw_size(std::uint64_t coded_len) {
+  return coded_len * 256 + 64;
+}
+
 } // namespace
 
-WireMessage frame_encode_msg(const WireMessage& payload) {
+WireMessage frame_encode_msg(const WireMessage& payload, WireCodec codec) {
   check_message_length(payload.total_bytes());
+  if (codec == WireCodec::kLz4) {
+    std::vector<std::uint8_t> coded;
+    {
+      const trace::Span span("transport.compress");
+      const ThreadCpuTimer cpu;
+      coded = lz::compress(
+          lz::byte_shuffle(gather_message(payload), kCodecShuffleStride));
+      note_compress_cpu_seconds(cpu.elapsed());
+    }
+    if (coded.size() < payload.total_bytes()) {
+      std::vector<std::uint8_t> header;
+      header.reserve(kLzFrameHeaderBytes);
+      put_u32_le(header, kFrameMagicLz);
+      put_u32_le(header, crc32(coded, 0));
+      put_u64_le(header, coded.size());
+      put_u64_le(header, payload.total_bytes());
+      WireMessage frame;
+      frame.append_owned(Buffer::adopt(std::move(header)));
+      frame.append_owned(Buffer::adopt(std::move(coded)));
+      return frame;
+    }
+    // Adaptive fallback: compression did not shrink this payload, so
+    // emit the stored format — a codec-on wire is never larger than
+    // codec-off, and tiny/incompressible messages skip the decode cost.
+  }
   std::vector<std::uint8_t> header;
   header.reserve(kFrameHeaderBytes);
   put_u32_le(header, kFrameMagic);
@@ -67,26 +185,13 @@ WireMessage frame_encode_msg(const WireMessage& payload) {
   return frame;
 }
 
-WireMessage frame_decode_msg(const WireMessage& frame) {
-  require_transport(frame.total_bytes() >= kFrameHeaderBytes,
-                    TransportErrorCode::kTruncated,
-                    strprintf("frame of %zu bytes is shorter than the %zu-byte header",
-                              frame.total_bytes(), kFrameHeaderBytes));
-  // Gather the (tiny) header; it may straddle segment boundaries.
-  std::uint8_t header[kFrameHeaderBytes];
-  {
-    std::size_t filled = 0;
-    for (const WireMessage::Segment& seg : frame.segments()) {
-      const std::size_t take = std::min(seg.bytes.size(), kFrameHeaderBytes - filled);
-      std::memcpy(header + filled, seg.bytes.data(), take);
-      filled += take;
-      if (filled == kFrameHeaderBytes) break;
-    }
-  }
-  require_transport(get_u32_le(header, 0) == kFrameMagic,
-                    TransportErrorCode::kCorruptFrame, "frame magic mismatch");
-  const std::uint32_t expected_crc = get_u32_le(header, 4);
-  const std::uint64_t length = get_u64_le(header, 8);
+namespace {
+
+/// Stored (ETHF) frame validation — the pre-codec path, byte-for-byte.
+WireMessage decode_stored_frame(const WireMessage& frame,
+                                const std::uint8_t* header) {
+  const std::uint32_t expected_crc = get_u32_le({header, kFrameHeaderBytes}, 4);
+  const std::uint64_t length = get_u64_le({header, kFrameHeaderBytes}, 8);
   check_message_length(length);
   require_transport(frame.total_bytes() - kFrameHeaderBytes >= length,
                     TransportErrorCode::kTruncated,
@@ -103,10 +208,93 @@ WireMessage frame_decode_msg(const WireMessage& frame) {
   return payload;
 }
 
-std::vector<std::uint8_t> frame_encode(std::span<const std::uint8_t> payload) {
+/// Compressed (ETHZ) frame validation: CRC over the COMPRESSED bytes
+/// first (cheap, catches transit damage before any codec work), then a
+/// bounds-checked decompress into one owned segment.
+WireMessage decode_lz_frame(const WireMessage& frame,
+                            const std::uint8_t* header) {
+  require_transport(
+      frame.total_bytes() >= kLzFrameHeaderBytes,
+      TransportErrorCode::kTruncated,
+      strprintf("lz frame of %zu bytes is shorter than the %zu-byte header",
+                frame.total_bytes(), kLzFrameHeaderBytes));
+  const std::span<const std::uint8_t> h{header, kLzFrameHeaderBytes};
+  const std::uint32_t expected_crc = get_u32_le(h, 4);
+  const std::uint64_t coded_len = get_u64_le(h, 8);
+  const std::uint64_t raw_len = get_u64_le(h, 16);
+  check_message_length(coded_len);
+  check_message_length(raw_len);
+  require_transport(frame.total_bytes() - kLzFrameHeaderBytes >= coded_len,
+                    TransportErrorCode::kTruncated,
+                    strprintf("lz frame promises %llu compressed bytes but "
+                              "carries %zu",
+                              static_cast<unsigned long long>(coded_len),
+                              frame.total_bytes() - kLzFrameHeaderBytes));
+  require_transport(frame.total_bytes() - kLzFrameHeaderBytes == coded_len,
+                    TransportErrorCode::kCorruptFrame,
+                    "lz frame carries trailing bytes past its compressed payload");
+  require_transport(raw_len <= max_plausible_raw_size(coded_len),
+                    TransportErrorCode::kCorruptFrame,
+                    "lz frame declares an implausible decompressed size");
+  const WireMessage coded = frame.slice(kLzFrameHeaderBytes);
+  require_transport(crc32_of_message(coded) == expected_crc,
+                    TransportErrorCode::kCorruptFrame,
+                    "lz frame CRC32 mismatch (compressed bytes damaged in transit)");
+
+  const trace::Span span("transport.decompress");
+  const ThreadCpuTimer cpu;
+  std::vector<std::uint8_t> gathered;
+  std::span<const std::uint8_t> coded_bytes;
+  if (coded.contiguous()) {
+    coded_bytes = coded.contiguous_bytes();
+  } else {
+    gathered = gather_message(coded);
+    coded_bytes = gathered;
+  }
+  std::vector<std::uint8_t> shuffled(raw_len);
+  lz::decompress(coded_bytes, shuffled);
+  std::vector<std::uint8_t> raw =
+      lz::byte_unshuffle(shuffled, kCodecShuffleStride);
+  note_compress_cpu_seconds(cpu.elapsed());
+  WireMessage payload;
+  payload.append_owned(Buffer::adopt(std::move(raw)));
+  return payload;
+}
+
+} // namespace
+
+WireMessage frame_decode_msg(const WireMessage& frame) {
+  require_transport(frame.total_bytes() >= kFrameHeaderBytes,
+                    TransportErrorCode::kTruncated,
+                    strprintf("frame of %zu bytes is shorter than the %zu-byte header",
+                              frame.total_bytes(), kFrameHeaderBytes));
+  // Gather the (tiny) header; it may straddle segment boundaries. Both
+  // frame formats fit in kLzFrameHeaderBytes; a stored frame only needs
+  // the first kFrameHeaderBytes of it.
+  std::uint8_t header[kLzFrameHeaderBytes] = {0};
+  {
+    std::size_t filled = 0;
+    const std::size_t want =
+        std::min<std::size_t>(frame.total_bytes(), kLzFrameHeaderBytes);
+    for (const WireMessage::Segment& seg : frame.segments()) {
+      const std::size_t take = std::min(seg.bytes.size(), want - filled);
+      if (take != 0) std::memcpy(header + filled, seg.bytes.data(), take);
+      filled += take;
+      if (filled == want) break;
+    }
+  }
+  const std::uint32_t magic = get_u32_le({header, kLzFrameHeaderBytes}, 0);
+  if (magic == kFrameMagicLz) return decode_lz_frame(frame, header);
+  require_transport(magic == kFrameMagic, TransportErrorCode::kCorruptFrame,
+                    "frame magic mismatch");
+  return decode_stored_frame(frame, header);
+}
+
+std::vector<std::uint8_t> frame_encode(std::span<const std::uint8_t> payload,
+                                       WireCodec codec) {
   WireMessage msg;
   msg.append_borrowed(payload);
-  return frame_encode_msg(msg).flatten();
+  return frame_encode_msg(msg, codec).flatten();
 }
 
 std::vector<std::uint8_t> frame_decode(std::span<const std::uint8_t> frame) {
@@ -127,9 +315,12 @@ WireMessage Transport::recv_msg() {
 // point: every concrete transport (in-proc, TCP, fault-injected) funnels
 // through them, so spans here cover the whole send/recv taxonomy.
 
-void Transport::send_framed(std::span<const std::uint8_t> payload) {
+void Transport::send_framed(std::span<const std::uint8_t> payload,
+                            WireCodec codec) {
   const trace::Span span("transport.send");
-  send(frame_encode(payload));
+  std::vector<std::uint8_t> frame = frame_encode(payload, codec);
+  note_bytes_on_wire(frame.size());
+  send(std::move(frame));
 }
 
 std::vector<std::uint8_t> Transport::recv_framed() {
@@ -137,9 +328,11 @@ std::vector<std::uint8_t> Transport::recv_framed() {
   return frame_decode(recv());
 }
 
-void Transport::send_framed_msg(const WireMessage& payload) {
+void Transport::send_framed_msg(const WireMessage& payload, WireCodec codec) {
   const trace::Span span("transport.send");
-  send_msg(frame_encode_msg(payload));
+  const WireMessage frame = frame_encode_msg(payload, codec);
+  note_bytes_on_wire(frame.total_bytes());
+  send_msg(frame);
 }
 
 WireMessage Transport::recv_framed_msg() {

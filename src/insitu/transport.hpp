@@ -48,35 +48,80 @@ namespace eth::insitu {
 /// field) is two orders of magnitude below this.
 inline constexpr std::uint64_t kMaxMessageBytes = std::uint64_t(1) << 34;
 
-/// Frame header magic ("ETHF", little-endian).
+/// Frame header magic ("ETHF", little-endian) — the stored (codec-none)
+/// frame tag. This layout predates the wire codec and must stay
+/// byte-for-byte stable: the golden wire fixtures pin it.
 inline constexpr std::uint32_t kFrameMagic = 0x46485445u;
 
-/// Frame layout: u32 magic | u32 crc32(payload) | u64 payload length |
-/// payload bytes.
+/// Stored frame layout: u32 magic | u32 crc32(payload) |
+/// u64 payload length | payload bytes.
 inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// Compressed frame magic ("ETHZ", little-endian). A codec-tagged frame
+/// carries LZ-compressed payload bytes; the CRC32 is computed over the
+/// COMPRESSED bytes (DESIGN.md §15), so corruption is detected before
+/// any decompression work and the fault/retry loop resends the same
+/// pristine compressed frame.
+inline constexpr std::uint32_t kFrameMagicLz = 0x5A485445u;
+
+/// Compressed frame layout: u32 magic | u32 crc32(compressed bytes) |
+/// u64 compressed length | u64 raw (decompressed) length |
+/// compressed bytes.
+inline constexpr std::size_t kLzFrameHeaderBytes = 24;
+
+/// Wire codec selection for frame encoding. The decoder never needs
+/// it — frames are self-describing via their magic.
+enum class WireCodec {
+  kNone, ///< stored frames, byte-identical to the pre-codec format
+  kLz4,  ///< byte-shuffled LZ (common/lz.hpp) with stored fallback
+};
+
+/// "none" / "lz4". codec_from_string throws eth::Error on anything else
+/// (message lists the valid values, like simd::parse of ETH_SIMD).
+const char* to_string(WireCodec codec);
+WireCodec codec_from_string(const std::string& name);
+
+/// Process default resolved once from ETH_WIRE_CODEC (unset/empty means
+/// "none"), mirroring the ETH_SIMD resolution in common/simd.
+/// `set_wire_codec_override` re-pins it (tests); passing nullptr
+/// re-resolves from the environment. `wire_codec_label` names the
+/// resolved default ("none"/"lz4") for banners and --dry-run output.
+WireCodec resolved_wire_codec();
+void set_wire_codec_override(const char* name);
+const char* wire_codec_label();
 
 /// Throw TransportError{kMessageTooLarge} when a length prefix exceeds
 /// kMaxMessageBytes (lengths equal to the limit are accepted).
 void check_message_length(std::uint64_t length);
 
 /// Wrap `payload` in a checksummed frame.
-std::vector<std::uint8_t> frame_encode(std::span<const std::uint8_t> payload);
+std::vector<std::uint8_t> frame_encode(std::span<const std::uint8_t> payload,
+                                       WireCodec codec = WireCodec::kNone);
 
-/// Validate and strip the frame header. Throws TransportError:
-/// kTruncated when the buffer is shorter than the header promises,
-/// kCorruptFrame on magic/CRC mismatch, kMessageTooLarge on an
-/// implausible length.
+/// Validate and strip the frame header (decompressing codec-tagged
+/// frames). Throws TransportError: kTruncated when the buffer is
+/// shorter than the header promises, kCorruptFrame on magic/CRC/codec
+/// stream damage, kMessageTooLarge on an implausible length.
 std::vector<std::uint8_t> frame_decode(std::span<const std::uint8_t> frame);
 
-/// Scatter-gather framing: prepend a checksummed frame header as one
-/// owned segment and share the payload's segments — no contiguous copy
-/// is ever made (the CRC runs incrementally over the segment list).
-/// Flattening the result yields exactly frame_encode(flat payload).
-WireMessage frame_encode_msg(const WireMessage& payload);
+/// Scatter-gather framing. With WireCodec::kNone: prepend a checksummed
+/// frame header as one owned segment and share the payload's segments —
+/// no contiguous copy is ever made (the CRC runs incrementally over the
+/// segment list); flattening the result yields exactly
+/// frame_encode(flat payload). With WireCodec::kLz4: gather + compress
+/// the payload (a "transport.compress" span; CPU is charged to
+/// compress_cpu_seconds) into a self-describing ETHZ frame — unless
+/// compression does not shrink the payload, in which case the stored
+/// format is emitted instead (adaptive fallback), so a codec-on wire is
+/// never larger than codec-off.
+WireMessage frame_encode_msg(const WireMessage& payload,
+                             WireCodec codec = WireCodec::kNone);
 
-/// Validate and strip the frame header from a scatter-gather frame;
-/// the returned payload shares the frame's segments (and keepalives).
-/// Identical error classification to frame_decode.
+/// Validate and strip the frame header from a scatter-gather frame,
+/// dispatching on the frame magic: stored payloads share the frame's
+/// segments (and keepalives); compressed payloads are CRC-checked
+/// first, then decompressed (a "transport.decompress" span) into one
+/// owned segment. Identical error classification to frame_decode.
 WireMessage frame_decode_msg(const WireMessage& frame);
 
 /// Bidirectional message endpoint.
@@ -116,12 +161,16 @@ public:
   /// can alias the receive buffer.
   virtual WireMessage recv_msg();
 
-  // CRC-framed wrappers over the raw byte interface.
-  void send_framed(std::span<const std::uint8_t> payload);
+  // CRC-framed wrappers over the raw byte interface. The codec applies
+  // to the send side only; receivers dispatch on the frame magic, so a
+  // codec-none receiver understands codec-lz4 senders and vice versa.
+  void send_framed(std::span<const std::uint8_t> payload,
+                   WireCodec codec = WireCodec::kNone);
   std::vector<std::uint8_t> recv_framed();
 
   // CRC-framed wrappers over the scatter-gather interface.
-  void send_framed_msg(const WireMessage& payload);
+  void send_framed_msg(const WireMessage& payload,
+                       WireCodec codec = WireCodec::kNone);
   WireMessage recv_framed_msg();
 
   // Dataset convenience wrappers over data/serialize (framed). The

@@ -1,0 +1,224 @@
+// LzCodec: the in-repo LZ4-class block codec (DESIGN.md §15).
+//
+// The suite pins the three contracts the wire path depends on:
+// lossless round trips over adversarially-shaped inputs (empty, tiny,
+// incompressible, highly repetitive, overlapping matches), strict
+// classified rejection of malformed streams (kTruncated vs
+// kCorruptFrame, never a crash or an out-of-bounds read), and bit
+// determinism of the coded bytes (golden wire fixtures assume the
+// same input always compresses to the same stream).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/lz.hpp"
+#include "common/rng.hpp"
+
+namespace eth {
+namespace {
+
+std::vector<std::uint8_t> roundtrip(const std::vector<std::uint8_t>& src) {
+  const std::vector<std::uint8_t> coded = lz::compress(src);
+  EXPECT_LE(coded.size(), lz::max_compressed_size(src.size()));
+  std::vector<std::uint8_t> out(src.size());
+  lz::decompress(coded, out);
+  return out;
+}
+
+TEST(LzCodec, EmptyInputRoundTrips) {
+  const std::vector<std::uint8_t> src;
+  EXPECT_EQ(roundtrip(src), src);
+}
+
+TEST(LzCodec, TinyInputsRoundTrip) {
+  // Below the matcher's minimum useful size everything is one literal
+  // run; each length from 1 to 20 exercises the token edge cases.
+  for (std::size_t n = 1; n <= 20; ++n) {
+    std::vector<std::uint8_t> src(n);
+    std::iota(src.begin(), src.end(), std::uint8_t(7));
+    EXPECT_EQ(roundtrip(src), src) << "n=" << n;
+  }
+}
+
+TEST(LzCodec, IncompressibleRandomRoundTrips) {
+  Rng rng(42);
+  std::vector<std::uint8_t> src(10000);
+  for (auto& b : src) b = std::uint8_t(rng.next_u64());
+  EXPECT_EQ(roundtrip(src), src);
+  // Random bytes must not explode: the stored bound holds.
+  EXPECT_LE(lz::compress(src).size(), lz::max_compressed_size(src.size()));
+}
+
+TEST(LzCodec, HighlyRepetitiveCompressesHard) {
+  const std::vector<std::uint8_t> src(100000, std::uint8_t(0xAB));
+  const std::vector<std::uint8_t> coded = lz::compress(src);
+  EXPECT_LT(coded.size(), src.size() / 50);
+  std::vector<std::uint8_t> out(src.size());
+  lz::decompress(coded, out);
+  EXPECT_EQ(out, src);
+}
+
+TEST(LzCodec, OverlappingMatchesRoundTrip) {
+  // Period-1/2/3 runs force offset < match length, the classic RLE
+  // overlap case the decoder must copy byte-wise.
+  for (const std::size_t period : {std::size_t(1), std::size_t(2), std::size_t(3)}) {
+    std::vector<std::uint8_t> src;
+    for (std::size_t i = 0; i < 5000; ++i)
+      src.push_back(std::uint8_t('A' + i % period));
+    EXPECT_EQ(roundtrip(src), src) << "period=" << period;
+  }
+}
+
+TEST(LzCodec, LongLiteralAndMatchRunsRoundTrip) {
+  // > 15 + several 255-runs in both the literal and match nibbles.
+  Rng rng(7);
+  std::vector<std::uint8_t> src;
+  for (std::size_t i = 0; i < 2000; ++i) src.push_back(std::uint8_t(rng.next_u64()));
+  src.insert(src.end(), 4000, std::uint8_t(0x11)); // long match run
+  for (std::size_t i = 0; i < 1000; ++i) src.push_back(std::uint8_t(rng.next_u64()));
+  EXPECT_EQ(roundtrip(src), src);
+}
+
+TEST(LzCodec, MixedStructuredPayloadRoundTrips) {
+  // Float-like payload: slowly-varying values whose shuffled byte
+  // planes repeat — the wire path's actual workload shape.
+  std::vector<std::uint8_t> src;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    const float v = 1.0f + 1e-4f * float(i % 977);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    src.insert(src.end(), p, p + sizeof(float));
+  }
+  const std::vector<std::uint8_t> shuffled = lz::byte_shuffle(src, 4);
+  const std::vector<std::uint8_t> coded = lz::compress(shuffled);
+  EXPECT_LT(coded.size(), src.size());
+  std::vector<std::uint8_t> out(shuffled.size());
+  lz::decompress(coded, out);
+  EXPECT_EQ(lz::byte_unshuffle(out, 4), src);
+}
+
+TEST(LzCodec, CompressionIsDeterministic) {
+  Rng rng(123);
+  std::vector<std::uint8_t> src(50000);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = std::uint8_t(i % 251 == 0 ? rng.next_u64() : i / 97);
+  EXPECT_EQ(lz::compress(src), lz::compress(src));
+}
+
+// ---- shuffle preconditioner
+
+TEST(LzCodec, ShuffleIsLosslessIncludingRemainderTail) {
+  Rng rng(9);
+  for (const std::size_t n : {std::size_t(0), std::size_t(1), std::size_t(3),
+                              std::size_t(4), std::size_t(5), std::size_t(17),
+                              std::size_t(4096), std::size_t(4097)}) {
+    std::vector<std::uint8_t> src(n);
+    for (auto& b : src) b = std::uint8_t(rng.next_u64());
+    const auto shuffled = lz::byte_shuffle(src, 4);
+    ASSERT_EQ(shuffled.size(), src.size()) << "n=" << n;
+    EXPECT_EQ(lz::byte_unshuffle(shuffled, 4), src) << "n=" << n;
+  }
+}
+
+TEST(LzCodec, ShuffleGroupsBytePlanes) {
+  // 3 elements of stride 4 plus a 2-byte tail: planes then tail.
+  const std::vector<std::uint8_t> src{0x00, 0x01, 0x02, 0x03,  //
+                                      0x10, 0x11, 0x12, 0x13,  //
+                                      0x20, 0x21, 0x22, 0x23,  //
+                                      0xFE, 0xFF};
+  const std::vector<std::uint8_t> expected{0x00, 0x10, 0x20, 0x01, 0x11, 0x21,
+                                           0x02, 0x12, 0x22, 0x03, 0x13, 0x23,
+                                           0xFE, 0xFF};
+  EXPECT_EQ(lz::byte_shuffle(src, 4), expected);
+  EXPECT_EQ(lz::byte_unshuffle(expected, 4), src);
+}
+
+// ---- untrusted-input rejection
+
+TEST(LzCodec, TruncatedStreamsThrowClassified) {
+  std::vector<std::uint8_t> src;
+  for (std::size_t i = 0; i < 3000; ++i) src.push_back(std::uint8_t(i % 7));
+  const std::vector<std::uint8_t> coded = lz::compress(src);
+  std::vector<std::uint8_t> out(src.size());
+  // Every strict prefix must throw a TransportError — decode never
+  // succeeds, crashes or reads past the span.
+  for (std::size_t cut = 0; cut < coded.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(coded.data(), cut);
+    EXPECT_THROW(lz::decompress(prefix, out), TransportError) << "cut=" << cut;
+  }
+}
+
+TEST(LzCodec, WrongDeclaredSizeThrowsCorrupt) {
+  std::vector<std::uint8_t> src(1000, std::uint8_t(0x5A));
+  const std::vector<std::uint8_t> coded = lz::compress(src);
+  // Output buffer smaller than the stream produces -> kCorruptFrame.
+  std::vector<std::uint8_t> small(src.size() - 1);
+  try {
+    lz::decompress(coded, small);
+    FAIL() << "undersized output accepted";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), TransportErrorCode::kCorruptFrame);
+  }
+  // Output buffer larger than the stream produces -> also corrupt
+  // (declared size disagrees with the stream's content).
+  std::vector<std::uint8_t> big(src.size() + 1);
+  try {
+    lz::decompress(coded, big);
+    FAIL() << "oversized output accepted";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), TransportErrorCode::kCorruptFrame);
+  }
+}
+
+TEST(LzCodec, BadOffsetThrowsCorrupt) {
+  // Hand-built stream: one literal, then a match whose offset points
+  // before the start of the output.
+  const std::vector<std::uint8_t> stream{
+      0x14, 'x',        // token: 1 literal, match len 4+... ; literal 'x'
+      0x09, 0x00,       // offset 9 > bytes produced (1) -> corrupt
+  };
+  std::vector<std::uint8_t> out(16);
+  try {
+    lz::decompress(stream, out);
+    FAIL() << "bad offset accepted";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), TransportErrorCode::kCorruptFrame);
+  }
+}
+
+TEST(LzCodec, ZeroOffsetThrowsCorrupt) {
+  const std::vector<std::uint8_t> stream{
+      0x14, 'x',        // 1 literal + match
+      0x00, 0x00,       // offset 0 is never valid
+  };
+  std::vector<std::uint8_t> out(16);
+  try {
+    lz::decompress(stream, out);
+    FAIL() << "zero offset accepted";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), TransportErrorCode::kCorruptFrame);
+  }
+}
+
+TEST(LzCodec, RandomGarbageNeverCrashes) {
+  Rng rng(31337);
+  std::vector<std::uint8_t> out(4096);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage(1 + std::size_t(rng.next_u64() % 512));
+    for (auto& b : garbage) b = std::uint8_t(rng.next_u64());
+    try {
+      lz::decompress(garbage, out);
+      // A garbage stream that happens to decode exactly out.size()
+      // bytes is legal; anything else must have thrown.
+    } catch (const TransportError&) {
+      // expected for nearly all garbage
+    }
+  }
+}
+
+} // namespace
+} // namespace eth

@@ -138,21 +138,29 @@ struct Golden {
   std::uint64_t trace_fp;
 };
 
-/// Captured from the pre-refactor serial Harness::run (seed build,
-/// commit 242d681): trace enabled, cache off, default run context.
+/// Image fingerprints captured from the pre-refactor serial
+/// Harness::run (seed build, commit 242d681): trace enabled, cache
+/// off, default run context. The robustness/trace fingerprints were
+/// re-pinned when the wire codec landed (DESIGN.md §15): the
+/// robustness table gained the deterministic `bytes_on_wire` column
+/// and the trace gained the matching counter, which changes the CSV
+/// and histogram digests even with `transport_codec none` (the wire
+/// bytes themselves are byte-identical to the pre-codec format — see
+/// GoldenWireFormat). The untouched image column is the proof that the
+/// pixel path never moved.
 constexpr Golden kGoldens[] = {
-    {"hacc", "tight", 0xbcfd56275ae66442ull, 0xc90458b97448cabbull,
-     0x87eaa7d127d6cdeeull},
-    {"hacc", "intercore", 0xbcfd56275ae66442ull, 0xf1c089d75accc65aull,
-     0xd0832bdbad2a47e3ull},
-    {"hacc", "internode", 0x4c6082dc2c4c3a08ull, 0x724326ded57170c0ull,
-     0xb5bdf3d37e3914ecull},
-    {"xrage", "tight", 0x0e550d81b54fe228ull, 0xc90458b97448cabbull,
-     0x9a6d927b537cedf7ull},
-    {"xrage", "intercore", 0x0e550d81b54fe228ull, 0xacdee310e5379226ull,
-     0x6fb8087d181c2cb7ull},
-    {"xrage", "internode", 0x98f87a65c46ed5ddull, 0x4365a24ae650b046ull,
-     0xfc22d8a776d63fceull},
+    {"hacc", "tight", 0xbcfd56275ae66442ull, 0x5116d0e87ceb79a9ull,
+     0xc1758405927c636dull},
+    {"hacc", "intercore", 0xbcfd56275ae66442ull, 0xf198c9fcdd23e1d2ull,
+     0x91f687b12744aef6ull},
+    {"hacc", "internode", 0x4c6082dc2c4c3a08ull, 0x0ae6e17962aa8b62ull,
+     0x86cc5c740817476aull},
+    {"xrage", "tight", 0x0e550d81b54fe228ull, 0x5116d0e87ceb79a9ull,
+     0xf7d8265933f85ed4ull},
+    {"xrage", "intercore", 0x0e550d81b54fe228ull, 0xf9669c6416eed698ull,
+     0x53764dcfb265368aull},
+    {"xrage", "internode", 0x98f87a65c46ed5ddull, 0xb1f716ab9d6e9999ull,
+     0xd283027ccd4327b7ull},
 };
 
 const Golden& golden_for(const std::string& app, const std::string& coupling) {

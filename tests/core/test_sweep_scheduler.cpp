@@ -181,7 +181,7 @@ void expect_outcomes_bit_identical(const std::vector<SweepOutcome>& serial,
   for (std::size_t row = 0; row < ms.num_rows(); ++row)
     for (const std::size_t col : {std::size_t(0), std::size_t(5),
                                   std::size_t(6), std::size_t(7),
-                                  std::size_t(8)}) {
+                                  std::size_t(8), std::size_t(9)}) {
       EXPECT_EQ(ms.cell(row, col), mc.cell(row, col))
           << what << " row=" << row << " col=" << ms.columns()[col];
     }

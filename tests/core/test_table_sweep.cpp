@@ -177,7 +177,8 @@ TEST(TableGolden, MetricsTableColumns) {
   const ResultTable table = metrics_table("ratio", outcomes);
   const std::vector<std::string> expected{
       "ratio",      "time_s",       "power_kW",    "dyn_power_kW", "energy_MJ",
-      "cache_hits", "cache_misses", "cache_bytes", "prefetch_hits"};
+      "cache_hits", "cache_misses", "cache_bytes", "prefetch_hits",
+      "bytes_on_wire"};
   EXPECT_EQ(table.columns(), expected);
 }
 
@@ -188,8 +189,8 @@ TEST(TableGolden, SweepRobustnessTableColumns) {
       "ratio",          "frames_sent",       "frames_delivered",
       "frames_retried", "frames_dropped",    "frames_corrupt",
       "frames_timed_out", "timesteps_dropped", "bytes_copied",
-      "bytes_borrowed", "cache_hits",        "cache_misses",
-      "cache_bytes",    "prefetch_hits"};
+      "bytes_borrowed", "bytes_on_wire",     "cache_hits",
+      "cache_misses",   "cache_bytes",       "prefetch_hits"};
   EXPECT_EQ(table.columns(), expected);
 }
 
@@ -200,8 +201,8 @@ TEST(TableGolden, RunRobustnessTableColumns) {
       "frames_sent",      "frames_delivered",  "frames_retried",
       "frames_dropped",   "frames_corrupt",    "frames_timed_out",
       "timesteps_dropped", "bytes_copied",     "bytes_borrowed",
-      "cache_hits",       "cache_misses",      "cache_bytes",
-      "prefetch_hits"};
+      "bytes_on_wire",    "cache_hits",        "cache_misses",
+      "cache_bytes",      "prefetch_hits"};
   EXPECT_EQ(table.columns(), expected);
   EXPECT_EQ(table.num_rows(), 1u); // single-run table: exactly one row
 }

@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "data/serialize.hpp"
 #include "data/tet_mesh.hpp"
@@ -148,6 +150,90 @@ void expect_golden(const DataSet& ds, const char* hex) {
   WireMessage fixture_msg;
   fixture_msg.append_owned(Buffer::copy_of(fixture));
   EXPECT_EQ(serialize_dataset(*deserialize_dataset(fixture_msg)), fixture);
+}
+
+// ---- codec-tagged frames (DESIGN.md §15). The compressed wire image
+// is as much a contract as the stored one: these fixtures pin the full
+// lz4-codec frame (ETHZ header + shuffled/LZ-coded payload) for every
+// dataset kind, and the codec-none path must keep producing the legacy
+// stored frame byte-for-byte.
+
+constexpr char kGoldenPointSetLzFrame[] =   // 139 bytes
+    "4554485a0db2c6c173000000000000008d00000000000000f00644010000003e"
+    "bf3fc040be403f40404000000004000100b201046d0201000041414148110000"
+    "15000004003001026907000104003161000208001154060007050010640c0060"
+    "c020600000730a00e2000000450000008080c0004000801200007900203f3f72"
+    "00907300000020a0f02042";
+constexpr char kGoldenGridLzFrame[] =   // 119 bytes
+    "4554485a16e096cd5f000000000000007f00000000000000314402000100613f"
+    "40403f3e3f0b00080500534803000200230040000101741c00c080004080a0c0"
+    "e00010203054100006040010010b00213e3f01005040404040451000c2000080"
+    "00400080800000000c1000b00000000000000000000000";
+constexpr char kGoldenTriangleMeshLzFrame[] =   // 145 bytes
+    "4554485ac5b9d5b67900000000000000d5000000000000003244030001009180"
+    "0000008000808080070010000f00021900060600c06101000000404040404804"
+    "000b004000003f000400313f3f3f0700000f00000b00063200620000006c0004"
+    "100042540000020a000f06000270010002000100030600340673612300144509"
+    "000f08000fb06372000000e0c0a0800000";
+constexpr char kGoldenTetMeshLzFrame[] =   // 137 bytes
+    "4554485aa0f120b77100000000000000c200000000000000324404000100413f"
+    "0000000400203f3f070002150005060010700a0080c04090c0480500020c000a"
+    "0400620100020003000600600400010474012000503f4040405409000f04000e"
+    "33650005240013450800418000000004002080800700031600040700c06d0000"
+    "000000000000000000";
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  static const char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0x0F]);
+  }
+  return out;
+}
+
+void expect_codec_golden(const DataSet& ds, const char* payload_hex,
+                         const char* lz_frame_hex) {
+  const std::vector<std::uint8_t> payload = from_hex(payload_hex);
+  const WireMessage msg = wire_message_for_dataset(ds);
+  const std::vector<std::uint8_t> legacy = insitu::frame_encode(payload);
+
+  // 1. codec none IS the legacy stored frame, byte for byte — the
+  // pre-codec fixtures stay pinned.
+  EXPECT_EQ(insitu::frame_encode(payload, insitu::WireCodec::kNone), legacy);
+  EXPECT_EQ(insitu::frame_encode_msg(msg, insitu::WireCodec::kNone).flatten(),
+            legacy);
+
+  // 2. The lz4 frame matches its pinned hex from both encode paths.
+  const std::vector<std::uint8_t> lz_frame =
+      insitu::frame_encode(payload, insitu::WireCodec::kLz4);
+  EXPECT_EQ(to_hex(lz_frame), lz_frame_hex);
+  EXPECT_EQ(insitu::frame_encode_msg(msg, insitu::WireCodec::kLz4).flatten(),
+            lz_frame);
+
+  // 3. Adaptive fallback guarantee: codec on never costs wire bytes.
+  EXPECT_LE(lz_frame.size(), legacy.size());
+
+  // 4. Both decoders recover the payload bit-identically (the decoder
+  // dispatches on the frame magic, so endpoints need no codec config).
+  EXPECT_EQ(insitu::frame_decode(lz_frame), payload);
+  WireMessage frame_msg;
+  frame_msg.append_owned(Buffer::copy_of(lz_frame));
+  EXPECT_EQ(insitu::frame_decode_msg(frame_msg).flatten(), payload);
+}
+
+TEST(GoldenWireFormat, PointSetLzCodec) {
+  expect_codec_golden(golden_point_set(), kGoldenPointSet, kGoldenPointSetLzFrame);
+}
+TEST(GoldenWireFormat, StructuredGridLzCodec) {
+  expect_codec_golden(golden_grid(), kGoldenGrid, kGoldenGridLzFrame);
+}
+TEST(GoldenWireFormat, TriangleMeshLzCodec) {
+  expect_codec_golden(golden_mesh(), kGoldenTriangleMesh, kGoldenTriangleMeshLzFrame);
+}
+TEST(GoldenWireFormat, TetMeshLzCodec) {
+  expect_codec_golden(golden_tets(), kGoldenTetMesh, kGoldenTetMeshLzFrame);
 }
 
 TEST(GoldenWireFormat, PointSet) { expect_golden(golden_point_set(), kGoldenPointSet); }

@@ -168,6 +168,59 @@ TEST_F(EndToEndTest, InternodeSocketSurvivesCorruptFrameAndDisconnect) {
   EXPECT_LT(timer.elapsed(), 15.0);    // survived, and without hanging
 }
 
+TEST_F(EndToEndTest, InternodeSocketSurvivesCorruptCompressedFrameAndDisconnect) {
+  // Same survival contract over the COMPRESSED wire path (DESIGN.md
+  // §15): a good lz4-codec frame, a bit-damaged one (damage lands in
+  // the coded region, so the CRC over the compressed bytes must catch
+  // it before any decompression), then a mid-run disconnect.
+  const std::string layout_path = (dir_ / "layout.txt").string();
+  sim::HaccParams params;
+  params.num_particles = 500;
+  const auto data = sim::generate_hacc(params);
+  const auto payload = serialize_dataset(*data);
+
+  // The HACC payload must actually take the compressed branch, or
+  // this test silently degrades into the stored-frame one.
+  const auto lz_frame = insitu::frame_encode(payload, insitu::WireCodec::kLz4);
+  ASSERT_LT(lz_frame.size(), insitu::frame_encode(payload).size());
+  ASSERT_EQ(lz_frame[3], 0x5A); // 'Z' of the little-endian "ETHZ" magic
+
+  const WallTimer timer;
+  std::thread sim_proxy([&] {
+    auto transport = insitu::socket_listen(layout_path, 0, 15.0);
+    transport->send_framed(payload, insitu::WireCodec::kLz4);
+    auto corrupt = lz_frame;
+    corrupt[insitu::kLzFrameHeaderBytes + 3] ^= 0x40; // damage a coded byte
+    transport->send(std::move(corrupt));
+    // Destroying the transport here is the mid-run disconnect.
+  });
+
+  insitu::RobustnessReport report;
+  Index datasets_received = 0;
+  std::thread viz_proxy([&] {
+    auto transport = insitu::socket_connect(layout_path, 0, 15.0);
+    transport->set_recv_deadline(10.0);
+    bool closed = false;
+    while (!closed) {
+      const auto frame = insitu::recv_framed_tolerant(*transport, report, &closed);
+      if (!frame.has_value()) continue;
+      const auto restored = deserialize_dataset(*frame);
+      ASSERT_EQ(restored->kind(), DataSetKind::kPointSet);
+      EXPECT_EQ(static_cast<const PointSet&>(*restored).num_points(),
+                data->num_points());
+      ++datasets_received;
+    }
+  });
+  sim_proxy.join();
+  viz_proxy.join();
+
+  EXPECT_EQ(datasets_received, 1);
+  EXPECT_EQ(report.frames_delivered, 1);
+  EXPECT_EQ(report.frames_corrupt, 1);
+  EXPECT_EQ(report.frames_dropped, 2); // the corrupt frame + the disconnect
+  EXPECT_LT(timer.elapsed(), 15.0);
+}
+
 TEST_F(EndToEndTest, CouplingStrategiesAgreeOnTheImage) {
   // Different couplings are performance choices; the rendered artifact
   // must be identical across all three.

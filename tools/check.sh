@@ -57,11 +57,22 @@ ctest --test-dir build-release --output-on-failure \
 trace_json="$(mktemp /tmp/eth_trace_gate.XXXXXX.json)"
 ETH_TRACE="${trace_json}" ./build-release/tools/eth_explore tools/trace_gate.cfg
 ./build-release/tools/eth_trace_check "${trace_json}" \
-  sim.load serialize deserialize transport.send transport.recv transfer \
+  sim.load serialize deserialize transport.send transport.recv \
+  transport.compress transport.decompress bytes_on_wire transfer \
   transfer.retry filter.sample render.build render.raycast composite \
   pack_image chunk cache.miss cache_bytes model.generate model.viz \
   model.composite model.write
 rm -f "${trace_json}"
+
+# CodecGate (DESIGN.md §15): the wire codec promises bit-identical
+# images and robustness counts with compression on or off, pristine
+# (encode-once) retries under fault injection, classified rejection of
+# truncated/corrupt compressed input, and pinned golden frames for both
+# codecs. Run the codec, LZ and compression-hardening suites by name so
+# a filter typo cannot silently skip them.
+echo "==== codec gate (build-release) ===="
+ctest --test-dir build-release --output-on-failure \
+  -R 'CodecEquivalence|LzCodec|GoldenWireFormat|QuantizePack|CompressDataset'
 
 # TSan with a multi-worker pool even on small machines: a 1-worker pool
 # runs loops inline and would hide every race from the sanitizer. The
@@ -87,6 +98,14 @@ ETH_THREADS="${ETH_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" 
 echo "==== simd gate (build-tsan) ===="
 ETH_THREADS="${ETH_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan --output-on-failure -R 'SimdGate'
+
+# CodecGate under TSan: frame compression runs on stage workers and
+# rank threads concurrently, and the codec resolution (ETH_WIRE_CODEC)
+# plus the wire counters are process-wide shared state — the sanitizer
+# verifies the once-resolution and the atomic counter tees.
+echo "==== codec gate (build-tsan) ===="
+ETH_THREADS="${ETH_THREADS:-4}" TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir build-tsan --output-on-failure -R 'CodecEquivalence|LzCodec'
 
 # SweepGate (DESIGN.md §12): the concurrent sweep scheduler promises
 # bit-identical artifacts at any ETH_SWEEP_WORKERS, which means
@@ -145,7 +164,7 @@ asan_variant() {
   cmake --build "${dir}" -j "${jobs}"
   echo "==== test ${dir} (data + insitu + buffer suites) ===="
   ctest --test-dir "${dir}" --output-on-failure \
-    -R 'Buffer|CowArray|DataPlane|WireMessage|Serialize|GoldenWireFormat|InProc|Socket|Fault|Frame|Transport'
+    -R 'Buffer|CowArray|DataPlane|WireMessage|Serialize|GoldenWireFormat|InProc|Socket|Fault|Frame|Transport|LzCodec|CodecEquivalence|QuantizePack|CompressDataset'
 }
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" asan_variant
 
